@@ -1,0 +1,1 @@
+bin/nvram_runner.ml: Arg Cmd Cmdliner Filename Format List Nvheap Nvram Option Printf Random Recoverable Runtime Stdlib Sys Term Unix Verify

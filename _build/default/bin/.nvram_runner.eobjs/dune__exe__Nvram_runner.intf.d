@@ -1,0 +1,1 @@
+bin/nvram_runner.mli:

@@ -1,0 +1,1 @@
+bin/pstack_inspect.ml: Arg Cmd Cmdliner Format Nvram Runtime Term Unix

@@ -1,0 +1,1 @@
+bin/pstack_inspect.mli:

@@ -1,0 +1,1 @@
+bin/verify_history.ml: Arg Cmd Cmdliner Format Fun List Printf String Term Verify

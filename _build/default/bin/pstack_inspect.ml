@@ -1,0 +1,41 @@
+(* Inspect a persistent image file: superblock, task table, decoded worker
+   stacks, heap map.
+
+   Usage:
+     dune exec bin/pstack_inspect.exe -- /tmp/nvram_runner.img
+     dune exec bin/pstack_inspect.exe -- --size 2097152 image.img *)
+
+let inspect path size =
+  let size =
+    match size with
+    | Some n -> n
+    | None -> (Unix.stat path).Unix.st_size
+  in
+  if size = 0 then failwith "empty image";
+  let backend = Nvram.Backend.file ~path ~size () in
+  let pmem = Nvram.Pmem.create ~backend ~size () in
+  Format.printf "%a@." Runtime.System.pp_image pmem;
+  Nvram.Backend.close backend
+
+open Cmdliner
+
+let path =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"IMAGE" ~doc:"Persistent image file to inspect.")
+
+let size =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "size" ] ~docv:"BYTES"
+        ~doc:"Device size (defaults to the file size).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pstack_inspect"
+       ~doc:"Decode and print the contents of a system image.")
+    Term.(const inspect $ path $ size)
+
+let () = exit (Cmd.eval cmd)

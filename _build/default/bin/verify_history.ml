@@ -1,0 +1,103 @@
+(* Standalone serializability verifier (Section 5.1) for execution
+   histories recorded outside this process.
+
+   Input format (one entry per line; '#' comments and blank lines ignored):
+
+     init 5
+     cas 5 6 ok
+     cas 9 1 fail
+     final 6
+
+   Usage:
+     dune exec bin/verify_history.exe -- history.txt
+     ... | dune exec bin/verify_history.exe -- -        # stdin
+
+   Exit codes: 0 serializable, 3 not serializable, 2 malformed input. *)
+
+let parse_line lineno line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> `Skip
+  | s :: _ when String.length s > 0 && s.[0] = '#' -> `Skip
+  | [ "init"; v ] -> `Init (int_of_string v)
+  | [ "final"; v ] -> `Final (int_of_string v)
+  | [ "cas"; old_v; new_v; outcome ] ->
+      let result =
+        match outcome with
+        | "ok" | "success" | "true" -> true
+        | "fail" | "failure" | "false" -> false
+        | other -> failwith (Printf.sprintf "line %d: bad outcome %S" lineno other)
+      in
+      `Op
+        {
+          Verify.History.expected = int_of_string old_v;
+          desired = int_of_string new_v;
+          result;
+        }
+  | _ -> failwith (Printf.sprintf "line %d: unparseable entry %S" lineno line)
+
+let read_history channel =
+  let init = ref None and final = ref None and ops = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       match parse_line !lineno (input_line channel) with
+       | `Skip -> ()
+       | `Init v -> init := Some v
+       | `Final v -> final := Some v
+       | `Op op -> ops := op :: !ops
+     done
+   with End_of_file -> ());
+  match (!init, !final) with
+  | Some init, Some final ->
+      { Verify.History.init; final; ops = List.rev !ops }
+  | None, _ -> failwith "missing 'init <value>' entry"
+  | _, None -> failwith "missing 'final <value>' entry"
+
+let run path show_witness =
+  let history =
+    try
+      if path = "-" then read_history stdin
+      else begin
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_history ic)
+      end
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  Format.printf "%d operations, init=%d final=%d@."
+    (List.length history.Verify.History.ops)
+    history.Verify.History.init history.Verify.History.final;
+  match Verify.Serializability.check history with
+  | Verify.Serializability.Serializable witness ->
+      Format.printf "serializable@.";
+      if show_witness then
+        List.iter
+          (fun op -> Format.printf "  %a@." Verify.History.pp_op op)
+          witness;
+      exit 0
+  | Verify.Serializability.Not_serializable _ as verdict ->
+      Format.printf "%a@." Verify.Serializability.pp_verdict verdict;
+      exit 3
+
+open Cmdliner
+
+let path =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"History file ('-' for stdin).")
+
+let witness =
+  Arg.(
+    value & flag
+    & info [ "witness" ] ~doc:"Print a witness sequential order when serializable.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "verify_history"
+       ~doc:"Check a CAS execution history for serializability (Section 5.1).")
+    Term.(const run $ path $ witness)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bank.ml: Apps Array Int64 List Nvheap Nvram Option Printf Random Runtime String

@@ -1,0 +1,1 @@
+examples/cas_experiment.ml: Arg Cmd Cmdliner Experiment Format Recoverable Runtime Term Verify

@@ -1,0 +1,1 @@
+examples/cas_experiment.mli:

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Hashtbl List Nvheap Nvram Option Printf Recoverable Runtime

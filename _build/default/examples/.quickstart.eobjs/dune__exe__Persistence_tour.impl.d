@@ -1,0 +1,1 @@
+examples/persistence_tour.ml: Bytes Int64 Nvram Printf Pstack

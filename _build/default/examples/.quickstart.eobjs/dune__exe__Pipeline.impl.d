@@ -1,0 +1,1 @@
+examples/pipeline.ml: Bytes List Nvheap Nvram Option Printf Recoverable Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Int64 List Nvheap Nvram Option Printf Pstack Recoverable Runtime String

@@ -1,0 +1,1 @@
+examples/txn_forloop.ml: Fun List Nvheap Nvram Option Printf Runtime

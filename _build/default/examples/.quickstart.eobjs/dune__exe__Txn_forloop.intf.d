@@ -1,0 +1,1 @@
+examples/txn_forloop.mli:

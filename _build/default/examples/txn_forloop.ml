@@ -1,0 +1,107 @@
+(* The transactional for-loop of Appendix A.
+
+   "We want to consequently update a lot of separate data items in the
+   transactional behaviour: if we update only a part of the requested
+   items and face a crash event — after the system restart all
+   modifications should be rolled back."
+
+   The loop is the recursive function F(i): save the old value of a_i,
+   update a_i, call F(i+1).  F.Recover(i) rolls the update of a_i back and
+   reports [Rolled_back], so the recovery unwinds the whole transaction
+   frame by frame and the system retries it.  The deep recursion is why
+   the stack must be unbounded: this example runs on the linked-list stack
+   of Appendix A.3 with deliberately tiny blocks.
+
+   Run with: dune exec examples/txn_forloop.exe *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Heap = Nvheap.Heap
+module System = Runtime.System
+module Value = Runtime.Value
+
+let update_id = 40
+let items = 40
+let target i = 5000 + (3 * i)
+
+let () =
+  let pmem = Pmem.create ~size:(1 lsl 21) () in
+  let registry = Runtime.Registry.create () in
+  let area = ref Offset.null in
+  let item i = Offset.add !area (8 * i) in
+
+  (* F(i): args = (i, old value of a_i) *)
+  let body ctx args =
+    let i, _old = Value.to_int2 args in
+    if i >= items then 0L
+    else begin
+      Pmem.write_int pmem (item i) (target i);
+      Pmem.flush pmem ~off:(item i) ~len:8;
+      let next_old = if i + 1 >= items then 0 else Pmem.read_int pmem (item (i + 1)) in
+      Runtime.Exec.call ctx ~func_id:update_id
+        ~args:(Value.of_int2 (i + 1) next_old)
+    end
+  in
+  (* F.Recover(i): roll back a_i; the runtime then recovers the caller,
+     unwinding the transaction. *)
+  let recover _ctx args =
+    let i, old = Value.to_int2 args in
+    if i < items then begin
+      Pmem.write_int pmem (item i) old;
+      Pmem.flush pmem ~off:(item i) ~len:8
+    end;
+    Runtime.Registry.Rolled_back
+  in
+  Runtime.Registry.register registry ~id:update_id ~name:"txn_update" ~body
+    ~recover;
+
+  let config =
+    {
+      System.workers = 1;
+      (* 96-byte blocks force the stack to chain dozens of blocks *)
+      stack_kind = System.Linked_stack 96;
+      task_capacity = 1;
+      task_max_args = 16;
+    }
+  in
+
+  let eras_seen = ref 0 in
+  let report =
+    Runtime.Driver.run_to_completion pmem ~registry ~config
+      ~init:(fun sys ->
+        let a = Heap.alloc (System.heap sys) (8 * items) in
+        area := a;
+        for i = 0 to items - 1 do
+          Pmem.write_int pmem (item i) (-1000 - i)
+        done;
+        Pmem.flush pmem ~off:a ~len:(8 * items);
+        System.set_root sys a)
+      ~reattach:(fun sys ->
+        area := Option.get (System.root sys);
+        incr eras_seen;
+        let updated =
+          List.length
+            (List.filter
+               (fun i -> Pmem.read_int pmem (item i) = target i)
+               (List.init items Fun.id))
+        in
+        Printf.printf "restart %d: %d/%d items updated before recovery\n"
+          !eras_seen updated items)
+      ~reclaim:(fun sys -> Option.to_list (System.root sys))
+      ~submit:(fun sys ->
+        let first_old = Pmem.read_int pmem (item 0) in
+        ignore
+          (System.submit sys ~func_id:update_id ~args:(Value.of_int2 0 first_old)))
+      ~plan:(fun ~era ->
+        (* crash the first two attempts mid-transaction *)
+        if era <= 2 then Crash.At_op (250 + (37 * era)) else Crash.Never)
+      ()
+  in
+
+  Printf.printf "transaction committed after %d crash(es)\n"
+    report.Runtime.Driver.crashes;
+  let finals = List.init items (fun i -> Pmem.read_int pmem (item i)) in
+  assert (finals = List.init items target);
+  Printf.printf "all %d items hold their target values\n" items;
+  print_endline "txn_forloop: OK"

@@ -1,0 +1,1 @@
+lib/apps/bank.ml: Array Int64 Nvram Recoverable Runtime

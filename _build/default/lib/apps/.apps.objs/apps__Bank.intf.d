@@ -1,0 +1,1 @@
+lib/apps/bank.mli: Nvram Runtime

@@ -1,0 +1,149 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Value = Runtime.Value
+module Exec = Runtime.Exec
+module Registry = Runtime.Registry
+module Rcas = Recoverable.Rcas
+
+type accounts = { cells : Rcas.t array }
+
+let attempt_id = 50
+let withdraw_id = 51
+let deposit_id = 52
+let transfer_id = 53
+
+(* answer encodings of the transfer phases — disjoint so the recover
+   function can identify the last completed phase from the answer slot *)
+let answer_failed = 0L
+let answer_withdrawn = 1L
+let answer_deposited = 2L
+
+let cell_region ~nprocs = Rcas.region_size ~nprocs
+
+let region_size ~n_accounts ~nprocs = n_accounts * cell_region ~nprocs
+
+let create pmem ~base ~n_accounts ~nprocs ~initial_balance =
+  {
+    cells =
+      Array.init n_accounts (fun i ->
+          Rcas.create pmem
+            ~base:(Offset.add base (i * cell_region ~nprocs))
+            ~nprocs ~init:initial_balance ~variant:Rcas.Correct);
+  }
+
+let attach pmem ~base ~n_accounts ~nprocs =
+  {
+    cells =
+      Array.init n_accounts (fun i ->
+          Rcas.attach pmem
+            ~base:(Offset.add base (i * cell_region ~nprocs))
+            ~nprocs ~variant:Rcas.Correct);
+  }
+
+let balance t i = Rcas.read t.cells.(i)
+let balances t = Array.to_list (Array.map Rcas.read t.cells)
+let n_accounts t = Array.length t.cells
+
+(* One tagged CAS attempt on a chosen account; the frame records the
+   account, operands and sequence number, so recovery is self-contained. *)
+let register_attempt registry get =
+  let run recovering ctx args =
+    match Value.to_ints args with
+    | [ acct; expected; desired; seq ] ->
+        let pid = ctx.Exec.worker_id in
+        let t = (get ()).cells.(acct) in
+        let success =
+          if recovering then
+            Rcas.recover_with_seq t ~pid ~seq ~expected ~desired
+          else Rcas.cas_with_seq t ~pid ~seq ~expected ~desired
+        in
+        Value.answer_of_bool success
+    | _ -> invalid_arg "Bank.attempt: bad arguments"
+  in
+  Registry.register registry ~id:attempt_id ~name:"bank.attempt"
+    ~body:(run false)
+    ~recover:(fun ctx args -> Registry.Complete (run true ctx args))
+
+let call_attempt ctx get ~acct ~expected ~desired =
+  let seq = Rcas.bump (get ()).cells.(acct) ~pid:ctx.Exec.worker_id in
+  Value.bool_of_answer
+    (Exec.call ctx ~func_id:attempt_id
+       ~args:(Value.of_ints [ acct; expected; desired; seq ]))
+
+(* withdraw: CAS retry loop that refuses to overdraw.
+   Answers: 1 = withdrawn, 0 = insufficient funds. *)
+let register_withdraw registry get =
+  let rec loop ctx acct amount =
+    let balance = Rcas.read (get ()).cells.(acct) in
+    if balance < amount then answer_failed
+    else if
+      call_attempt ctx get ~acct ~expected:balance ~desired:(balance - amount)
+    then answer_withdrawn
+    else loop ctx acct amount
+  in
+  let body ctx args =
+    let acct, amount = Value.to_int2 args in
+    loop ctx acct amount
+  in
+  let recover ctx args =
+    Registry.Complete
+      (match Exec.last_answer ctx with
+      | Some a when Value.bool_of_answer a -> answer_withdrawn
+      | Some _ | None -> body ctx args)
+  in
+  Registry.register registry ~id:withdraw_id ~name:"bank.withdraw" ~body
+    ~recover
+
+(* deposit: unconditional CAS retry loop.  Answer: 2. *)
+let register_deposit registry get =
+  let rec loop ctx acct amount =
+    let balance = Rcas.read (get ()).cells.(acct) in
+    if call_attempt ctx get ~acct ~expected:balance ~desired:(balance + amount)
+    then answer_deposited
+    else loop ctx acct amount
+  in
+  let body ctx args =
+    let acct, amount = Value.to_int2 args in
+    loop ctx acct amount
+  in
+  let recover ctx args =
+    Registry.Complete
+      (match Exec.last_answer ctx with
+      | Some a when Value.bool_of_answer a -> answer_deposited
+      | Some _ | None -> body ctx args)
+  in
+  Registry.register registry ~id:deposit_id ~name:"bank.deposit" ~body ~recover
+
+(* transfer: the two phases, resumable from the answer slot. *)
+let register_transfer registry =
+  let deposit ctx dst amount =
+    ignore (Exec.call ctx ~func_id:deposit_id ~args:(Value.of_int2 dst amount));
+    1L
+  in
+  let body ctx args =
+    let src, dst, amount = Value.to_int3 args in
+    let w =
+      Exec.call ctx ~func_id:withdraw_id ~args:(Value.of_int2 src amount)
+    in
+    if Int64.equal w answer_failed then 0L else deposit ctx dst amount
+  in
+  let recover ctx args =
+    let _src, dst, amount = Value.to_int3 args in
+    Registry.Complete
+      (match Exec.last_answer ctx with
+      | Some a when Int64.equal a answer_deposited -> 1L
+      | Some a when Int64.equal a answer_withdrawn ->
+          (* money left the source but never reached the destination:
+             finish the deposit *)
+          deposit ctx dst amount
+      | Some a when Int64.equal a answer_failed -> 0L
+      | Some _ | None -> body ctx args)
+  in
+  Registry.register registry ~id:transfer_id ~name:"bank.transfer" ~body
+    ~recover
+
+let register registry get =
+  register_attempt registry get;
+  register_withdraw registry get;
+  register_deposit registry get;
+  register_transfer registry

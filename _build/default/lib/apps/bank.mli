@@ -1,0 +1,48 @@
+(** Recoverable money transfers between CAS-register accounts — an
+    application built on the persistent-stack runtime, used by
+    [examples/bank.ml] and the crash-sweep tests.
+
+    A transfer is a two-phase recoverable function: withdraw from the
+    source (refusing to overdraw), then deposit to the destination.  The
+    phases use disjoint answer encodings (withdraw: 0 failed / 1 done;
+    deposit: 2), so the transfer's recover function can tell from its
+    frame's answer slot exactly which phase completed and resume there —
+    the composition pattern for multi-step recoverable operations
+    (DESIGN.md decision 7).
+
+    Money is conserved under any combination of system crashes, individual
+    worker crashes and repeated failures: each transfer applies exactly
+    once or is refused exactly once. *)
+
+type accounts
+(** The persistent account array (recoverable CAS registers). *)
+
+val region_size : n_accounts:int -> nprocs:int -> int
+(** Device bytes needed for the accounts region. *)
+
+val create :
+  Nvram.Pmem.t ->
+  base:Nvram.Offset.t ->
+  n_accounts:int ->
+  nprocs:int ->
+  initial_balance:int ->
+  accounts
+
+val attach :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> n_accounts:int -> nprocs:int -> accounts
+
+val balance : accounts -> int -> int
+val balances : accounts -> int list
+val n_accounts : accounts -> int
+
+(** {1 Runtime operations} *)
+
+val transfer_id : int
+(** Submit tasks with this function id and arguments
+    [Value.of_int3 src dst amount].  The task answer is [1] if the
+    transfer was applied, [0] if it was refused for insufficient funds. *)
+
+val register : Runtime.Exec.t Runtime.Registry.t -> (unit -> accounts) -> unit
+(** Registers the attempt, withdraw, deposit and transfer functions
+    (ids 50–53).  The accessor is re-evaluated on every call so the
+    application can rebind after a restart. *)

@@ -1,0 +1,1 @@
+lib/nvheap/heap.ml: Format Hashtbl Int64 List Mutex Nvram Printf

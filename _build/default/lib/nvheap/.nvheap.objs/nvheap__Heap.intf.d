@@ -1,0 +1,1 @@
+lib/nvheap/heap.mli: Format Nvram

@@ -1,0 +1,327 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+exception Out_of_heap_memory of { requested : int; largest_free : int }
+
+(* Persistent layout.
+
+   header (at [base], [header_size] bytes):
+     +0  magic
+     +8  region length
+     +16 free-list head (absolute device offset of a block header; 0 = none)
+
+   block (16-byte header + payload):
+     +0  size_tag: whole block size in bytes (multiple of 16), with bit 0
+         set iff the block is allocated
+     +8  next free block (meaningful only while the block is free)
+
+   Blocks tile [base + header_size, base + len) exactly; every mutation
+   preserves the tiling and commits with a single 8-byte flush. *)
+
+let header_size = 32
+let block_header_size = 16
+let min_block = 32
+let magic = 0x4E56484541503031L (* "NVHEAP01" *)
+
+type t = { pmem : Pmem.t; base : Offset.t; len : int; mu : Mutex.t }
+
+let base t = t.base
+let length t = t.len
+
+let align16 n = (n + 15) / 16 * 16
+
+(* Field accessors; all offsets handled as plain ints internally. *)
+let magic_off t = t.base
+let len_off t = Offset.add t.base 8
+let head_off t = Offset.add t.base 16
+let first_block t = Offset.add t.base header_size
+let region_end t = Offset.add t.base t.len
+
+let read_head t = Pmem.read_int t.pmem (head_off t)
+
+let write_head t v =
+  Pmem.write_int t.pmem (head_off t) v;
+  Pmem.flush t.pmem ~off:(head_off t) ~len:8
+
+let size_tag_off block = block
+let next_off block = Offset.add block 8
+let payload_of_block block = Offset.add block block_header_size
+let block_of_payload payload = Offset.add payload (-block_header_size)
+
+let read_size_tag t block = Pmem.read_int t.pmem (size_tag_off block)
+
+let write_size_tag t block v =
+  Pmem.write_int t.pmem (size_tag_off block) v;
+  Pmem.flush t.pmem ~off:(size_tag_off block) ~len:8
+
+let read_next t block = Pmem.read_int t.pmem (next_off block)
+
+let write_next t block v =
+  Pmem.write_int t.pmem (next_off block) v;
+  Pmem.flush t.pmem ~off:(next_off block) ~len:8
+
+let block_size tag = tag land lnot 1
+let is_allocated tag = tag land 1 = 1
+
+let check_block t block tag =
+  let size = block_size tag in
+  let off = Offset.to_int block in
+  if
+    size < min_block
+    || size mod 16 <> 0
+    || off + size > Offset.to_int (region_end t)
+  then
+    invalid_arg
+      (Printf.sprintf "Nvheap.Heap: corrupt block header at %d (size %d)" off
+         size)
+
+let format pmem ~base ~len =
+  if len < header_size + min_block then
+    invalid_arg "Heap.format: region too small";
+  if len mod 16 <> 0 then
+    invalid_arg "Heap.format: region length must be a multiple of 16";
+  let t = { pmem; base; len; mu = Mutex.create () } in
+  let first = first_block t in
+  Pmem.write_int64 pmem (magic_off t) magic;
+  Pmem.write_int pmem (len_off t) len;
+  Pmem.write_int pmem (head_off t) (Offset.to_int first);
+  Pmem.flush pmem ~off:t.base ~len:header_size;
+  write_size_tag t first (len - header_size);
+  write_next t first 0;
+  t
+
+let attach pmem ~base =
+  let m = Pmem.read_int64 pmem (Offset.add base 0) in
+  if not (Int64.equal m magic) then
+    invalid_arg "Heap.open_existing: bad magic (not a heap region)";
+  let len = Pmem.read_int pmem (Offset.add base 8) in
+  { pmem; base; len; mu = Mutex.create () }
+
+let open_existing pmem ~base = attach pmem ~base
+
+(* Walk the block tiling in address order. *)
+let fold_blocks t f acc =
+  let stop = Offset.to_int (region_end t) in
+  let rec go block acc =
+    if Offset.to_int block >= stop then acc
+    else begin
+      let tag = read_size_tag t block in
+      check_block t block tag;
+      let acc = f acc ~block ~size:(block_size tag) ~allocated:(is_allocated tag) in
+      go (Offset.add block (block_size tag)) acc
+    end
+  in
+  go (first_block t) acc
+
+let iter_blocks t f =
+  fold_blocks t (fun () ~block ~size ~allocated -> f ~off:block ~size ~allocated) ()
+
+let recover pmem ~base =
+  let t = attach pmem ~base in
+  (* Pass 1: coalesce adjacent non-allocated blocks.  Growing the first
+     block's size field is the atomic commit of each merge; the absorbed
+     block's header becomes dead data, so a repeated failure re-runs the walk
+     on a consistent tiling. *)
+  let stop = Offset.to_int (region_end t) in
+  let rec coalesce block =
+    if Offset.to_int block < stop then begin
+      let tag = read_size_tag t block in
+      check_block t block tag;
+      let size = block_size tag in
+      if is_allocated tag then coalesce (Offset.add block size)
+      else begin
+        let next = Offset.add block size in
+        if Offset.to_int next < stop then begin
+          let next_tag = read_size_tag t next in
+          check_block t next next_tag;
+          if is_allocated next_tag then coalesce next
+          else begin
+            write_size_tag t block (size + block_size next_tag);
+            coalesce block
+          end
+        end
+      end
+    end
+  in
+  coalesce (first_block t);
+  (* Pass 2: rebuild the free list from scratch (reclaims blocks leaked by a
+     crash between an allocation's commit and the client's own persist). *)
+  let free_blocks =
+    List.rev
+      (fold_blocks t
+         (fun acc ~block ~size:_ ~allocated ->
+           if allocated then acc else block :: acc)
+         [])
+  in
+  let rec link = function
+    | [] -> ()
+    | [ last ] -> write_next t last 0
+    | b :: (next :: _ as rest) ->
+        write_next t b (Offset.to_int next);
+        link rest
+  in
+  link free_blocks;
+  (match free_blocks with
+  | [] -> write_head t 0
+  | first :: _ -> write_head t (Offset.to_int first));
+  t
+
+let alloc t n =
+  if n < 1 then invalid_arg "Heap.alloc: size must be >= 1";
+  let need = max min_block (align16 n + block_header_size) in
+  Mutex.protect t.mu (fun () ->
+      (* Best fit: the smallest free block of size >= need, remembering its
+         predecessor so we can unlink without a doubly-linked list.  Exact
+         fits are reused whole, which keeps repetitive workloads (e.g. the
+         resizable stack's grow/shrink cycles) at a fragmentation steady
+         state — coalescing only happens offline, at recovery. *)
+      let rec find prev block best =
+        if block = 0 then best
+        else begin
+          let boff = Offset.of_int block in
+          let tag = read_size_tag t boff in
+          check_block t boff tag;
+          let size = block_size tag in
+          let best =
+            if
+              size >= need
+              && match best with
+                 | None -> true
+                 | Some (_, _, best_size) -> size < best_size
+            then Some (prev, boff, size)
+            else best
+          in
+          match best with
+          | Some (_, _, best_size) when best_size = need -> best
+          | Some _ | None -> find block (read_next t boff) best
+        end
+      in
+      match find 0 (read_head t) None with
+      | None ->
+          let largest =
+            fold_blocks t
+              (fun acc ~block:_ ~size ~allocated ->
+                if allocated then acc
+                else max acc (size - block_header_size))
+              0
+          in
+          raise (Out_of_heap_memory { requested = n; largest_free = largest })
+      | Some (prev, block, size) ->
+          if size - need >= min_block then begin
+            (* Split: carve the allocation from the tail of [block].  The
+               new header is written into what is still free space; the
+               atomic commit is shrinking [block]'s size. *)
+            let carved = Offset.add block (size - need) in
+            write_size_tag t carved (need lor 1);
+            write_size_tag t block (size - need);
+            payload_of_block carved
+          end
+          else begin
+            (* Unlink [block]; the pointer write is the atomic commit. *)
+            let next = read_next t block in
+            if prev = 0 then write_head t next
+            else write_next t (Offset.of_int prev) next;
+            write_size_tag t block (size lor 1);
+            payload_of_block block
+          end)
+
+let assert_allocated t payload =
+  let block = block_of_payload payload in
+  if
+    Offset.to_int block < Offset.to_int (first_block t)
+    || Offset.to_int block >= Offset.to_int (region_end t)
+  then invalid_arg "Heap: offset outside the heap region";
+  let tag = read_size_tag t block in
+  check_block t block tag;
+  if not (is_allocated tag) then
+    invalid_arg "Heap: block is not allocated (double free?)";
+  (block, block_size tag)
+
+(* Prepare the node fully, then commit with the head write.  A crash before
+   the commit leaves the block unreachable and untagged, which [recover]
+   reclaims. *)
+let free_locked t payload =
+  let block, size = assert_allocated t payload in
+  write_next t block (read_head t);
+  write_size_tag t block size;
+  write_head t (Offset.to_int block)
+
+let free t payload = Mutex.protect t.mu (fun () -> free_locked t payload)
+
+let retain t ~live =
+  Mutex.protect t.mu (fun () ->
+      let dead =
+        fold_blocks t
+          (fun acc ~block ~size:_ ~allocated ->
+            if allocated && not (List.exists (Offset.equal (payload_of_block block)) live)
+            then payload_of_block block :: acc
+            else acc)
+          []
+      in
+      List.iter (free_locked t) dead;
+      List.length dead)
+
+let payload_size t payload =
+  Mutex.protect t.mu (fun () ->
+      let _, size = assert_allocated t payload in
+      size - block_header_size)
+
+let free_bytes t =
+  Mutex.protect t.mu (fun () ->
+      fold_blocks t
+        (fun acc ~block:_ ~size ~allocated ->
+          if allocated then acc else acc + size - block_header_size)
+        0)
+
+let largest_free t =
+  Mutex.protect t.mu (fun () ->
+      fold_blocks t
+        (fun acc ~block:_ ~size ~allocated ->
+          if allocated then acc else max acc (size - block_header_size))
+        0)
+
+let block_count t ~allocated:want =
+  Mutex.protect t.mu (fun () ->
+      fold_blocks t
+        (fun acc ~block:_ ~size:_ ~allocated ->
+          if allocated = want then acc + 1 else acc)
+        0)
+
+let check t =
+  Mutex.protect t.mu (fun () ->
+      try
+        (* The tiling walk itself validates block headers. *)
+        let blocks =
+          fold_blocks t
+            (fun acc ~block ~size:_ ~allocated ->
+              (Offset.to_int block, allocated) :: acc)
+            []
+        in
+        let free_set =
+          List.filter_map
+            (fun (off, allocated) -> if allocated then None else Some off)
+            blocks
+        in
+        (* The free list must be acyclic and contain only untagged blocks. *)
+        let seen = Hashtbl.create 16 in
+        let rec follow cursor =
+          if cursor = 0 then Ok ()
+          else if Hashtbl.mem seen cursor then Error "free list has a cycle"
+          else if not (List.mem cursor free_set) then
+            Error
+              (Printf.sprintf "free list points to non-free block at %d"
+                 cursor)
+          else begin
+            Hashtbl.add seen cursor ();
+            follow (read_next t (Offset.of_int cursor))
+          end
+        in
+        follow (read_head t)
+      with Invalid_argument msg -> Error msg)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>heap at %a, %d bytes@," Offset.pp t.base t.len;
+  iter_blocks t (fun ~off ~size ~allocated ->
+      Format.fprintf fmt "  %a: %6d bytes, %s@," Offset.pp off size
+        (if allocated then "allocated" else "free"));
+  Format.fprintf fmt "@]"

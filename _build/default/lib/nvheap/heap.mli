@@ -1,0 +1,110 @@
+(** Crash-consistent persistent heap allocator.
+
+    Section 4.2 of the paper stores big function results in the "NVRAM heap"
+    and Section 4.3 initialises "the memory allocator" at system start;
+    Appendix A allocates stack blocks from it.  This module is that
+    substrate: a best-fit free-list allocator whose metadata lives in the
+    persistent region and survives crashes.  (Best fit, because free blocks
+    coalesce only offline at {!recover}: exact-size reuse keeps repetitive
+    workloads at a fragmentation steady state.)
+
+    {2 Crash-consistency protocol}
+
+    Every state change is committed by a single 8-byte flush (atomic in the
+    device model):
+
+    - {e allocation without splitting} commits by unlinking the block
+      (one pointer write);
+    - {e allocation with splitting} carves the new block from the {e tail}
+      of a free block, so the only commit is shrinking the free block's size
+      field;
+    - {e free} commits by the head-pointer write of a list push.
+
+    A crash between an allocation's commit and the moment the client
+    persists the block offset can leak the block — the same window real
+    persistent allocators close with logging (Makalu, ref. [11] of the
+    paper).  We close it offline: {!recover} walks the block sequence,
+    rebuilds the free list from scratch, reclaims unreachable untagged
+    blocks and coalesces adjacent free blocks.  The rebuild is idempotent,
+    so repeated failures during recovery are harmless (Section 4.3). *)
+
+type t
+
+exception Out_of_heap_memory of { requested : int; largest_free : int }
+
+val format : Nvram.Pmem.t -> base:Nvram.Offset.t -> len:int -> t
+(** [format pmem ~base ~len] initialises a fresh heap occupying [len] bytes
+    of the device starting at [base], erasing whatever was there.  [len]
+    must fit the header and one minimal block.  The header and initial free
+    list are flushed before the function returns. *)
+
+val open_existing : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
+(** [open_existing pmem ~base] attaches to a heap previously created by
+    {!format}, without modifying it.
+
+    @raise Invalid_argument if the header magic does not match. *)
+
+val recover : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
+(** [recover pmem ~base] attaches to an existing heap and rebuilds its free
+    list: every block not marked allocated becomes free (reclaiming blocks
+    leaked by a crash inside an allocation), and adjacent free blocks are
+    coalesced.  Safe to re-run after repeated failures. *)
+
+val alloc : t -> int -> Nvram.Offset.t
+(** [alloc t n] allocates at least [n] bytes ([n >= 1]) and returns the
+    offset of the payload.  The payload is {e not} zeroed.
+
+    @raise Out_of_heap_memory if no free block fits. *)
+
+val free : t -> Nvram.Offset.t -> unit
+(** [free t payload] returns the block to the free list.
+
+    @raise Invalid_argument if [payload] is not the payload offset of a
+    currently-allocated block. *)
+
+val retain : t -> live:Nvram.Offset.t list -> int
+(** [retain t ~live] frees every allocated block whose payload offset is not
+    listed in [live] and returns how many blocks were freed.  This is the
+    root-based offline reclamation a system recovery runs after rebuilding
+    its data structures: any block that a crash window left allocated but
+    unreferenced (e.g. an abandoned stack block mid-resize) is returned to
+    the free list. *)
+
+val payload_size : t -> Nvram.Offset.t -> int
+(** [payload_size t payload] is the usable size of an allocated block, which
+    may exceed the requested size due to rounding. *)
+
+(** {1 Introspection} *)
+
+val base : t -> Nvram.Offset.t
+val length : t -> int
+
+val free_bytes : t -> int
+(** Total payload bytes available across all free blocks. *)
+
+val largest_free : t -> int
+(** Largest single allocatable payload. *)
+
+val block_count : t -> allocated:bool -> int
+(** Number of blocks with the given allocation status. *)
+
+val iter_blocks :
+  t -> (off:Nvram.Offset.t -> size:int -> allocated:bool -> unit) -> unit
+(** Iterates over all blocks in address order.  [off] is the block header
+    offset and [size] the whole block size including the header. *)
+
+val check : t -> (unit, string) result
+(** [check t] validates the heap invariants: blocks tile the region exactly,
+    the free list is acyclic, and every free-list entry is an untagged
+    block.  Used by tests after simulated crashes. *)
+
+val pp : Format.formatter -> t -> unit
+(** One block per line, for debugging. *)
+
+(** {1 Constants} *)
+
+val header_size : int
+(** Bytes reserved at [base] for the heap header. *)
+
+val block_header_size : int
+(** Bytes of overhead per block. *)

@@ -1,0 +1,1 @@
+lib/nvram/backend.ml: Bytes Printf Unix

@@ -1,0 +1,1 @@
+lib/nvram/crash.ml: Atomic Mutex Random

@@ -1,0 +1,1 @@
+lib/nvram/layout.ml: Offset Printf

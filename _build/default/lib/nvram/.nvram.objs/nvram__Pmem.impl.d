@@ -1,0 +1,1 @@
+lib/nvram/pmem.ml: Array Atomic Backend Bytes Char Crash Int64 Layout Mutex Offset Printf Random Stats Thread

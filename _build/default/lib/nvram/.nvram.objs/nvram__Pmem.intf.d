@@ -1,0 +1,1 @@
+lib/nvram/pmem.mli: Backend Crash Offset Stats

@@ -1,0 +1,69 @@
+type storage =
+  | Memory
+  | File of { fd : Unix.file_descr; sync : bool; persist_delay : float }
+
+type t = { data : bytes; storage : storage }
+
+let memory ~size = { data = Bytes.make size '\000'; storage = Memory }
+
+let file ?(sync = false) ?(persist_delay = 0.) ~path ~size () =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let existing = (Unix.fstat fd).Unix.st_size in
+  if existing <> 0 && existing <> size then begin
+    Unix.close fd;
+    invalid_arg
+      (Printf.sprintf "Backend.file: %s has size %d, expected %d" path
+         existing size)
+  end;
+  if existing = 0 then Unix.ftruncate fd size;
+  let data = Bytes.make size '\000' in
+  let rec read_all pos =
+    if pos < size then begin
+      let n = Unix.read fd data pos (size - pos) in
+      if n > 0 then read_all (pos + n)
+    end
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  read_all 0;
+  { data; storage = File { fd; sync; persist_delay } }
+
+let size t = Bytes.length t.data
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > size t then
+    invalid_arg
+      (Printf.sprintf "Backend: range [%d, %d) outside image of size %d" off
+         (off + len) (size t))
+
+let read t ~off ~len =
+  check_range t off len;
+  Bytes.sub t.data off len
+
+let blit_to t ~off ~dst ~dst_off ~len =
+  check_range t off len;
+  Bytes.blit t.data off dst dst_off len
+
+let write_through fd ~sync ~off ~data ~len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec write_all pos =
+    if pos < len then begin
+      let n = Unix.write fd data (off + pos) (len - pos) in
+      write_all (pos + n)
+    end
+  in
+  write_all 0;
+  if sync then Unix.fsync fd
+
+let persist t ~off ~src ~src_off ~len =
+  check_range t off len;
+  Bytes.blit src src_off t.data off len;
+  match t.storage with
+  | Memory -> ()
+  | File { fd; sync; persist_delay } ->
+      if persist_delay > 0. then Unix.sleepf persist_delay;
+      write_through fd ~sync ~off ~data:t.data ~len
+
+let close t =
+  match t.storage with Memory -> () | File { fd; _ } -> Unix.close fd
+
+let is_file t = match t.storage with Memory -> false | File _ -> true

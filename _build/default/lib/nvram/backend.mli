@@ -1,0 +1,52 @@
+(** Persistent backing store of the simulated device.
+
+    The backend holds the bytes that survive a crash.  Two backends are
+    provided:
+
+    - {e memory}: the persistent image is an ordinary byte buffer.  Fast;
+      used by tests and benchmarks.  A simulated crash keeps the buffer and
+      discards only the volatile cache above it (see {!Pmem}).
+    - {e file}: the persistent image additionally lives in a real file, as in
+      the paper's HDD-backed emulation.  Every persisted line is written
+      through to the file, so the image survives a real process kill
+      ([bin/nvram_runner] exercises this).
+
+    All operations address the {e persistent} image directly; the volatile
+    cache is layered on top by {!Pmem} and is invisible here. *)
+
+type t
+
+val memory : size:int -> t
+(** [memory ~size] is a fresh all-zero in-memory persistent image. *)
+
+val file :
+  ?sync:bool -> ?persist_delay:float -> path:string -> size:int -> unit -> t
+(** [file ~path ~size ()] opens (or creates, zero-filled) the persistent
+    image stored in [path].  If the file exists its contents are loaded, so a
+    restarted process observes the bytes persisted before the crash.  When
+    [sync] is [true] (default [false]) every write-through is followed by an
+    [fsync].  [persist_delay] (seconds, default 0) sleeps on every persist,
+    modelling the latency of slow persistent media (the paper's HDD-backed
+    emulation) — it also gives the kill-based crash emulation of
+    [bin/nvram_runner] realistic windows to interrupt.
+
+    @raise Invalid_argument if an existing file's size differs from [size]. *)
+
+val size : t -> int
+
+val read : t -> off:int -> len:int -> bytes
+(** [read t ~off ~len] reads [len] bytes of the persistent image. *)
+
+val blit_to : t -> off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** [blit_to t ~off ~dst ~dst_off ~len] copies persistent bytes into [dst]. *)
+
+val persist : t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+(** [persist t ~off ~src ~src_off ~len] makes the given bytes durable at
+    offset [off] of the image (write-through to the file for file
+    backends). *)
+
+val close : t -> unit
+(** [close t] releases the file descriptor of a file backend (no-op for
+    memory backends). *)
+
+val is_file : t -> bool

@@ -1,0 +1,104 @@
+exception Crash_now
+exception Thread_killed
+
+type plan =
+  | Never
+  | At_op of int
+  | Random of { seed : int; probability : float }
+
+type t = {
+  mutable plan : plan;
+  mutable rng : Random.State.t;
+  mutable counter : int;
+  crashed : bool Atomic.t;
+  (* individual-crash plan: its own counter and PRNG; one-shot *)
+  mutable kill_plan : plan;
+  mutable kill_rng : Random.State.t;
+  mutable kill_counter : int;
+  mutable kill_count : int;
+  mu : Mutex.t;
+}
+
+let rng_of_plan = function
+  | Random { seed; _ } -> Random.State.make [| seed |]
+  | Never | At_op _ -> Random.State.make [| 0 |]
+
+let create ?(plan = Never) () =
+  {
+    plan;
+    rng = rng_of_plan plan;
+    counter = 0;
+    crashed = Atomic.make false;
+    kill_plan = Never;
+    kill_rng = rng_of_plan Never;
+    kill_counter = 0;
+    kill_count = 0;
+    mu = Mutex.create ();
+  }
+
+let arm t plan =
+  Mutex.protect t.mu (fun () ->
+      t.plan <- plan;
+      t.rng <- rng_of_plan plan;
+      t.counter <- 0)
+
+let crashed t = Atomic.get t.crashed
+let check t = if crashed t then raise Crash_now
+let trigger t = Atomic.set t.crashed true
+
+let fire t =
+  trigger t;
+  raise Crash_now
+
+let fires_now ~counter ~rng = function
+  | Never -> false
+  | At_op n -> counter >= n
+  | Random { probability; _ } -> Random.State.float rng 1.0 < probability
+
+let step t =
+  check t;
+  (* The mutex serialises the counters and the PRNGs; the crashed flag stays
+     an atomic so that [check] on the hot path of other threads is
+     lock-free. *)
+  let verdict =
+    Mutex.protect t.mu (fun () ->
+        if crashed t then `System
+        else begin
+          t.counter <- t.counter + 1;
+          if fires_now ~counter:t.counter ~rng:t.rng t.plan then `System
+          else begin
+            t.kill_counter <- t.kill_counter + 1;
+            if
+              fires_now ~counter:t.kill_counter ~rng:t.kill_rng t.kill_plan
+            then begin
+              (* one-shot: exactly one thread dies per arming *)
+              t.kill_plan <- Never;
+              t.kill_count <- t.kill_count + 1;
+              `Thread
+            end
+            else `None
+          end
+        end)
+  in
+  match verdict with
+  | `None -> ()
+  | `System -> fire t
+  | `Thread -> raise Thread_killed
+
+let reset t =
+  Mutex.protect t.mu (fun () ->
+      t.plan <- Never;
+      t.counter <- 0;
+      t.kill_plan <- Never;
+      t.kill_counter <- 0;
+      Atomic.set t.crashed false)
+
+let ops t = Mutex.protect t.mu (fun () -> t.counter)
+
+let arm_kill t plan =
+  Mutex.protect t.mu (fun () ->
+      t.kill_plan <- plan;
+      t.kill_rng <- rng_of_plan plan;
+      t.kill_counter <- 0)
+
+let kills_fired t = Mutex.protect t.mu (fun () -> t.kill_count)

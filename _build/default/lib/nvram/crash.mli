@@ -1,0 +1,86 @@
+(** Crash scheduling for the simulated NVRAM device.
+
+    The paper emulates system failures by killing the process at a random
+    moment (Section 5.2).  In-process simulation gives us strictly more
+    control: every persistence-relevant operation performed on the device —
+    a write, a flush of one line, or a hardware CAS; reads are excluded
+    because a crash between two reads leaves the same persistent state as
+    one just before the next write — consults a crash controller, and the
+    controller decides whether the crash event fires {e before} that
+    operation takes effect.  This makes crash
+    points deterministic (reproducible from a seed or an operation index) and
+    allows exhaustive enumeration of crash points in tests.
+
+    The controller is shared by all worker threads of a system.  Once a crash
+    fires, every subsequent operation on the device raises {!Crash_now} as
+    well, so all workers stop promptly — modelling the {e system}
+    crash-recovery model of Section 2.2 in which the whole machine fails at
+    once. *)
+
+exception Crash_now
+(** Raised by device operations when the simulated system has crashed.  The
+    operation that raises did {e not} take effect. *)
+
+exception Thread_killed
+(** Raised by a device operation to the {e one} thread whose operation
+    triggered an individual-crash plan (see {!arm_kill}).  The rest of the
+    system keeps running: this models the individual crash-recovery model
+    of Section 2.2, where a single process fails and later recovers while
+    the others continue. *)
+
+type plan =
+  | Never  (** No scheduled crash (crashes can still be {!trigger}ed). *)
+  | At_op of int
+      (** [At_op n] crashes immediately before the [n]-th persistence
+          operation (1-based): that operation and all later ones do not take
+          effect.  Used to enumerate crash points exhaustively. *)
+  | Random of { seed : int; probability : float }
+      (** Before every operation, crash with the given probability, using a
+          deterministic PRNG seeded with [seed]. *)
+
+type t
+
+val create : ?plan:plan -> unit -> t
+(** [create ()] is a controller with plan {!Never}. *)
+
+val arm : t -> plan -> unit
+(** [arm t plan] installs [plan] and resets the operation counter (but not
+    the crashed flag; see {!reset}). *)
+
+val step : t -> unit
+(** [step t] records one persistence operation.  Raises {!Crash_now} if the
+    system is already crashed or if the plan fires on this operation. *)
+
+val check : t -> unit
+(** [check t] raises {!Crash_now} if the system is crashed, without counting
+    an operation. *)
+
+val trigger : t -> unit
+(** [trigger t] crashes the system immediately (does not raise). *)
+
+val crashed : t -> bool
+(** [crashed t] is [true] iff a crash has fired and {!reset} has not been
+    called since. *)
+
+val reset : t -> unit
+(** [reset t] clears the crashed flag and disarms the plan ([Never]),
+    modelling the restart of the machine.  The operation counter restarts
+    from zero. *)
+
+val ops : t -> int
+(** [ops t] is the number of operations recorded since the last {!arm} or
+    {!reset}. *)
+
+(** {1 Individual crashes}
+
+    A second, independent plan that kills the single thread whose
+    persistence operation trips it, leaving the device and every other
+    thread untouched.  One-shot: the plan disarms when it fires, so exactly
+    one thread receives {!Thread_killed} per arming. *)
+
+val arm_kill : t -> plan -> unit
+(** [arm_kill t plan] installs an individual-crash plan with its own
+    operation counter. *)
+
+val kills_fired : t -> int
+(** Number of individual crashes delivered since creation. *)

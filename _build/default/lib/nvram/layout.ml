@@ -1,0 +1,25 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check_line_size line_size =
+  if not (is_power_of_two line_size) then
+    invalid_arg
+      (Printf.sprintf "Layout: line size %d is not a positive power of 2"
+         line_size)
+
+let line_index ~line_size off = Offset.to_int off / line_size
+let line_start ~line_size ~index = Offset.of_int (index * line_size)
+
+let align_up ~line_size n =
+  if n <= 0 then 0 else (n + line_size - 1) / line_size * line_size
+
+let same_line ~line_size off ~len =
+  assert (len >= 1);
+  let first = line_index ~line_size off in
+  let last = (Offset.to_int off + len - 1) / line_size in
+  first = last
+
+let lines_covering ~line_size off ~len =
+  assert (len >= 1);
+  let first = line_index ~line_size off in
+  let last = (Offset.to_int off + len - 1) / line_size in
+  (first, last)

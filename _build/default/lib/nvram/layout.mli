@@ -1,0 +1,28 @@
+(** Cache-line geometry helpers.
+
+    Section 5 of the paper requires that, when emulating a cache-less NVRAM,
+    every written value fits inside one cache line so that it can be flushed
+    atomically.  These helpers let clients compute line-aligned placements
+    and check the single-line property.  A line size must be a power of
+    two. *)
+
+val check_line_size : int -> unit
+(** @raise Invalid_argument if the argument is not a positive power of 2. *)
+
+val line_index : line_size:int -> Offset.t -> int
+(** Index of the cache line containing the given offset. *)
+
+val line_start : line_size:int -> index:int -> Offset.t
+(** First offset of the line with the given index. *)
+
+val align_up : line_size:int -> int -> int
+(** Smallest multiple of [line_size] that is [>=] the argument. *)
+
+val same_line : line_size:int -> Offset.t -> len:int -> bool
+(** [same_line ~line_size off ~len] is [true] iff the [len] bytes starting at
+    [off] lie within a single cache line ([len >= 1]). *)
+
+val lines_covering : line_size:int -> Offset.t -> len:int -> int * int
+(** [lines_covering ~line_size off ~len] is the inclusive range
+    [(first_index, last_index)] of lines touched by the byte range.
+    [len] must be [>= 1]. *)

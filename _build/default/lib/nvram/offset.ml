@@ -1,0 +1,19 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Offset.of_int: negative offset";
+  i
+
+let to_int off = off
+let null = 0
+let is_null off = off = 0
+
+let add off delta =
+  let r = off + delta in
+  if r < 0 then invalid_arg "Offset.add: negative result";
+  r
+
+let diff a b = a - b
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt off = Format.fprintf fmt "@@%d" off

@@ -1,0 +1,41 @@
+(** Offsets into the persistent region.
+
+    Following Section 4.1 of the paper, persistent data structures must never
+    store virtual addresses: the mapping of the NVRAM into the address space
+    may change across a restart, invalidating every stored pointer.  All
+    persistent references in this code base are therefore offsets from the
+    beginning of the region.  The type is abstract so that client code cannot
+    confuse an offset with a plain integer by accident. *)
+
+type t
+(** A byte offset from the start of the persistent region. *)
+
+val of_int : int -> t
+(** [of_int i] is the offset [i] bytes from the start of the region.
+
+    @raise Invalid_argument if [i < 0]. *)
+
+val to_int : t -> int
+(** [to_int off] is the offset as a plain integer. *)
+
+val null : t
+(** [null] is offset [0], conventionally used as the "no reference" value by
+    persistent data structures (the first bytes of every region are reserved
+    by a header precisely so that offset 0 is never a valid payload). *)
+
+val is_null : t -> bool
+(** [is_null off] is [true] iff [off] is {!null}. *)
+
+val add : t -> int -> t
+(** [add off delta] is the offset [delta] bytes after [off].
+
+    @raise Invalid_argument if the result would be negative. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [to_int a - to_int b]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt off] prints [off] as ["@<int>"]. *)

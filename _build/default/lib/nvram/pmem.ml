@@ -1,0 +1,260 @@
+type policy = Lose_all | Lose_none | Lose_random of int
+
+type t = {
+  line_size : int;
+  size : int;
+  policy : policy;
+  auto_flush : bool;
+  backend : Backend.t;
+  volatile : bytes;  (* visible content: persistent image + unflushed writes *)
+  dirty : bool array;  (* per cache line *)
+  crash_ctl : Crash.t;
+  stats : Stats.t;
+  crash_rng : Random.State.t;
+  yield_probability : float;
+  yield_state : int Atomic.t;  (* lock-free LCG for scheduling jitter *)
+  mu : Mutex.t;
+}
+
+let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
+    ?(yield_probability = 0.) ?backend ~size () =
+  Layout.check_line_size line_size;
+  if size <= 0 then invalid_arg "Pmem.create: size must be positive";
+  let backend =
+    match backend with Some b -> b | None -> Backend.memory ~size
+  in
+  if Backend.size backend <> size then
+    invalid_arg "Pmem.create: backend size mismatch";
+  let volatile = Bytes.make size '\000' in
+  Backend.blit_to backend ~off:0 ~dst:volatile ~dst_off:0 ~len:size;
+  let lines = (size + line_size - 1) / line_size in
+  let crash_rng =
+    match policy with
+    | Lose_random seed -> Random.State.make [| seed |]
+    | Lose_all | Lose_none -> Random.State.make [| 0 |]
+  in
+  {
+    line_size;
+    size;
+    policy;
+    auto_flush;
+    backend;
+    volatile;
+    dirty = Array.make lines false;
+    crash_ctl = Crash.create ();
+    stats = Stats.create ();
+    crash_rng;
+    yield_probability;
+    yield_state = Atomic.make 0x9E3779B9;
+    mu = Mutex.create ();
+  }
+
+let size t = t.size
+let line_size t = t.line_size
+let auto_flush t = t.auto_flush
+let crash_ctl t = t.crash_ctl
+let stats t = t.stats
+let backend t = t.backend
+
+let check_range t off len =
+  let off = Offset.to_int off in
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Pmem: range [%d, %d) outside device of size %d" off
+         (off + len) t.size)
+
+(* Scheduling jitter: on a single-CPU host, OS timeslices are thousands of
+   simulated operations long, so concurrent workers would never interleave
+   within the short windows concurrency bugs live in.  Yielding with some
+   probability after each tracked operation restores fine-grained
+   interleaving.  Deliberately racy LCG: determinism is not wanted here. *)
+let maybe_yield t =
+  if t.yield_probability > 0. then begin
+    let s = Atomic.get t.yield_state in
+    let s' = (s * 0x5851F42D4C957F2D) + 0x14057B7EF767814F in
+    Atomic.set t.yield_state s';
+    let u = float_of_int ((s' lsr 11) land 0xFFFFFF) /. 16777216.0 in
+    if u < t.yield_probability then Thread.yield ()
+  end
+
+let with_lock t f =
+  let result = Mutex.protect t.mu f in
+  maybe_yield t;
+  result
+
+(* Persist one cache line: atomic with respect to crashes. *)
+let persist_line t index =
+  let start = index * t.line_size in
+  let len = min t.line_size (t.size - start) in
+  Backend.persist t.backend ~off:start ~src:t.volatile ~src_off:start ~len;
+  t.dirty.(index) <- false
+
+(* Persist (or auto-flush) the lines covering [off, off+len), consulting the
+   crash scheduler once per line so a crash can land between lines. *)
+let flush_lines_locked t ~off ~len =
+  let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+  for index = first to last do
+    Crash.step t.crash_ctl;
+    if t.dirty.(index) then begin
+      persist_line t index;
+      Stats.incr_lines_flushed t.stats 1
+    end
+  done
+
+(* Write [len] bytes from [src] at [off], line by line, consulting the crash
+   scheduler once per touched line (multi-line writes are not atomic). *)
+let write_locked t ~off ~src ~src_off ~len =
+  if len > 0 then begin
+    let base = Offset.to_int off in
+    let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+    let written = ref 0 in
+    for index = first to last do
+      Crash.step t.crash_ctl;
+      let line_start = index * t.line_size in
+      let line_end = min (line_start + t.line_size) t.size in
+      let seg_start = max base line_start in
+      let seg_end = min (base + len) line_end in
+      let seg_len = seg_end - seg_start in
+      Bytes.blit src (src_off + (seg_start - base)) t.volatile seg_start
+        seg_len;
+      t.dirty.(index) <- true;
+      written := !written + seg_len;
+      if t.auto_flush then begin
+        persist_line t index;
+        Stats.incr_lines_flushed t.stats 1
+      end
+    done;
+    assert (!written = len)
+  end
+
+let read_bytes t ~off ~len =
+  check_range t off len;
+  with_lock t (fun () ->
+      Crash.check t.crash_ctl;
+      Stats.incr_reads t.stats;
+      Bytes.sub t.volatile (Offset.to_int off) len)
+
+let write_bytes t ~off src =
+  let len = Bytes.length src in
+  check_range t off len;
+  with_lock t (fun () ->
+      Stats.incr_writes t.stats;
+      write_locked t ~off ~src ~src_off:0 ~len)
+
+let read_byte t off =
+  check_range t off 1;
+  with_lock t (fun () ->
+      Crash.check t.crash_ctl;
+      Stats.incr_reads t.stats;
+      Char.code (Bytes.get t.volatile (Offset.to_int off)))
+
+let write_byte t off b =
+  if b < 0 || b > 255 then invalid_arg "Pmem.write_byte: not a byte";
+  check_range t off 1;
+  with_lock t (fun () ->
+      Stats.incr_writes t.stats;
+      let src = Bytes.make 1 (Char.chr b) in
+      write_locked t ~off ~src ~src_off:0 ~len:1)
+
+let read_int64 t off =
+  check_range t off 8;
+  with_lock t (fun () ->
+      Crash.check t.crash_ctl;
+      Stats.incr_reads t.stats;
+      Bytes.get_int64_le t.volatile (Offset.to_int off))
+
+let write_int64 t off v =
+  check_range t off 8;
+  with_lock t (fun () ->
+      Stats.incr_writes t.stats;
+      let src = Bytes.create 8 in
+      Bytes.set_int64_le src 0 v;
+      write_locked t ~off ~src ~src_off:0 ~len:8)
+
+let read_int t off = Int64.to_int (read_int64 t off)
+let write_int t off v = write_int64 t off (Int64.of_int v)
+
+let cas_int64 t off ~expected ~desired =
+  check_range t off 8;
+  if not (Layout.same_line ~line_size:t.line_size off ~len:8) then
+    invalid_arg "Pmem.cas_int64: word crosses a cache line";
+  with_lock t (fun () ->
+      Crash.step t.crash_ctl;
+      Stats.incr_reads t.stats;
+      let current = Bytes.get_int64_le t.volatile (Offset.to_int off) in
+      if Int64.equal current expected then begin
+        Stats.incr_writes t.stats;
+        let src = Bytes.create 8 in
+        Bytes.set_int64_le src 0 desired;
+        (* A single-line write: no extra crash point between the read and
+           the write, which models a hardware CAS instruction. *)
+        let index = Layout.line_index ~line_size:t.line_size off in
+        Bytes.blit src 0 t.volatile (Offset.to_int off) 8;
+        t.dirty.(index) <- true;
+        if t.auto_flush then begin
+          persist_line t index;
+          Stats.incr_lines_flushed t.stats 1
+        end;
+        true
+      end
+      else false)
+
+let flush t ~off ~len =
+  if len < 0 then invalid_arg "Pmem.flush: negative length";
+  if len > 0 then begin
+    check_range t off len;
+    with_lock t (fun () ->
+        Stats.incr_flushes t.stats;
+        flush_lines_locked t ~off ~len)
+  end
+
+let flush_byte t off = flush t ~off ~len:1
+
+let crash t =
+  with_lock t (fun () ->
+      Stats.incr_crashes t.stats;
+      Crash.trigger t.crash_ctl;
+      Array.iteri
+        (fun index dirty ->
+          if dirty then begin
+            let survives =
+              match t.policy with
+              | Lose_all -> false
+              | Lose_none -> true
+              | Lose_random _ -> Random.State.bool t.crash_rng
+            in
+            if survives then begin
+              persist_line t index;
+              Stats.incr_lines_survived t.stats 1
+            end
+            else begin
+              t.dirty.(index) <- false;
+              Stats.incr_lines_lost t.stats 1
+            end
+          end)
+        t.dirty;
+      (* Reboot visibility: the cache is empty, the persistent image is all
+         there is. *)
+      Backend.blit_to t.backend ~off:0 ~dst:t.volatile ~dst_off:0 ~len:t.size)
+
+let restart t = Crash.reset t.crash_ctl
+
+let crash_and_restart t =
+  crash t;
+  restart t
+
+let peek_volatile t ~off ~len =
+  check_range t off len;
+  with_lock t (fun () -> Bytes.sub t.volatile (Offset.to_int off) len)
+
+let peek_persistent t ~off ~len =
+  check_range t off len;
+  with_lock t (fun () -> Backend.read t.backend ~off:(Offset.to_int off) ~len)
+
+let dirty_line_count t =
+  with_lock t (fun () ->
+      Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty)
+
+let is_dirty t off =
+  check_range t off 1;
+  with_lock t (fun () -> t.dirty.(Layout.line_index ~line_size:t.line_size off))

@@ -1,0 +1,135 @@
+(** Simulated byte-addressable persistent memory with a volatile cache.
+
+    This is the hardware model of Sections 1–2 of the paper:
+
+    - the device is a byte-addressable region of a fixed size;
+    - writes land in a {e volatile} cache organised in lines;
+    - {!flush} persists whole cache lines; persisting one line is atomic
+      (never torn by a crash);
+    - at a crash, every dirty (written but unflushed) line is either lost or
+      — modelling spontaneous cache write-back — persisted, according to the
+      device's {!policy}; everything previously persisted survives.
+
+    A write that spans several cache lines is {e not} atomic: the crash
+    scheduler is consulted once per touched line, so a crash can tear a
+    multi-line write between lines (Fig. 5 of the paper).
+
+    With [auto_flush = true] the device persists every write immediately,
+    emulating an NVRAM without a volatile cache — the model assumed by the
+    CAS algorithm of Section 5.
+
+    All operations are linearizable (internally serialised), which models
+    x86-TSO-style atomic cache-line access closely enough for the protocols
+    in this repository.  Operations raise {!Crash.Crash_now} once the
+    system has crashed, so that all worker threads of a crashed system stop
+    promptly. *)
+
+type t
+
+type policy =
+  | Lose_all  (** Every dirty line is lost at a crash (worst case). *)
+  | Lose_none
+      (** Every dirty line survives (eADR-like; makes flushes redundant). *)
+  | Lose_random of int
+      (** Each dirty line independently survives or is lost, decided by a
+          deterministic PRNG seeded with the given seed (adversarial
+          testing). *)
+
+val create :
+  ?line_size:int ->
+  ?policy:policy ->
+  ?auto_flush:bool ->
+  ?yield_probability:float ->
+  ?backend:Backend.t ->
+  size:int ->
+  unit ->
+  t
+(** [create ~size ()] is a fresh device of [size] bytes.  [line_size]
+    defaults to 64 and must be a power of two; [policy] defaults to
+    {!Lose_all}; [auto_flush] defaults to [false]; [backend] defaults to an
+    in-memory image of [size] bytes.
+
+    [yield_probability] (default 0) makes each device operation yield the
+    processor with the given probability, so that concurrent workers on a
+    machine with few cores interleave at operation granularity instead of
+    OS-timeslice granularity — without it, the narrow interleaving windows
+    that concurrency protocols defend against essentially never occur in
+    simulation.  Set it (e.g. to 0.2–0.5) for concurrency experiments. *)
+
+val size : t -> int
+val line_size : t -> int
+val auto_flush : t -> bool
+val crash_ctl : t -> Crash.t
+val stats : t -> Stats.t
+
+(** {1 Data access} *)
+
+val read_byte : t -> Offset.t -> int
+(** [read_byte t off] is the byte at [off] (0–255), as currently visible
+    (cache content wins over persistent image). *)
+
+val write_byte : t -> Offset.t -> int -> unit
+(** [write_byte t off b] stores byte [b] (0–255) at [off] in the cache. *)
+
+val read_bytes : t -> off:Offset.t -> len:int -> bytes
+val write_bytes : t -> off:Offset.t -> bytes -> unit
+
+val read_int64 : t -> Offset.t -> int64
+(** Little-endian 8-byte read. *)
+
+val write_int64 : t -> Offset.t -> int64 -> unit
+
+val read_int : t -> Offset.t -> int
+(** [read_int t off] reads an OCaml [int] stored by {!write_int} (8 bytes,
+    little-endian). *)
+
+val write_int : t -> Offset.t -> int -> unit
+
+val cas_int64 : t -> Offset.t -> expected:int64 -> desired:int64 -> bool
+(** [cas_int64 t off ~expected ~desired] atomically compares the 8-byte word
+    at [off] with [expected] and, on equality, replaces it with [desired].
+    Returns whether the swap happened.  The word must not cross a cache
+    line.  In auto-flush mode a successful swap is persisted immediately. *)
+
+(** {1 Persistence} *)
+
+val flush : t -> off:Offset.t -> len:int -> unit
+(** [flush t ~off ~len] persists every cache line intersecting the byte
+    range.  Each line is persisted atomically; the crash scheduler is
+    consulted once per line, so a crash can land between lines. *)
+
+val flush_byte : t -> Offset.t -> unit
+(** [flush_byte t off] persists the single line containing [off] — the
+    atomic one-byte flush that linearizes stack-end moves (Section 3.4). *)
+
+(** {1 Crash simulation} *)
+
+val crash : t -> unit
+(** [crash t] applies the crash: each dirty line is persisted or discarded
+    according to the device policy, then the volatile cache is emptied so
+    that the visible content equals the persistent image.  Idempotent.  Does
+    not clear the crashed flag: use {!restart}. *)
+
+val restart : t -> unit
+(** [restart t] models the machine rebooting: clears the crashed flag and
+    disarms the crash plan.  Must be preceded by {!crash}. *)
+
+val crash_and_restart : t -> unit
+(** [crash_and_restart t] is {!crash} followed by {!restart}. *)
+
+(** {1 Introspection (tests and tooling)} *)
+
+val peek_persistent : t -> off:Offset.t -> len:int -> bytes
+(** [peek_persistent t ~off ~len] reads the {e persistent} image directly,
+    bypassing the cache and the crash scheduler: the bytes that would be
+    visible after a crash that loses every dirty line. *)
+
+val peek_volatile : t -> off:Offset.t -> len:int -> bytes
+(** [peek_volatile t ~off ~len] reads the currently visible content without
+    consulting the crash scheduler or the statistics — for debugging tools
+    that must not perturb a crash schedule. *)
+
+val dirty_line_count : t -> int
+val is_dirty : t -> Offset.t -> bool
+
+val backend : t -> Backend.t

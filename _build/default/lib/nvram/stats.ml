@@ -1,0 +1,54 @@
+type t = {
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+  flushes : int Atomic.t;
+  lines_flushed : int Atomic.t;
+  crashes : int Atomic.t;
+  lines_lost : int Atomic.t;
+  lines_survived : int Atomic.t;
+}
+
+let create () =
+  {
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+    flushes = Atomic.make 0;
+    lines_flushed = Atomic.make 0;
+    crashes = Atomic.make 0;
+    lines_lost = Atomic.make 0;
+    lines_survived = Atomic.make 0;
+  }
+
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
+let flushes t = Atomic.get t.flushes
+let lines_flushed t = Atomic.get t.lines_flushed
+let crashes t = Atomic.get t.crashes
+let lines_lost t = Atomic.get t.lines_lost
+let lines_survived t = Atomic.get t.lines_survived
+
+let add counter n = ignore (Atomic.fetch_and_add counter n)
+let incr_reads t = add t.reads 1
+let incr_writes t = add t.writes 1
+let incr_flushes t = add t.flushes 1
+let incr_lines_flushed t n = add t.lines_flushed n
+let incr_crashes t = add t.crashes 1
+let incr_lines_lost t n = add t.lines_lost n
+let incr_lines_survived t n = add t.lines_survived n
+
+let reset t =
+  let zero counter = Atomic.set counter 0 in
+  zero t.reads;
+  zero t.writes;
+  zero t.flushes;
+  zero t.lines_flushed;
+  zero t.crashes;
+  zero t.lines_lost;
+  zero t.lines_survived
+
+let pp fmt t =
+  Format.fprintf fmt
+    "reads=%d writes=%d flushes=%d lines_flushed=%d crashes=%d lines_lost=%d \
+     lines_survived=%d"
+    (reads t) (writes t) (flushes t) (lines_flushed t) (crashes t)
+    (lines_lost t) (lines_survived t)

@@ -1,0 +1,47 @@
+(** Operation counters for a simulated persistent-memory device.
+
+    The counters are updated atomically so that worker domains can share one
+    device.  They are used by the benchmark harness to report how many
+    flushes a protocol issues (the dominant cost on real NVRAM) and by tests
+    to assert that protocols issue exactly the flushes the paper requires. *)
+
+type t
+
+val create : unit -> t
+
+val reads : t -> int
+(** Number of read operations served. *)
+
+val writes : t -> int
+(** Number of write operations served. *)
+
+val flushes : t -> int
+(** Number of [flush] calls. *)
+
+val lines_flushed : t -> int
+(** Number of cache lines persisted by explicit flushes (or by auto-flush
+    writes). *)
+
+val crashes : t -> int
+(** Number of simulated crash events applied to the device. *)
+
+val lines_lost : t -> int
+(** Number of dirty cache lines discarded across all crash events. *)
+
+val lines_survived : t -> int
+(** Number of dirty cache lines that happened to be written back before a
+    crash (see {!Pmem.policy}). *)
+
+val incr_reads : t -> unit
+val incr_writes : t -> unit
+val incr_flushes : t -> unit
+val incr_lines_flushed : t -> int -> unit
+val incr_crashes : t -> unit
+val incr_lines_lost : t -> int -> unit
+val incr_lines_survived : t -> int -> unit
+
+val reset : t -> unit
+(** [reset t] zeroes every counter. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a one-line human-readable summary. *)

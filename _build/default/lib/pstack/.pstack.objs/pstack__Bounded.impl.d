@@ -1,0 +1,1 @@
+lib/pstack/bounded.ml: Bytes Frame List Nvram

@@ -1,0 +1,1 @@
+lib/pstack/bounded.mli: Nvram Stack_intf

@@ -1,0 +1,1 @@
+lib/pstack/dump.ml: Bytes Char Format Frame Int64 List Nvram Printf

@@ -1,0 +1,1 @@
+lib/pstack/dump.mli: Format Nvram

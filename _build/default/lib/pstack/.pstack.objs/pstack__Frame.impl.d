@@ -1,0 +1,1 @@
+lib/pstack/frame.ml: Bytes Char Int64 Nvram Printf

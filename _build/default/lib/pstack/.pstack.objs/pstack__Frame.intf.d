@@ -1,0 +1,1 @@
+lib/pstack/frame.mli: Nvram

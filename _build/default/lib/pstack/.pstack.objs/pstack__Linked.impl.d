@@ -1,0 +1,1 @@
+lib/pstack/linked.ml: Bytes Frame List Nvheap Nvram

@@ -1,0 +1,1 @@
+lib/pstack/linked.mli: Nvheap Nvram Stack_intf

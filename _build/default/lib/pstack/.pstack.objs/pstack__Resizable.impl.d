@@ -1,0 +1,1 @@
+lib/pstack/resizable.ml: Bytes Frame List Nvheap Nvram

@@ -1,0 +1,1 @@
+lib/pstack/resizable.mli: Nvheap Nvram Stack_intf

@@ -1,0 +1,1 @@
+lib/pstack/stack_intf.ml: Frame Nvram

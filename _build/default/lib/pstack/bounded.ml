@@ -1,0 +1,107 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+exception Overflow
+
+type entry = { off : Offset.t; size : int; frame : Frame.t }
+
+type t = {
+  pmem : Pmem.t;
+  base : Offset.t;
+  capacity : int;
+  mutable entries : entry list;  (* top first; the dummy frame is last *)
+}
+
+let pmem t = t.pmem
+let base t = t.base
+let capacity t = t.capacity
+
+let top_entry t =
+  match t.entries with
+  | e :: _ -> e
+  | [] -> assert false (* the dummy frame is always present *)
+
+let used_bytes t =
+  let e = top_entry t in
+  Offset.diff e.off t.base + e.size
+
+let depth t = List.length t.entries - 1
+
+let dummy_frame = { Frame.func_id = Frame.dummy_func_id; args = Bytes.empty }
+
+let create pmem ~base ~capacity =
+  let image = Frame.encode_ordinary dummy_frame ~marker:Frame.marker_stack_end in
+  let size = Bytes.length image in
+  if capacity < size then invalid_arg "Bounded.create: capacity too small";
+  Pmem.write_bytes pmem ~off:base image;
+  Pmem.flush pmem ~off:base ~len:size;
+  { pmem; base; capacity; entries = [ { off = base; size; frame = dummy_frame } ] }
+
+let attach pmem ~base ~capacity =
+  let rec scan off acc =
+    match Frame.read pmem ~at:off with
+    | Frame.Pointer _ ->
+        invalid_arg "Bounded.attach: pointer frame in a bounded stack"
+    | Frame.Ordinary { frame; size; last } ->
+        let acc = { off; size; frame } :: acc in
+        if last then acc else scan (Offset.add off size) acc
+  in
+  let entries = scan base [] in
+  { pmem; base; capacity; entries }
+
+let write_frame_image t ~flush ~off ~func_id ~args =
+  let image =
+    Frame.encode_ordinary { Frame.func_id; args }
+      ~marker:Frame.marker_stack_end
+  in
+  let size = Bytes.length image in
+  if Offset.diff off t.base + size > t.capacity then raise Overflow;
+  Pmem.write_bytes t.pmem ~off image;
+  if flush then Pmem.flush t.pmem ~off ~len:size;
+  size
+
+let move_end t ~entry ~marker ~flush =
+  let off = Frame.marker_offset ~at:entry.off ~size:entry.size in
+  Pmem.write_byte t.pmem off marker;
+  if flush then Pmem.flush_byte t.pmem off
+
+let unsafe_push ?(flush_frame = true) ?(flush_marker = true) t ~func_id ~args =
+  let prev_top = top_entry t in
+  let off = Offset.add prev_top.off prev_top.size in
+  let size = write_frame_image t ~flush:flush_frame ~off ~func_id ~args in
+  (* Moving the stack end forward: flip the previous top's marker.  The
+     single-byte flush is the linearization point of the invocation. *)
+  move_end t ~entry:prev_top ~marker:Frame.marker_frame_end ~flush:flush_marker;
+  t.entries <- { off; size; frame = { Frame.func_id; args } } :: t.entries
+
+let push t ~func_id ~args = unsafe_push t ~func_id ~args
+
+let pop t =
+  match t.entries with
+  | _top :: (penultimate :: _ as rest) ->
+      (* Moving the stack end backward: one atomic byte flush; the popped
+         frame's bytes become invalid data. *)
+      move_end t ~entry:penultimate ~marker:Frame.marker_stack_end ~flush:true;
+      t.entries <- rest
+  | [ _ ] | [] -> invalid_arg "Bounded.pop: stack is empty"
+
+let top t =
+  match t.entries with
+  | { frame; off; _ } :: _ :: _ -> Some (off, frame)
+  | [ _ ] | [] -> None
+
+let top_offset t = (top_entry t).off
+
+let under_top_offset t =
+  match t.entries with
+  | _top :: under :: _ -> under.off
+  | [ _ ] | [] -> invalid_arg "Bounded.under_top_offset: stack is empty"
+
+let live_blocks _t = []
+
+let frames t =
+  let rec collect = function
+    | [ _ ] | [] -> []
+    | { off; frame; _ } :: rest -> (off, frame) :: collect rest
+  in
+  List.rev (collect t.entries)

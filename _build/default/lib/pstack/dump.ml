@@ -1,0 +1,121 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+type view = Volatile | Persistent
+
+type line =
+  | Frame of {
+      off : Nvram.Offset.t;
+      func_id : int;
+      args_len : int;
+      answer : int64 option;
+      last : bool;
+    }
+  | Pointer_frame of { off : Nvram.Offset.t; next : Nvram.Offset.t }
+  | Invalid_tail of { off : Nvram.Offset.t; note : string }
+
+let peek pmem view ~off ~len =
+  match view with
+  | Volatile -> Pmem.peek_volatile pmem ~off ~len
+  | Persistent -> Pmem.peek_persistent pmem ~off ~len
+
+let peek_byte pmem view off = Char.code (Bytes.get (peek pmem view ~off ~len:1) 0)
+
+let peek_int64 pmem view off =
+  Bytes.get_int64_le (peek pmem view ~off ~len:8) 0
+
+(* Decode one frame without going through [Frame.read], which uses tracked
+   device reads: a dump must not perturb the crash schedule. *)
+let decode pmem view off =
+  let size = Pmem.size pmem in
+  if Offset.to_int off >= size then
+    Error "frame start beyond the end of the device"
+  else begin
+    let preamble = peek_byte pmem view off in
+    if preamble = Frame.preamble_ordinary then begin
+      let args_len = Int64.to_int (peek_int64 pmem view (Offset.add off 18)) in
+      if args_len < 0 || Offset.to_int off + Frame.ordinary_size ~args_len > size
+      then Error (Printf.sprintf "corrupt argument length %d" args_len)
+      else begin
+        let func_id = Int64.to_int (peek_int64 pmem view (Offset.add off 1)) in
+        let answer =
+          if peek_byte pmem view (Offset.add off 9) = 0 then None
+          else Some (peek_int64 pmem view (Offset.add off 10))
+        in
+        let frame_size = Frame.ordinary_size ~args_len in
+        let marker = peek_byte pmem view (Offset.add off (frame_size - 1)) in
+        if marker <> Frame.marker_frame_end && marker <> Frame.marker_stack_end
+        then Error (Printf.sprintf "invalid end marker 0x%X" marker)
+        else
+          Ok
+            ( Frame
+                {
+                  off;
+                  func_id;
+                  args_len;
+                  answer;
+                  last = marker = Frame.marker_stack_end;
+                },
+              Offset.add off frame_size,
+              marker = Frame.marker_stack_end,
+              None )
+      end
+    end
+    else if preamble = Frame.preamble_pointer then begin
+      let next = Int64.to_int (peek_int64 pmem view (Offset.add off 1)) in
+      if next < 0 || next >= size then
+        Error (Printf.sprintf "pointer frame to invalid offset %d" next)
+      else
+        Ok
+          ( Pointer_frame { off; next = Offset.of_int next },
+            Offset.add off Frame.pointer_size,
+            false,
+            Some (Offset.of_int next) )
+    end
+    else Error (Printf.sprintf "invalid preamble 0x%X" preamble)
+  end
+
+let scan ~follow_pointers pmem view start =
+  let rec go off acc =
+    match decode pmem view off with
+    | Error note -> List.rev (Invalid_tail { off; note } :: acc)
+    | Ok (line, after, last, jump) ->
+        let acc = line :: acc in
+        if last then
+          List.rev (Invalid_tail { off = after; note = "invalid data" } :: acc)
+        else begin
+          match jump with
+          | Some target when follow_pointers -> go target acc
+          | Some _ ->
+              List.rev
+                (Invalid_tail
+                   { off = after; note = "pointer frame not followed" }
+                :: acc)
+          | None -> go after acc
+        end
+  in
+  go start []
+
+let scan_region pmem ~view ~base = scan ~follow_pointers:false pmem view base
+
+let scan_linked pmem ~view ~anchor =
+  let first = Int64.to_int (peek_int64 pmem view anchor) in
+  scan ~follow_pointers:true pmem view (Offset.of_int first)
+
+let pp_line fmt = function
+  | Frame { off; func_id; args_len; answer; last } ->
+      Format.fprintf fmt "%a ordinary id=%d args=%dB answer=%s marker=%s"
+        Offset.pp off func_id args_len
+        (match answer with
+        | None -> "-"
+        | Some v -> Int64.to_string v)
+        (if last then "STACK-END" else "frame-end")
+  | Pointer_frame { off; next } ->
+      Format.fprintf fmt "%a pointer -> %a" Offset.pp off Offset.pp next
+  | Invalid_tail { off; note } ->
+      Format.fprintf fmt "%a %s" Offset.pp off note
+
+let render lines =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_line)
+    lines

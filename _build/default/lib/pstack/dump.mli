@@ -1,0 +1,41 @@
+(** Textual rendering of the on-device stack layout.
+
+    This is the executable counterpart of the paper's Figures 2–5 and 8:
+    it decodes the frames of a stack region exactly as the recovery scan
+    would, one line per frame, and reports where the valid stack ends.  Two
+    views are available: what the processor currently sees (volatile cache
+    included) and what would survive a crash losing every unflushed line. *)
+
+type view =
+  | Volatile  (** cache content included — the running system's view *)
+  | Persistent  (** persisted bytes only — the post-crash view *)
+
+type line =
+  | Frame of {
+      off : Nvram.Offset.t;
+      func_id : int;
+      args_len : int;
+      answer : int64 option;
+      last : bool;
+    }
+  | Pointer_frame of { off : Nvram.Offset.t; next : Nvram.Offset.t }
+  | Invalid_tail of { off : Nvram.Offset.t; note : string }
+      (** Data after the stack end marker: never interpreted (Fig. 2). *)
+
+val scan_region :
+  Nvram.Pmem.t -> view:view -> base:Nvram.Offset.t -> line list
+(** [scan_region pmem ~view ~base] decodes frames from [base] until the
+    stack end marker, following no pointers (bounded and resizable
+    layouts).  Decoding stops with an [Invalid_tail] describing what
+    follows the top frame; a corrupt frame also yields an [Invalid_tail]
+    with a diagnostic note. *)
+
+val scan_linked :
+  Nvram.Pmem.t -> view:view -> anchor:Nvram.Offset.t -> line list
+(** [scan_linked pmem ~view ~anchor] decodes a linked-list stack, following
+    pointer frames across blocks. *)
+
+val render : line list -> string
+(** One line of text per {!line}, in scan order. *)
+
+val pp_line : Format.formatter -> line -> unit

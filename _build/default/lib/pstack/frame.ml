@@ -1,0 +1,97 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+type t = { func_id : int; args : bytes }
+
+let preamble_ordinary = 0xA
+let preamble_pointer = 0xB
+let marker_frame_end = 0x0
+let marker_stack_end = 0x1
+let ordinary_header_size = 26
+let ordinary_size ~args_len = ordinary_header_size + args_len + 1
+let pointer_size = 10
+let dummy_func_id = 0
+
+let answer_flag_rel = 9
+let answer_value_rel = 10
+
+let check_marker m =
+  if m <> marker_frame_end && m <> marker_stack_end then
+    invalid_arg (Printf.sprintf "Frame: invalid end marker 0x%X" m)
+
+let encode_ordinary { func_id; args } ~marker =
+  check_marker marker;
+  let args_len = Bytes.length args in
+  let buf = Bytes.make (ordinary_size ~args_len) '\000' in
+  Bytes.set buf 0 (Char.chr preamble_ordinary);
+  Bytes.set_int64_le buf 1 (Int64.of_int func_id);
+  (* answer flag and value stay zero: empty slot *)
+  Bytes.set_int64_le buf 18 (Int64.of_int args_len);
+  Bytes.blit args 0 buf ordinary_header_size args_len;
+  Bytes.set buf (ordinary_header_size + args_len) (Char.chr marker);
+  buf
+
+let encode_pointer ~next ~marker =
+  check_marker marker;
+  let buf = Bytes.make pointer_size '\000' in
+  Bytes.set buf 0 (Char.chr preamble_pointer);
+  Bytes.set_int64_le buf 1 (Int64.of_int (Offset.to_int next));
+  Bytes.set buf 9 (Char.chr marker);
+  buf
+
+type scanned =
+  | Ordinary of { frame : t; size : int; last : bool }
+  | Pointer of { next : Nvram.Offset.t; size : int; last : bool }
+
+let read_marker pmem ~at ~size =
+  let m = Pmem.read_byte pmem (Offset.add at (size - 1)) in
+  check_marker m;
+  m = marker_stack_end
+
+let read pmem ~at =
+  let preamble = Pmem.read_byte pmem at in
+  if preamble = preamble_ordinary then begin
+    let func_id = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 1)) in
+    let args_len = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 18)) in
+    if args_len < 0 || args_len > Pmem.size pmem then
+      invalid_arg
+        (Printf.sprintf "Frame.read: corrupt argument length %d" args_len);
+    let args =
+      Pmem.read_bytes pmem ~off:(Offset.add at ordinary_header_size)
+        ~len:args_len
+    in
+    let size = ordinary_size ~args_len in
+    let last = read_marker pmem ~at ~size in
+    Ordinary { frame = { func_id; args }; size; last }
+  end
+  else if preamble = preamble_pointer then begin
+    let next = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 1)) in
+    let last = read_marker pmem ~at ~size:pointer_size in
+    Pointer { next = Offset.of_int next; size = pointer_size; last }
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Frame.read: invalid preamble 0x%X at %d" preamble
+         (Offset.to_int at))
+
+let marker_offset ~at ~size = Offset.add at (size - 1)
+
+let set_marker pmem ~at ~size m =
+  check_marker m;
+  let off = marker_offset ~at ~size in
+  Pmem.write_byte pmem off m;
+  Pmem.flush_byte pmem off
+
+let read_answer pmem ~frame =
+  let flag = Pmem.read_byte pmem (Offset.add frame answer_flag_rel) in
+  if flag = 0 then None
+  else Some (Pmem.read_int64 pmem (Offset.add frame answer_value_rel))
+
+let write_answer pmem ~frame v =
+  Pmem.write_int64 pmem (Offset.add frame answer_value_rel) v;
+  Pmem.write_byte pmem (Offset.add frame answer_flag_rel) 1;
+  Pmem.flush pmem ~off:(Offset.add frame answer_flag_rel) ~len:9
+
+let clear_answer pmem ~frame =
+  Pmem.write_byte pmem (Offset.add frame answer_flag_rel) 0;
+  Pmem.flush_byte pmem (Offset.add frame answer_flag_rel)

@@ -1,0 +1,107 @@
+(** Persistent stack frames: in-memory representation and byte codec.
+
+    Section 3.3 of the paper: each frame carries the unique identifier of
+    the invoked function, the function's arguments serialized into a byte
+    array, and a one-byte end marker — [0x0] ({e frame end}: more frames
+    follow) or [0x1] ({e stack end}: this is the top frame; anything after
+    this byte is invalid data).
+
+    Appendix A.3 adds a one-byte preamble distinguishing {e ordinary}
+    frames ([0xA]) from {e pointer} frames ([0xB]) that link blocks of the
+    linked-list stack.  For a uniform codec we prefix every frame with the
+    preamble in all three stack implementations.
+
+    Section 4.2: small (up to 8 bytes) results are returned "on the
+    persistent stack".  Each ordinary frame therefore contains an {e answer
+    slot} (presence flag + 8-byte value).  A callee writes its result into
+    the {e caller}'s slot — a slot in the callee's own frame would be
+    discarded by the very pop that linearizes the return.  The slot write
+    need not be atomic: it is only read after the callee's pop committed,
+    and until then the callee's recover function re-runs and rewrites it.
+
+    Ordinary frame layout (all integers little-endian):
+    {v
+    +0            preamble        0xA
+    +1  .. +8     function id
+    +9            answer flag     0 = empty, 1 = present
+    +10 .. +17    answer value
+    +18 .. +25    argument length L
+    +26 .. +25+L  arguments
+    +26+L         end marker      0x0 | 0x1
+    v}
+
+    Pointer frame layout:
+    {v
+    +0            preamble        0xB
+    +1  .. +8     payload offset of the next block
+    +9            end marker
+    v} *)
+
+type t = { func_id : int; args : bytes }
+(** Decoded ordinary frame: function identifier and serialized arguments. *)
+
+(** {1 Constants} *)
+
+val preamble_ordinary : int
+val preamble_pointer : int
+
+val marker_frame_end : int
+(** [0x0]: more frames follow. *)
+
+val marker_stack_end : int
+(** [0x1]: the containing frame is the top of the stack. *)
+
+val ordinary_header_size : int
+(** Encoded bytes before the arguments (26). *)
+
+val ordinary_size : args_len:int -> int
+(** Whole encoded size of an ordinary frame, marker included. *)
+
+val pointer_size : int
+(** Whole encoded size of a pointer frame, marker included (10). *)
+
+val dummy_func_id : int
+(** Function id of the dummy frame installed at stack initialisation
+    (Section 3.4); never popped, never recovered. *)
+
+(** {1 Encoding} *)
+
+val encode_ordinary : t -> marker:int -> bytes
+(** [encode_ordinary frame ~marker] is the full byte image of the frame,
+    with an empty answer slot. *)
+
+val encode_pointer : next:Nvram.Offset.t -> marker:int -> bytes
+
+(** {1 Decoding} *)
+
+type scanned =
+  | Ordinary of { frame : t; size : int; last : bool }
+      (** An ordinary frame of [size] encoded bytes; [last] iff its marker
+          is the stack end. *)
+  | Pointer of { next : Nvram.Offset.t; size : int; last : bool }
+      (** A pointer frame linking to the block at payload offset [next]. *)
+
+val read : Nvram.Pmem.t -> at:Nvram.Offset.t -> scanned
+(** [read pmem ~at] decodes the frame starting at [at].
+
+    @raise Invalid_argument on a corrupt preamble, marker or length. *)
+
+val marker_offset : at:Nvram.Offset.t -> size:int -> Nvram.Offset.t
+(** Offset of the end-marker byte of a frame of [size] bytes at [at]. *)
+
+val set_marker : Nvram.Pmem.t -> at:Nvram.Offset.t -> size:int -> int -> unit
+(** [set_marker pmem ~at ~size m] writes marker [m] on the frame at [at] and
+    flushes the single byte — the atomic linearization step of stack-end
+    moves (Section 3.4). *)
+
+(** {1 Answer slot} *)
+
+val read_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> int64 option
+(** [read_answer pmem ~frame] is the answer stored in the slot of the
+    ordinary frame at offset [frame], if its flag is set. *)
+
+val write_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> int64 -> unit
+(** Writes the value, sets the flag and flushes the slot. *)
+
+val clear_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> unit
+(** Clears the flag and flushes it. *)

@@ -1,0 +1,182 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Heap = Nvheap.Heap
+
+exception Overflow
+
+type blk = { payload : Offset.t; capacity : int }
+
+type ord = { off : Offset.t; size : int; frame : Frame.t; blk : blk }
+type item = Ord of ord | Ptr of { ptr_off : Offset.t; ptr_blk : blk }
+
+type t = {
+  pmem : Pmem.t;
+  heap : Heap.t;
+  anchor : Offset.t;
+  default_block : int;
+  mutable items : item list;  (* top first; the dummy frame is last *)
+}
+
+let default_block_size = 256
+
+let pmem t = t.pmem
+
+let item_blk = function Ord { blk; _ } -> blk | Ptr { ptr_blk; _ } -> ptr_blk
+
+let item_size = function
+  | Ord { size; _ } -> size
+  | Ptr _ -> Frame.pointer_size
+
+let top_ord t =
+  match t.items with
+  | Ord o :: _ -> o
+  | Ptr _ :: _ -> assert false (* a pointer frame is never the stack top *)
+  | [] -> assert false (* the dummy frame is always present *)
+
+let depth t =
+  List.length (List.filter (function Ord _ -> true | Ptr _ -> false) t.items)
+  - 1
+
+let used_bytes t = List.fold_left (fun acc i -> acc + item_size i) 0 t.items
+
+let blocks t =
+  List.fold_left
+    (fun acc item ->
+      let blk = item_blk item in
+      if List.exists (fun b -> Offset.equal b.payload blk.payload) acc then acc
+      else blk :: acc)
+    [] t.items
+
+let block_count t = List.length (blocks t)
+let live_blocks t = List.map (fun b -> b.payload) (blocks t)
+
+let dummy_frame = { Frame.func_id = Frame.dummy_func_id; args = Bytes.empty }
+
+let write_anchor t payload =
+  Pmem.write_int t.pmem t.anchor (Offset.to_int payload);
+  Pmem.flush t.pmem ~off:t.anchor ~len:8
+
+let alloc_block heap n =
+  match Heap.alloc heap n with
+  | payload -> { payload; capacity = Heap.payload_size heap payload }
+  | exception Heap.Out_of_heap_memory _ -> raise Overflow
+
+let create pmem ~heap ~anchor ?(block_size = default_block_size) () =
+  let image = Frame.encode_ordinary dummy_frame ~marker:Frame.marker_stack_end in
+  let size = Bytes.length image in
+  let blk = alloc_block heap (max block_size (size + Frame.pointer_size)) in
+  Pmem.write_bytes pmem ~off:blk.payload image;
+  Pmem.flush pmem ~off:blk.payload ~len:size;
+  let t =
+    {
+      pmem;
+      heap;
+      anchor;
+      default_block = block_size;
+      items = [ Ord { off = blk.payload; size; frame = dummy_frame; blk } ];
+    }
+  in
+  write_anchor t blk.payload;
+  t
+
+let attach pmem ~heap ~anchor =
+  let first = Offset.of_int (Pmem.read_int pmem anchor) in
+  let blk_of payload = { payload; capacity = Heap.payload_size heap payload } in
+  let rec scan blk off acc =
+    match Frame.read pmem ~at:off with
+    | Frame.Ordinary { frame; size; last } ->
+        let acc = Ord { off; size; frame; blk } :: acc in
+        if last then acc else scan blk (Offset.add off size) acc
+    | Frame.Pointer { next; last; _ } ->
+        if last then
+          invalid_arg "Linked.attach: pointer frame marked as stack top";
+        let next_blk = blk_of next in
+        scan next_blk next_blk.payload (Ptr { ptr_off = off; ptr_blk = blk } :: acc)
+  in
+  let first_blk = blk_of first in
+  {
+    pmem;
+    heap;
+    anchor;
+    default_block = default_block_size;
+    items = scan first_blk first_blk.payload [];
+  }
+
+let push t ~func_id ~args =
+  let frame = { Frame.func_id; args } in
+  let image = Frame.encode_ordinary frame ~marker:Frame.marker_stack_end in
+  let size = Bytes.length image in
+  let top = top_ord t in
+  let free_at = Offset.add top.off top.size in
+  let block_end = Offset.add top.blk.payload top.blk.capacity in
+  (* Accept a frame in the current block only if a pointer frame would
+     still fit after it, so the block can always be chained later. *)
+  if Offset.diff block_end free_at >= size + Frame.pointer_size then begin
+    Pmem.write_bytes t.pmem ~off:free_at image;
+    Pmem.flush t.pmem ~off:free_at ~len:size;
+    Frame.set_marker t.pmem ~at:top.off ~size:top.size Frame.marker_frame_end;
+    t.items <- Ord { off = free_at; size; frame; blk = top.blk } :: t.items
+  end
+  else begin
+    (* Cross-block push: new frame and pointer frame are both written and
+       flushed while still beyond the stack end; the single marker flip on
+       the current top then linearizes the invocation (Appendix A.3). *)
+    let blk = alloc_block t.heap (max t.default_block (size + Frame.pointer_size)) in
+    Pmem.write_bytes t.pmem ~off:blk.payload image;
+    Pmem.flush t.pmem ~off:blk.payload ~len:size;
+    let pointer =
+      Frame.encode_pointer ~next:blk.payload ~marker:Frame.marker_frame_end
+    in
+    Pmem.write_bytes t.pmem ~off:free_at pointer;
+    Pmem.flush t.pmem ~off:free_at ~len:Frame.pointer_size;
+    Frame.set_marker t.pmem ~at:top.off ~size:top.size Frame.marker_frame_end;
+    t.items <-
+      Ord { off = blk.payload; size; frame; blk }
+      :: Ptr { ptr_off = free_at; ptr_blk = top.blk }
+      :: t.items
+  end
+
+let pop t =
+  match t.items with
+  | Ord _ :: Ord under :: _ ->
+      Frame.set_marker t.pmem ~at:under.off ~size:under.size
+        Frame.marker_stack_end;
+      t.items <- List.tl t.items
+  | Ord top :: Ptr _ptr :: Ord prev :: rest ->
+      (* The top frame is the only frame of its block: move the stack end
+         backward onto the frame preceding the pointer frame, then free the
+         emptied block (Fig. 8). *)
+      Frame.set_marker t.pmem ~at:prev.off ~size:prev.size
+        Frame.marker_stack_end;
+      t.items <- Ord prev :: rest;
+      Heap.free t.heap top.blk.payload
+  | Ord _ :: Ptr _ :: (Ptr _ :: _ | []) -> assert false
+  | [ Ord _ ] | [] -> invalid_arg "Linked.pop: stack is empty"
+  | Ptr _ :: _ -> assert false
+
+let top t =
+  match t.items with
+  | Ord { off; frame; _ } :: _ :: _ -> Some (off, frame)
+  | _ -> None
+
+let top_offset t = (top_ord t).off
+
+let under_top_offset t =
+  match t.items with
+  | _top :: rest ->
+      let rec first_ord = function
+        | Ord { off; _ } :: _ -> off
+        | Ptr _ :: tail -> first_ord tail
+        | [] -> invalid_arg "Linked.under_top_offset: stack is empty"
+      in
+      if rest = [] then invalid_arg "Linked.under_top_offset: stack is empty"
+      else first_ord rest
+  | [] -> assert false
+
+let frames t =
+  let rec collect = function
+    | [ Ord _ ] | [] -> []
+    | Ord { off; frame; _ } :: rest -> (off, frame) :: collect rest
+    | Ptr _ :: rest -> collect rest
+  in
+  List.rev (collect t.items)

@@ -1,0 +1,46 @@
+(** Unbounded persistent stack backed by a linked list of blocks
+    (Appendix A.3 of the paper).
+
+    Frames occupy heap blocks chained by {e pointer frames} (preamble
+    [0xB]): a pointer frame at the end of a block holds the payload offset
+    of the next block, and all data after a pointer frame within its block
+    is invalid.  The anchor cell holds the payload offset of the first
+    block.
+
+    Pushing a frame that does not fit in the current block allocates a new
+    block, writes the frame there (flushed, still invisible), writes a
+    pointer frame after the current top (flushed, still invisible), and
+    finally moves the stack end forward on the current top — one atomic
+    byte flush that makes both frames part of the stack.
+
+    Popping the only frame of a block moves the stack end backward onto the
+    ordinary frame {e preceding} the pointer frame in the previous block —
+    again one atomic byte flush, after which the emptied block is freed
+    (Fig. 8).
+
+    Invariants: a block's first frame is always ordinary; a pointer frame is
+    always the last valid frame of its block and never the stack top. *)
+
+type t
+
+include Stack_intf.S with type t := t
+
+val create :
+  Nvram.Pmem.t ->
+  heap:Nvheap.Heap.t ->
+  anchor:Nvram.Offset.t ->
+  ?block_size:int ->
+  unit ->
+  t
+(** [create pmem ~heap ~anchor ()] allocates the first block (default
+    [block_size] 256 bytes), installs the dummy frame and publishes the
+    block in the anchor cell. *)
+
+val attach : Nvram.Pmem.t -> heap:Nvheap.Heap.t -> anchor:Nvram.Offset.t -> t
+(** Rebuilds the index by following the anchor and the pointer frames. *)
+
+val block_count : t -> int
+(** Number of blocks currently chained. *)
+
+val used_bytes : t -> int
+(** Total bytes of valid frames (ordinary and pointer), across blocks. *)

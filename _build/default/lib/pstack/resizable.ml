@@ -1,0 +1,155 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Heap = Nvheap.Heap
+
+exception Overflow
+
+type entry = { off : Offset.t; size : int; frame : Frame.t }
+
+type t = {
+  pmem : Pmem.t;
+  heap : Heap.t;
+  anchor : Offset.t;
+  mutable block : Offset.t;  (* payload offset of the current block *)
+  mutable capacity : int;
+  mutable entries : entry list;  (* top first; the dummy frame is last *)
+  mutable resize_count : int;
+}
+
+let min_capacity = 64
+
+let pmem t = t.pmem
+let capacity t = t.capacity
+let block t = t.block
+let resize_count t = t.resize_count
+let live_blocks t = [ t.block ]
+
+let top_entry t =
+  match t.entries with e :: _ -> e | [] -> assert false
+
+let used_bytes t =
+  let e = top_entry t in
+  Offset.diff e.off t.block + e.size
+
+let depth t = List.length t.entries - 1
+
+let dummy_frame = { Frame.func_id = Frame.dummy_func_id; args = Bytes.empty }
+
+let write_anchor t payload =
+  Pmem.write_int t.pmem t.anchor (Offset.to_int payload);
+  Pmem.flush t.pmem ~off:t.anchor ~len:8
+
+let alloc_block heap n =
+  match Heap.alloc heap n with
+  | payload -> payload
+  | exception Heap.Out_of_heap_memory _ -> raise Overflow
+
+let create pmem ~heap ~anchor ?(initial_capacity = min_capacity) () =
+  let initial_capacity = max initial_capacity min_capacity in
+  let payload = alloc_block heap initial_capacity in
+  let capacity = Heap.payload_size heap payload in
+  let image = Frame.encode_ordinary dummy_frame ~marker:Frame.marker_stack_end in
+  Pmem.write_bytes pmem ~off:payload image;
+  Pmem.flush pmem ~off:payload ~len:(Bytes.length image);
+  let t =
+    {
+      pmem;
+      heap;
+      anchor;
+      block = payload;
+      capacity;
+      entries =
+        [ { off = payload; size = Bytes.length image; frame = dummy_frame } ];
+      resize_count = 0;
+    }
+  in
+  write_anchor t payload;
+  t
+
+let attach pmem ~heap ~anchor =
+  let payload = Offset.of_int (Pmem.read_int pmem anchor) in
+  let rec scan off acc =
+    match Frame.read pmem ~at:off with
+    | Frame.Pointer _ ->
+        invalid_arg "Resizable.attach: pointer frame in a resizable stack"
+    | Frame.Ordinary { frame; size; last } ->
+        let acc = { off; size; frame } :: acc in
+        if last then acc else scan (Offset.add off size) acc
+  in
+  {
+    pmem;
+    heap;
+    anchor;
+    block = payload;
+    capacity = Heap.payload_size heap payload;
+    entries = scan payload [];
+    resize_count = 0;
+  }
+
+(* Copy the live stack bytes into a block of [new_capacity] bytes, flush the
+   copy, then commit by flipping the anchor (atomic 8-byte flush) and free
+   the old block.  A crash before the flip leaves the old block current; a
+   crash after it leaves the new one; the non-current block is reclaimed by
+   root-based heap reclamation at system recovery. *)
+let resize t new_capacity =
+  let used = used_bytes t in
+  assert (new_capacity >= used);
+  let new_payload = alloc_block t.heap new_capacity in
+  let data = Pmem.read_bytes t.pmem ~off:t.block ~len:used in
+  Pmem.write_bytes t.pmem ~off:new_payload data;
+  Pmem.flush t.pmem ~off:new_payload ~len:used;
+  write_anchor t new_payload;
+  let old_block = t.block in
+  let delta = Offset.diff new_payload t.block in
+  t.entries <-
+    List.map (fun e -> { e with off = Offset.add e.off delta }) t.entries;
+  t.block <- new_payload;
+  t.capacity <- Heap.payload_size t.heap new_payload;
+  t.resize_count <- t.resize_count + 1;
+  Heap.free t.heap old_block
+
+let push t ~func_id ~args =
+  let frame = { Frame.func_id; args } in
+  let image = Frame.encode_ordinary frame ~marker:Frame.marker_stack_end in
+  let size = Bytes.length image in
+  if used_bytes t + size > t.capacity then
+    resize t (max (2 * t.capacity) (used_bytes t + size));
+  let prev_top = top_entry t in
+  let off = Offset.add prev_top.off prev_top.size in
+  Pmem.write_bytes t.pmem ~off image;
+  Pmem.flush t.pmem ~off ~len:size;
+  (* Moving the stack end forward linearizes the invocation. *)
+  Frame.set_marker t.pmem ~at:prev_top.off ~size:prev_top.size
+    Frame.marker_frame_end;
+  t.entries <- { off; size; frame } :: t.entries
+
+let pop t =
+  match t.entries with
+  | _top :: (penultimate :: _ as rest) ->
+      Frame.set_marker t.pmem ~at:penultimate.off ~size:penultimate.size
+        Frame.marker_stack_end;
+      t.entries <- rest;
+      (* Shrink when capacity > 4 * size (Appendix A.2). *)
+      let used = used_bytes t in
+      let target = max min_capacity (2 * used) in
+      if t.capacity > 4 * used && target < t.capacity then resize t target
+  | [ _ ] | [] -> invalid_arg "Resizable.pop: stack is empty"
+
+let top t =
+  match t.entries with
+  | { frame; off; _ } :: _ :: _ -> Some (off, frame)
+  | [ _ ] | [] -> None
+
+let top_offset t = (top_entry t).off
+
+let under_top_offset t =
+  match t.entries with
+  | _top :: under :: _ -> under.off
+  | [ _ ] | [] -> invalid_arg "Resizable.under_top_offset: stack is empty"
+
+let frames t =
+  let rec collect = function
+    | [ _ ] | [] -> []
+    | { off; frame; _ } :: rest -> (off, frame) :: collect rest
+  in
+  List.rev (collect t.entries)

@@ -1,0 +1,1 @@
+lib/recoverable/bregister.ml: Bytes Int64 Nvram

@@ -1,0 +1,1 @@
+lib/recoverable/bregister.mli: Nvram

@@ -1,0 +1,1 @@
+lib/recoverable/cas_op.ml: Int64 Rcas Rtas Runtime

@@ -1,0 +1,1 @@
+lib/recoverable/cas_op.mli: Rcas Rtas Runtime

@@ -1,0 +1,1 @@
+lib/recoverable/map_op.ml: Rmap Runtime

@@ -1,0 +1,1 @@
+lib/recoverable/map_op.mli: Rmap Runtime

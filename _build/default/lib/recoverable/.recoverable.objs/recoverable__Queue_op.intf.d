@@ -1,0 +1,1 @@
+lib/recoverable/queue_op.mli: Rqueue Runtime

@@ -1,0 +1,1 @@
+lib/recoverable/rcas.ml: Int64 Nvram Printf

@@ -1,0 +1,1 @@
+lib/recoverable/rcas.mli: Nvram

@@ -1,0 +1,1 @@
+lib/recoverable/rmap.ml: Hashtbl Int64 List Nvheap Nvram Printf

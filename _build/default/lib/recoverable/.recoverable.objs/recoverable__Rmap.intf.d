@@ -1,0 +1,1 @@
+lib/recoverable/rmap.mli: Nvheap Nvram

@@ -1,0 +1,1 @@
+lib/recoverable/rqueue.ml: Int64 List Nvheap Nvram Printf

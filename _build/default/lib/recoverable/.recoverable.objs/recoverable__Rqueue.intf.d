@@ -1,0 +1,1 @@
+lib/recoverable/rqueue.mli: Nvheap Nvram

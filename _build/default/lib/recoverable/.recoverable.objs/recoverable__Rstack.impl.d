@@ -1,0 +1,1 @@
+lib/recoverable/rstack.ml: Int64 List Nvheap Nvram Printf

@@ -1,0 +1,1 @@
+lib/recoverable/rstack.mli: Nvheap Nvram

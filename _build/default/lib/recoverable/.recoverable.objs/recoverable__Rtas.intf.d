@@ -1,0 +1,1 @@
+lib/recoverable/rtas.mli: Nvram Rcas

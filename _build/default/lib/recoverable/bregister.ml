@@ -1,0 +1,22 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+type t = { pmem : Pmem.t; base : Offset.t }
+
+let region_size = 8
+
+let create pmem ~base ~init =
+  let t = { pmem; base } in
+  Pmem.write_int pmem base init;
+  Pmem.flush pmem ~off:base ~len:8;
+  t
+
+let attach pmem ~base = { pmem; base }
+
+let write t v = Pmem.write_int t.pmem t.base v
+let read t = Pmem.read_int t.pmem t.base
+let sync t = Pmem.flush t.pmem ~off:t.base ~len:8
+
+let synced_value t =
+  Bytes.get_int64_le (Pmem.peek_persistent t.pmem ~off:t.base ~len:8) 0
+  |> Int64.to_int

@@ -1,0 +1,39 @@
+(** A buffered durably linearizable register (Section 2.4, condition 3).
+
+    Buffered Durable Linearizability allows an operation that completed
+    before a crash {e not} to survive it — as long as the surviving state
+    is a consistent prefix — provided the object offers a [sync] operation:
+    everything that completed before a [sync] must survive any later crash.
+
+    This register implements exactly that contract on the simulated device:
+    {!write} stores to the (volatile) cache without flushing — the fast
+    path that Durable Linearizability would forbid — and {!sync} flushes.
+    After a crash the register holds either the last synced value or a more
+    recent one (the device may persist a dirty line spontaneously; see
+    [Pmem.policy]), never anything older.
+
+    Contrast with {!Rcas}, which implements the strongest condition
+    (Nesting-Safe Recoverable Linearizability) and pays a flush per
+    operation; benchmark B2 quantifies the gap. *)
+
+type t
+
+val region_size : int
+
+val create : Nvram.Pmem.t -> base:Nvram.Offset.t -> init:int -> t
+(** Initialises and syncs the initial value. *)
+
+val attach : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
+
+val write : t -> int -> unit
+(** Buffered store: completes without persisting. *)
+
+val read : t -> int
+(** Current (possibly unpersisted) value. *)
+
+val sync : t -> unit
+(** Persist every write that completed before this call. *)
+
+val synced_value : t -> int
+(** The value a crash losing all dirty lines would leave — the last value
+    guaranteed by [sync] (introspection for tests). *)

@@ -1,0 +1,80 @@
+(** Runtime bindings for the recoverable CAS and primitives layered on it.
+
+    These register {!Rcas} operations as recoverable functions executable
+    by the persistent-stack runtime (Section 5 of the paper).  Each
+    operation is two-level:
+
+    - an {e outer} function persistently obtains a fresh sequence number
+      ({!Rcas.bump}) and invokes a nested {e attempt} function whose
+      {e arguments} carry the number — so the attempt's frame records
+      everything its recovery needs before the attempt can take effect;
+    - the {e attempt} function runs one tagged CAS; its recover function
+      checks the linearization evidence and re-executes only when the
+      attempt provably never took effect.
+
+    A crash between the outer frame's push and the nested invocation is
+    handled by the outer recover: the attempt frame is absent and the outer
+    frame's answer slot is empty, so the operation simply restarts with a
+    fresh sequence number — it had not linearized.
+
+    The attempt's answer packs [(success, desired)] into one word so that
+    loop-based outers (increment, write) can recover their volatile loop
+    state from the answer slot alone. *)
+
+type handle = unit -> Rcas.t
+(** How the operations reach the register: re-evaluated on every call, so
+    the application can rebind it after a restart. *)
+
+val register_attempt :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> handle -> unit
+(** Registers the shared attempt function.  Arguments:
+    [(expected, desired, seq)]. *)
+
+val register_cas :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Registers CAS: arguments [(expected, desired)], answer [1]/[0] for
+    success/failure — the operation verified in Section 5. *)
+
+val register_increment :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Registers a recoverable fetch-and-increment built as a CAS retry loop;
+    no arguments; the answer is the new counter value. *)
+
+val register_write :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Registers a recoverable unconditional write built as a CAS retry loop;
+    argument: the value to store; answer [0]. *)
+
+val register_fetch_add :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Registers a recoverable fetch-and-add; argument: the (possibly
+    negative) delta; answer: the new value. *)
+
+val register_fetch_attempt :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> handle -> unit
+(** Like {!register_attempt} but the packed answer carries the {e expected}
+    value instead of the desired one — the building block for operations
+    that must return the value they displaced. *)
+
+val register_swap :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> fetch_attempt_id:int -> handle -> unit
+(** Registers a recoverable fetch-and-store (swap): argument: the value to
+    store; answer: the previous value.  [fetch_attempt_id] must have been
+    registered with {!register_fetch_attempt}. *)
+
+val register_tas :
+  Runtime.Exec.t Runtime.Registry.t ->
+  id:int ->
+  attempt_id:int ->
+  (unit -> Rtas.t) ->
+  unit
+(** Registers a recoverable test-and-set over an {!Rtas} object (both the
+    outer function at [id] and its nested attempt at [attempt_id]); no
+    arguments; answer [1] iff this invocation won.  Two-level like the CAS:
+    the nested attempt's frame carries the sequence number. *)
+
+(** {1 Attempt answer encoding} *)
+
+val pack_attempt_answer : success:bool -> desired:int -> int64
+val attempt_succeeded : int64 -> bool
+val attempt_desired : int64 -> int

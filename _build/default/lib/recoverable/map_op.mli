@@ -1,0 +1,20 @@
+(** Runtime bindings for the recoverable hash map: put, remove and find as
+    nesting-safe recoverable functions (two-level for the mutations, like
+    {!Cas_op} and {!Queue_op}; single-level for the read-only lookup). *)
+
+type handle = unit -> Rmap.t
+
+val register_put :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Arguments: [(key, value)]; answer [0]. *)
+
+val register_remove :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> attempt_id:int -> handle -> unit
+(** Argument: the key; answer [1] iff the key was present and this call
+    removed it. *)
+
+val register_find :
+  Runtime.Exec.t Runtime.Registry.t -> id:int -> handle -> unit
+(** Argument: the key; decode the answer with {!find_answer}. *)
+
+val find_answer : int64 -> int option

@@ -1,0 +1,160 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+
+type variant = Correct | Buggy
+
+type t = {
+  pmem : Pmem.t;
+  base : Offset.t;
+  nprocs : int;
+  variant : variant;
+}
+
+(* Packing of (value, owner pid, sequence) into one 8-byte word:
+   value in bits 32..63 (signed 32), pid in bits 24..31, seq in bits 0..23. *)
+let max_value = 0x7FFFFFFF
+let min_value = -0x80000000
+let max_pid = 254
+let init_owner = 255
+let max_seq = 0xFFFFFF
+
+let pack ~value ~pid ~seq =
+  if value < min_value || value > max_value then
+    invalid_arg (Printf.sprintf "Rcas: value %d out of packing range" value);
+  if pid < 0 || pid > init_owner then
+    invalid_arg (Printf.sprintf "Rcas: pid %d out of range" pid);
+  if seq < 0 || seq > max_seq then
+    invalid_arg (Printf.sprintf "Rcas: sequence %d out of range" seq);
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (value land 0xFFFFFFFF)) 32)
+    (Int64.of_int ((pid lsl 24) lor seq))
+
+let unpack word =
+  let value = Int64.to_int (Int64.shift_right word 32) (* sign-extended *) in
+  let low = Int64.to_int (Int64.logand word 0xFFFFFFFFL) in
+  (value, (low lsr 24) land 0xFF, low land max_seq)
+
+(* Region layout: C in its own line; one line per process for the sequence
+   counter; then the N x N announcement matrix of 8-byte cells.  Every cell
+   is 8-byte aligned and never crosses a cache line, as Section 5
+   requires. *)
+let c_off t = t.base
+let seq_off t p = Offset.add t.base (64 + (64 * p))
+
+let r_off t ~writer ~overwriter =
+  Offset.add t.base (64 + (64 * t.nprocs) + (8 * ((writer * t.nprocs) + overwriter)))
+
+let region_size ~nprocs =
+  let raw = 64 + (64 * nprocs) + (8 * nprocs * nprocs) in
+  (raw + 63) / 64 * 64
+
+let check_pid t pid =
+  if pid < 0 || pid >= t.nprocs then
+    invalid_arg (Printf.sprintf "Rcas: pid %d out of 0..%d" pid (t.nprocs - 1))
+
+let create pmem ~base ~nprocs ~init ~variant =
+  if nprocs < 1 || nprocs > max_pid then
+    invalid_arg "Rcas.create: nprocs out of range";
+  let t = { pmem; base; nprocs; variant } in
+  Pmem.write_int64 pmem (c_off t) (pack ~value:init ~pid:init_owner ~seq:0);
+  Pmem.flush pmem ~off:(c_off t) ~len:8;
+  for p = 0 to nprocs - 1 do
+    Pmem.write_int64 pmem (seq_off t p) 0L;
+    Pmem.flush pmem ~off:(seq_off t p) ~len:8;
+    for q = 0 to nprocs - 1 do
+      Pmem.write_int64 pmem (r_off t ~writer:p ~overwriter:q) 0L;
+      Pmem.flush pmem ~off:(r_off t ~writer:p ~overwriter:q) ~len:8
+    done
+  done;
+  t
+
+let attach pmem ~base ~nprocs ~variant =
+  if nprocs < 1 || nprocs > max_pid then
+    invalid_arg "Rcas.attach: nprocs out of range";
+  { pmem; base; nprocs; variant }
+
+let nprocs t = t.nprocs
+let variant t = t.variant
+
+let read t =
+  let value, _, _ = unpack (Pmem.read_int64 t.pmem (c_off t)) in
+  value
+
+let sequence t ~pid =
+  check_pid t pid;
+  Int64.to_int (Pmem.read_int64 t.pmem (seq_off t pid))
+
+let owner t =
+  let _, pid, seq = unpack (Pmem.read_int64 t.pmem (c_off t)) in
+  (pid, seq)
+
+let announcement t ~writer ~overwriter =
+  check_pid t writer;
+  check_pid t overwriter;
+  Int64.to_int (Pmem.read_int64 t.pmem (r_off t ~writer ~overwriter))
+
+let bump t ~pid =
+  check_pid t pid;
+  let seq = sequence t ~pid + 1 in
+  if seq > max_seq then invalid_arg "Rcas: sequence number space exhausted";
+  Pmem.write_int64 t.pmem (seq_off t pid) (Int64.of_int seq);
+  Pmem.flush t.pmem ~off:(seq_off t pid) ~len:8;
+  seq
+
+(* One full attempt loop, using [seq] as the tag of the value to install.
+   Retries while the value still matches [expected] but the tag moved
+   between the read and the hardware CAS. *)
+let rec attempt t ~pid ~expected ~desired ~seq =
+  let current = Pmem.read_int64 t.pmem (c_off t) in
+  let value, q, s = unpack current in
+  if value <> expected then false
+  else begin
+    (if t.variant = Correct && q <> init_owner then begin
+       (* Announce before overwriting: q only ever finds its own current
+          sequence here if its value truly reached C (Section 5 / [8]). *)
+       let cell = r_off t ~writer:q ~overwriter:pid in
+       Pmem.write_int64 t.pmem cell (Int64.of_int s);
+       Pmem.flush t.pmem ~off:cell ~len:8
+     end);
+    let replacement = pack ~value:desired ~pid ~seq in
+    if Pmem.cas_int64 t.pmem (c_off t) ~expected:current ~desired:replacement
+    then begin
+      (* The hardware CAS is atomic; persist it before returning so the
+         success cannot be lost (redundant under auto-flush). *)
+      Pmem.flush t.pmem ~off:(c_off t) ~len:8;
+      true
+    end
+    else attempt t ~pid ~expected ~desired ~seq
+  end
+
+let cas_with_seq t ~pid ~seq ~expected ~desired =
+  check_pid t pid;
+  attempt t ~pid ~expected ~desired ~seq
+
+let cas t ~pid ~expected ~desired =
+  let seq = bump t ~pid in
+  attempt t ~pid ~expected ~desired ~seq
+
+let evidence t ~pid ~seq =
+  check_pid t pid;
+  if seq = 0 then false
+  else begin
+    let _, q, s = unpack (Pmem.read_int64 t.pmem (c_off t)) in
+    if q = pid && s = seq then true
+    else if t.variant = Buggy then false
+    else begin
+      let rec scan j =
+        if j >= t.nprocs then false
+        else if announcement t ~writer:pid ~overwriter:j = seq then true
+        else scan (j + 1)
+      in
+      scan 0
+    end
+  end
+
+let recover_with_seq t ~pid ~seq ~expected ~desired =
+  if evidence t ~pid ~seq then true
+  else
+    (* No evidence: the tag [seq] was never installed in C, so the attempt
+       can be re-executed reusing it. *)
+    attempt t ~pid ~expected ~desired ~seq

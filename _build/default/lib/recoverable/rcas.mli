@@ -1,0 +1,116 @@
+(** Recoverable CAS for NVRAM — the algorithm of Attiya, Ben-Baruch and
+    Hendler (PODC 2018), reference [8] of the paper, which Section 5 uses
+    as the running verification example.
+
+    The register cell [C] holds a (value, owner, sequence) triple packed in
+    one 8-byte word so a hardware CAS can replace it atomically.  Every
+    value a process installs is tagged with the process id and a
+    per-process persistent sequence number, making each installed value
+    unique.  Before process [p] overwrites a value tagged [(q, s)], it
+    {e announces} the overwrite by persisting [s] into the matrix cell
+    [R.(q).(p)].  After a crash, process [q] decides whether its
+    interrupted CAS linearized:
+
+    - [C] still holds [q]'s current tag — the CAS succeeded;
+    - some [R.(q).(j)] equals [q]'s current sequence number — the CAS
+      succeeded and the installed value was later overwritten;
+    - otherwise the CAS never took effect and can safely be re-executed.
+
+    The announcement can be {e pessimistic}: [p] may announce and then lose
+    the hardware CAS race.  The announcement is still truthful evidence for
+    [q], because [p] only announces after observing [q]'s value inside [C].
+
+    The {e buggy} variant removes the matrix (exactly the planted bug of
+    Section 5.2): a successful CAS whose value was overwritten before the
+    crash is then re-executed by recovery, which the serializability
+    verifier of [lib/verify] must detect.
+
+    The paper's Section 5 model assumes no volatile NVRAM cache; run the
+    device with [auto_flush = true] to match (the implementation issues its
+    flushes anyway, so a cached device is also correct).
+
+    Packing limits: values must fit in 32 signed bits, process ids in 8
+    bits ([0..254]; 255 is the initial owner sentinel), sequence numbers in
+    24 bits. *)
+
+type variant = Correct | Buggy
+
+type t
+
+val region_size : nprocs:int -> int
+(** Device bytes for a register shared by [nprocs] processes. *)
+
+val create :
+  Nvram.Pmem.t ->
+  base:Nvram.Offset.t ->
+  nprocs:int ->
+  init:int ->
+  variant:variant ->
+  t
+(** Formats the register region with initial value [init]. *)
+
+val attach :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> nprocs:int -> variant:variant -> t
+(** Re-attaches after a restart (the region is self-describing except for
+    [nprocs] and [variant], which the application fixes). *)
+
+val nprocs : t -> int
+val variant : t -> variant
+
+val read : t -> int
+(** Current value of the register. *)
+
+(** {1 Operation protocol}
+
+    A recoverable CAS is executed in two persistent steps so that its
+    recovery can be scoped to exactly one attempt:
+
+    + {!bump} persists a fresh sequence number for the process;
+    + {!cas_with_seq} runs the attempt tagged with it.
+
+    Recovery code must know which sequence number the interrupted attempt
+    used.  When driven by the persistent-stack runtime, the number is
+    simply passed in the {e arguments} of the nested recoverable function
+    that performs step 2, so it is recorded in the stack frame before the
+    attempt can take effect and handed back to {!recover_with_seq} after a
+    crash.  (Evidence must not be checked against the process's current
+    counter alone: a crash landing between the frame push and the bump
+    would then mistake the {e previous} operation's evidence for this
+    one's.) *)
+
+val bump : t -> pid:int -> int
+(** Persistently increments and returns process [pid]'s sequence number. *)
+
+val cas_with_seq : t -> pid:int -> seq:int -> expected:int -> desired:int -> bool
+(** One CAS operation tagged [seq]: retries while the value matches
+    [expected] but the tag moved under it; returns whether the swap was
+    performed. *)
+
+val recover_with_seq :
+  t -> pid:int -> seq:int -> expected:int -> desired:int -> bool
+(** The dual recovery function: returns [true] if the attempt tagged [seq]
+    provably linearized (evidence in [C] or in the announcement matrix);
+    otherwise re-executes it, reusing [seq] — the tag was never installed.
+    Idempotent under repeated failures. *)
+
+val cas : t -> pid:int -> expected:int -> desired:int -> bool
+(** [bump] + [cas_with_seq] in one call, for crash-free use (benchmarks,
+    sequential tests). *)
+
+val evidence : t -> pid:int -> seq:int -> bool
+(** Whether the attempt tagged [seq] by [pid] provably linearized. *)
+
+(** {1 Introspection (tests, verifier)} *)
+
+val sequence : t -> pid:int -> int
+(** Current persistent sequence number of a process. *)
+
+val owner : t -> int * int
+(** Owner pid and sequence currently tagged in [C]. *)
+
+val announcement : t -> writer:int -> overwriter:int -> int
+(** [announcement t ~writer ~overwriter] is the sequence number recorded in
+    [R.(writer).(overwriter)] (0 if none). *)
+
+val max_value : int
+val min_value : int

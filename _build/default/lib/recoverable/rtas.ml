@@ -1,0 +1,28 @@
+type t = { rcas : Rcas.t }
+
+let region_size ~nprocs = Rcas.region_size ~nprocs
+
+let create pmem ~base ~nprocs ~variant =
+  { rcas = Rcas.create pmem ~base ~nprocs ~init:0 ~variant }
+
+let attach pmem ~base ~nprocs ~variant =
+  { rcas = Rcas.attach pmem ~base ~nprocs ~variant }
+
+let token pid = pid + 1
+
+let bump t ~pid = Rcas.bump t.rcas ~pid
+
+let test_and_set_with_seq t ~pid ~seq =
+  Rcas.cas_with_seq t.rcas ~pid ~seq ~expected:0 ~desired:(token pid)
+
+let test_and_set t ~pid =
+  let seq = bump t ~pid in
+  test_and_set_with_seq t ~pid ~seq
+
+let recover_with_seq t ~pid ~seq =
+  Rcas.recover_with_seq t.rcas ~pid ~seq ~expected:0 ~desired:(token pid)
+
+let winner t =
+  match Rcas.read t.rcas with 0 -> None | v -> Some (v - 1)
+
+let is_set t = Rcas.read t.rcas <> 0

@@ -1,0 +1,39 @@
+(** Recoverable test-and-set, layered on the recoverable CAS.
+
+    A one-shot object: the first process whose set takes effect wins; every
+    process can afterwards learn the winner.  Each process's attempt
+    installs a distinct value ([pid + 1] over the initial [0]), so the CAS
+    machinery's tagged evidence answers the recovery question "did {e my}
+    set linearize?" exactly as in {!Rcas}: through the register tag or the
+    announcement matrix.
+
+    This is the pattern of Attiya–Ben-Baruch–Hendler for building
+    recoverable primitives from recoverable CAS (reference [8] of the
+    paper, future-work direction 1). *)
+
+type t
+
+val region_size : nprocs:int -> int
+
+val create :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> nprocs:int -> variant:Rcas.variant -> t
+
+val attach :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> nprocs:int -> variant:Rcas.variant -> t
+
+val test_and_set : t -> pid:int -> bool
+(** [test_and_set t ~pid] attempts to win the object (fresh sequence
+    number); [true] iff this call set it.  Loses immediately if already
+    set. *)
+
+val bump : t -> pid:int -> int
+(** Persistently obtain a fresh attempt number (see {!Rcas.bump}); the
+    runtime binding passes it through the attempt's frame arguments. *)
+
+val test_and_set_with_seq : t -> pid:int -> seq:int -> bool
+val recover_with_seq : t -> pid:int -> seq:int -> bool
+
+val winner : t -> int option
+(** The pid whose set won, if any. *)
+
+val is_set : t -> bool

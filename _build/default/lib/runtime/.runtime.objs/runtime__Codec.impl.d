@@ -1,0 +1,1 @@
+lib/runtime/codec.ml: Buffer Bytes Fun Int64 List Nvram Printf String

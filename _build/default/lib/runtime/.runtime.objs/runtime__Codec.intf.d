@@ -1,0 +1,1 @@
+lib/runtime/codec.mli: Nvram

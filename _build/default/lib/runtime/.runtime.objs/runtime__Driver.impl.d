@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: List Logs Nvram Option System

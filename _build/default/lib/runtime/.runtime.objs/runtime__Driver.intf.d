@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Exec Nvram Registry System

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Nvheap Nvram Pstack Registry

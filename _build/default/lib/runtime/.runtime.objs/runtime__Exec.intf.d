@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Nvheap Nvram Pstack Registry

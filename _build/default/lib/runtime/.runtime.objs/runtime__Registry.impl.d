@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/runtime/system.ml: Array Condition Exec Format Fun Int64 List Logs Mutex Nvheap Nvram Printf Pstack Registry Task Thread Value Work_queue

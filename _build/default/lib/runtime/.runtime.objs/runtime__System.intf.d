@@ -1,0 +1,1 @@
+lib/runtime/system.mli: Exec Format Nvheap Nvram Registry Task

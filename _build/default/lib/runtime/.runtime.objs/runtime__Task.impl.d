@@ -1,0 +1,1 @@
+lib/runtime/task.ml: Bytes Fun Int64 List Nvram Printf

@@ -1,0 +1,1 @@
+lib/runtime/typed.ml: Codec Exec Registry System

@@ -1,0 +1,1 @@
+lib/runtime/typed.mli: Codec Exec Registry System

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Bytes Int64 List Nvram

@@ -1,0 +1,1 @@
+lib/runtime/work_queue.ml: Condition Mutex Queue

@@ -1,0 +1,167 @@
+type 'a t = {
+  write : Buffer.t -> 'a -> unit;
+  read : bytes -> int -> 'a * int;  (* position in, value and position out *)
+}
+
+let fail_decode what = invalid_arg (Printf.sprintf "Codec: malformed %s" what)
+
+let need buf pos n what =
+  if pos + n > Bytes.length buf then fail_decode what
+
+let unit = { write = (fun _ () -> ()); read = (fun _ pos -> ((), pos)) }
+
+let int64 =
+  {
+    write =
+      (fun b v ->
+        let cell = Bytes.create 8 in
+        Bytes.set_int64_le cell 0 v;
+        Buffer.add_bytes b cell);
+    read =
+      (fun buf pos ->
+        need buf pos 8 "int64";
+        (Bytes.get_int64_le buf pos, pos + 8));
+  }
+
+let map of_raw to_raw c =
+  {
+    write = (fun b v -> c.write b (to_raw v));
+    read =
+      (fun buf pos ->
+        let raw, pos = c.read buf pos in
+        (of_raw raw, pos));
+  }
+
+let int = map Int64.to_int Int64.of_int int64
+let bool = map (fun v -> not (Int64.equal v 0L)) (fun b -> if b then 1L else 0L) int64
+let offset = map Nvram.Offset.of_int Nvram.Offset.to_int int
+
+let string =
+  {
+    write =
+      (fun b s ->
+        int.write b (String.length s);
+        Buffer.add_string b s);
+    read =
+      (fun buf pos ->
+        let len, pos = int.read buf pos in
+        if len < 0 then fail_decode "string length";
+        need buf pos len "string";
+        (Bytes.sub_string buf pos len, pos + len));
+  }
+
+let pair a b =
+  {
+    write =
+      (fun buf (x, y) ->
+        a.write buf x;
+        b.write buf y);
+    read =
+      (fun buf pos ->
+        let x, pos = a.read buf pos in
+        let y, pos = b.read buf pos in
+        ((x, y), pos));
+  }
+
+let triple a b c =
+  map
+    (fun (x, (y, z)) -> (x, y, z))
+    (fun (x, y, z) -> (x, (y, z)))
+    (pair a (pair b c))
+
+let quad a b c d =
+  map
+    (fun ((w, x), (y, z)) -> (w, x, y, z))
+    (fun (w, x, y, z) -> ((w, x), (y, z)))
+    (pair (pair a b) (pair c d))
+
+let list element =
+  {
+    write =
+      (fun buf xs ->
+        int.write buf (List.length xs);
+        List.iter (element.write buf) xs);
+    read =
+      (fun buf pos ->
+        let count, pos = int.read buf pos in
+        if count < 0 then fail_decode "list length";
+        let rec go n pos acc =
+          if n = 0 then (List.rev acc, pos)
+          else begin
+            let x, pos = element.read buf pos in
+            go (n - 1) pos (x :: acc)
+          end
+        in
+        go count pos []);
+  }
+
+let option element =
+  {
+    write =
+      (fun buf v ->
+        match v with
+        | None -> bool.write buf false
+        | Some x ->
+            bool.write buf true;
+            element.write buf x);
+    read =
+      (fun buf pos ->
+        let present, pos = bool.read buf pos in
+        if present then begin
+          let x, pos = element.read buf pos in
+          (Some x, pos)
+        end
+        else (None, pos));
+  }
+
+let encode c v =
+  let buf = Buffer.create 32 in
+  c.write buf v;
+  Buffer.to_bytes buf
+
+let decode c buf =
+  let v, pos = c.read buf 0 in
+  if pos <> Bytes.length buf then fail_decode "trailing bytes";
+  v
+
+(* Answer witnesses. *)
+
+type 'a answer = { to_answer : 'a -> int64; of_answer : int64 -> 'a }
+
+let answer_unit = { to_answer = (fun () -> 0L); of_answer = (fun _ -> ()) }
+let answer_int = { to_answer = Int64.of_int; of_answer = Int64.to_int }
+let answer_int64 = { to_answer = Fun.id; of_answer = Fun.id }
+
+let answer_bool =
+  {
+    to_answer = (fun b -> if b then 1L else 0L);
+    of_answer = (fun v -> not (Int64.equal v 0L));
+  }
+
+let answer_offset =
+  {
+    to_answer = (fun o -> Int64.of_int (Nvram.Offset.to_int o));
+    of_answer = (fun v -> Nvram.Offset.of_int (Int64.to_int v));
+  }
+
+let reserved_error = Int64.min_int
+
+let answer_result ~ok =
+  {
+    to_answer =
+      (fun v ->
+        match v with
+        | Ok x ->
+            let encoded = ok.to_answer x in
+            if Int64.equal encoded reserved_error then
+              invalid_arg "Codec.answer_result: value collides with Error";
+            encoded
+        | Error () -> reserved_error);
+    of_answer =
+      (fun v ->
+        if Int64.equal v reserved_error then Error ()
+        else Ok (ok.of_answer v));
+  }
+
+let to_answer w = w.to_answer
+let of_answer w = w.of_answer

@@ -1,0 +1,61 @@
+(** Composable codecs for function arguments.
+
+    Frames carry raw bytes; these combinators build typed encoders/decoders
+    for them, so recoverable functions can be registered with typed
+    signatures instead of hand-rolled byte fiddling (see {!Typed}).  This
+    is the library answer to the paper's future-work direction 3 — a
+    compiler plugin "to reduce the boilerplate code".
+
+    Encodings are little-endian and self-delimiting, so codecs compose by
+    concatenation: integers are 8 bytes; strings and lists are
+    length-prefixed. *)
+
+type 'a t
+
+val unit : unit t
+val int : int t
+val int64 : int64 t
+val bool : bool t
+val offset : Nvram.Offset.t t
+
+val string : string t
+(** Length-prefixed. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val quad : 'a t -> 'b t -> 'c t -> 'd t -> ('a * 'b * 'c * 'd) t
+
+val list : 'a t -> 'a list t
+(** Count-prefixed. *)
+
+val option : 'a t -> 'a option t
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** [map of_raw to_raw codec] views [codec] through an isomorphism — e.g.
+    project a record to a tuple. *)
+
+val encode : 'a t -> 'a -> bytes
+
+val decode : 'a t -> bytes -> 'a
+(** @raise Invalid_argument on malformed or trailing bytes. *)
+
+(** {1 Answer codecs}
+
+    Answers are a single [int64]; these witnesses convert small results. *)
+
+type 'a answer
+
+val answer_unit : unit answer
+val answer_int : int answer
+val answer_int64 : int64 answer
+val answer_bool : bool answer
+val answer_offset : Nvram.Offset.t answer
+
+val answer_result : ok:'a answer -> ('a, unit) result answer
+(** [Ok v] in the positive encoding space, [Error ()] as the reserved
+    minimum value — handy for "succeeded with v / refused" answers.  [v]'s
+    own encoding must not produce the reserved value. *)
+
+val to_answer : 'a answer -> 'a -> int64
+val of_answer : 'a answer -> int64 -> 'a

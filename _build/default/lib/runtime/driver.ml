@@ -1,0 +1,60 @@
+module Pmem = Nvram.Pmem
+module Crash = Nvram.Crash
+
+let src = Logs.Src.create "pstack.driver" ~doc:"Crash-restart driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type report = { eras : int; crashes : int; results : (int * int64) list }
+
+let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
+    ?(reattach = fun _ -> ()) ?reclaim ?(plan = fun ~era:_ -> Crash.Never)
+    ?(max_crashes = 10_000) () =
+  let eras = ref 0 in
+  let crashes = ref 0 in
+  let arm () =
+    incr eras;
+    Log.debug (fun m -> m "era %d armed" !eras);
+    Crash.arm (Pmem.crash_ctl pmem) (plan ~era:!eras)
+  in
+  let sys = System.create pmem ~registry ~config in
+  init sys;
+  submit sys;
+  (* One iteration per era: run (or finish recovering) the system; on a
+     crash, reboot and recover; repeat until all tasks completed. *)
+  (* The main thread's own device operations (task-table scans, the reclaim
+     sweep) are also subject to the armed crash plan, so the whole era is
+     guarded, not just the worker domains. *)
+  let guarded f = try f () with Crash.Crash_now -> `Crashed in
+  let rec normal_mode sys =
+    arm ();
+    match guarded (fun () -> System.run sys) with
+    | `Completed ->
+        Log.info (fun m ->
+            m "workload completed: %d eras, %d crashes" !eras !crashes);
+        Crash.arm (Pmem.crash_ctl pmem) Crash.Never;
+        {
+          eras = !eras;
+          crashes = !crashes;
+          results =
+            List.filter_map
+              (fun (i, answer) -> Option.map (fun a -> (i, a)) answer)
+              (System.results sys);
+        }
+    | `Crashed -> restart ()
+  and restart () =
+    incr crashes;
+    Log.info (fun m -> m "crash %d: rebooting and recovering" !crashes);
+    if !crashes > max_crashes then
+      failwith "Driver.run_to_completion: crash budget exceeded";
+    Pmem.crash pmem;
+    Pmem.restart pmem;
+    let sys = System.attach pmem ~registry in
+    reattach sys;
+    arm ();
+    let reclaim = Option.map (fun f () -> f sys) reclaim in
+    match guarded (fun () -> System.recover ?reclaim sys) with
+    | `Completed -> normal_mode sys
+    | `Crashed -> restart ()
+  in
+  normal_mode sys

@@ -1,0 +1,42 @@
+(** Crash–restart orchestration: steps 3–9 of Section 5.2.
+
+    The driver runs a batch of tasks on a fresh system, arms a crash plan
+    for each {e era} (a period between two restarts), and on every
+    simulated crash performs the full restart sequence — apply the crash to
+    the device, reboot it, re-attach in recovery mode, complete the
+    interrupted operations, and return to normal mode — until every task is
+    done.  A crash during recovery itself simply starts the next era with a
+    new recovery, reproducing the repeated-failure behaviour of
+    Section 4.3. *)
+
+type report = {
+  eras : int;  (** Number of normal-or-recovery periods executed. *)
+  crashes : int;  (** Number of simulated crash events. *)
+  results : (int * int64) list;
+      (** Task index and answer of every completed task (all of them,
+          on success). *)
+}
+
+val run_to_completion :
+  Nvram.Pmem.t ->
+  registry:Exec.t Registry.t ->
+  config:System.config ->
+  submit:(System.t -> unit) ->
+  ?init:(System.t -> unit) ->
+  ?reattach:(System.t -> unit) ->
+  ?reclaim:(System.t -> Nvram.Offset.t list) ->
+  ?plan:(era:int -> Nvram.Crash.plan) ->
+  ?max_crashes:int ->
+  unit ->
+  report
+(** [run_to_completion pmem ~registry ~config ~submit ()] creates a fresh
+    system on [pmem], calls [init] (allocate application structures), then
+    [submit] (enqueue the workload), and drives it to completion.
+
+    [plan ~era] arms the crash plan of each era (default: no crashes).  [reattach] runs after each restart, before recovery, so the
+    application can rebind its volatile handles from the persistent root.
+    [reclaim] provides the application's live heap roots for the leak sweep
+    after each successful recovery.
+
+    @raise Failure if more than [max_crashes] (default 10_000) crashes
+    occur — a guard against plans that fire before any progress. *)

@@ -1,0 +1,87 @@
+module Pmem = Nvram.Pmem
+
+type stack =
+  | Stack : (module Pstack.Stack_intf.S with type t = 'a) * 'a -> stack
+
+type t = {
+  pmem : Pmem.t;
+  heap : Nvheap.Heap.t;
+  stack : stack;
+  registry : t Registry.t;
+  worker_id : int;
+}
+
+let make ~pmem ~heap ~stack ~registry ~worker_id =
+  { pmem; heap; stack; registry; worker_id }
+
+let push t ~func_id ~args =
+  let (Stack ((module S), s)) = t.stack in
+  S.push s ~func_id ~args
+
+let pop t =
+  let (Stack ((module S), s)) = t.stack in
+  S.pop s
+
+let top t =
+  let (Stack ((module S), s)) = t.stack in
+  S.top s
+
+let top_offset t =
+  let (Stack ((module S), s)) = t.stack in
+  S.top_offset s
+
+let under_top_offset t =
+  let (Stack ((module S), s)) = t.stack in
+  S.under_top_offset s
+
+let stack_depth t =
+  let (Stack ((module S), s)) = t.stack in
+  S.depth s
+
+let stack_frames t =
+  let (Stack ((module S), s)) = t.stack in
+  S.frames s
+
+let live_blocks t =
+  let (Stack ((module S), s)) = t.stack in
+  S.live_blocks s
+
+(* Deposit the callee's answer in the caller's frame and pop the callee.
+   The answer must be flushed before the stack end moves backward
+   (Section 4.2): [Frame.write_answer] flushes, and the pop's own
+   single-byte flush is the linearization of the completion. *)
+let return_and_pop t answer =
+  Pstack.Frame.write_answer t.pmem ~frame:(under_top_offset t) answer;
+  pop t
+
+let call t ~func_id ~args =
+  let entry = Registry.find_exn t.registry func_id in
+  push t ~func_id ~args;
+  let answer = entry.Registry.body t args in
+  return_and_pop t answer;
+  answer
+
+let last_answer t =
+  Pstack.Frame.read_answer t.pmem ~frame:(top_offset t)
+
+let clear_last_answer t =
+  Pstack.Frame.clear_answer t.pmem ~frame:(top_offset t)
+
+let recover t =
+  let rec drain () =
+    match top t with
+    | None -> ()
+    | Some (_off, frame) ->
+        let entry = Registry.find_exn t.registry frame.Pstack.Frame.func_id in
+        (* The recover function may itself perform nested [call]s; they
+           push and pop above this frame, leaving it on top again. *)
+        (match entry.Registry.recover t frame.Pstack.Frame.args with
+        | Registry.Complete answer -> return_and_pop t answer
+        | Registry.Rolled_back ->
+            (* The invocation never happened: leave no answer behind so the
+               caller's recovery re-invokes rather than resumes. *)
+            Pstack.Frame.clear_answer t.pmem ~frame:(under_top_offset t);
+            pop t);
+        drain ()
+  in
+  drain ()

@@ -1,0 +1,37 @@
+type outcome = Complete of int64 | Rolled_back
+
+type 'ctx entry = {
+  id : int;
+  name : string;
+  body : 'ctx -> bytes -> int64;
+  recover : 'ctx -> bytes -> outcome;
+}
+
+let completing body ctx args = Complete (body ctx args)
+
+type 'ctx t = (int, 'ctx entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let reserved_dummy_id = 0
+let reserved_task_runner_id = 1
+
+exception Unknown_function of int
+
+(* Reserved ids may be re-registered: the system re-installs its task
+   wrapper each time it attaches after a restart. *)
+let register_reserved t ~id ~name ~body ~recover =
+  Hashtbl.replace t id { id; name; body; recover }
+
+let register t ~id ~name ~body ~recover =
+  if id = reserved_dummy_id || id = reserved_task_runner_id then
+    invalid_arg (Printf.sprintf "Registry: id %d is reserved" id);
+  if Hashtbl.mem t id then
+    invalid_arg (Printf.sprintf "Registry: id %d already registered" id);
+  Hashtbl.replace t id { id; name; body; recover }
+
+let find t id = Hashtbl.find_opt t id
+
+let find_exn t id =
+  match find t id with Some e -> e | None -> raise (Unknown_function id)
+
+let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t []

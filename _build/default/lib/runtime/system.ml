@@ -1,0 +1,378 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Heap = Nvheap.Heap
+
+let src = Logs.Src.create "pstack.system" ~doc:"System modes and recovery"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stack_kind =
+  | Bounded_stack of int
+  | Resizable_stack of int
+  | Linked_stack of int
+
+type config = {
+  workers : int;
+  stack_kind : stack_kind;
+  task_capacity : int;
+  task_max_args : int;
+}
+
+let default_config =
+  {
+    workers = 4;
+    stack_kind = Bounded_stack 4096;
+    task_capacity = 1024;
+    task_max_args = 64;
+  }
+
+type t = {
+  pmem : Pmem.t;
+  config : config;
+  registry : Exec.t Registry.t;
+  heap : Heap.t;
+  tasks : Task.t;
+  ctxs : Exec.t array;
+}
+
+let config t = t.config
+let pmem t = t.pmem
+let heap t = t.heap
+let tasks t = t.tasks
+let ctx t i = t.ctxs.(i)
+
+(* Superblock layout. *)
+let magic = 0x4E565253595331L (* "NVRSYS1" *)
+let root_off = Offset.of_int 48
+let superblock_fixed = 64
+let anchor_off i = Offset.of_int (superblock_fixed + (8 * i))
+
+let align n a = (n + a - 1) / a * a
+let superblock_size workers = align (superblock_fixed + (8 * workers)) 64
+
+let task_base config = Offset.of_int (superblock_size config.workers)
+
+let stacks_base config =
+  Offset.add (task_base config)
+    (align
+       (Task.region_size ~capacity:config.task_capacity
+          ~max_args:config.task_max_args)
+       64)
+
+let heap_base config =
+  match config.stack_kind with
+  | Bounded_stack capacity ->
+      Offset.add (stacks_base config) (config.workers * align capacity 64)
+  | Resizable_stack _ | Linked_stack _ -> stacks_base config
+
+let kind_tag = function
+  | Bounded_stack _ -> 0
+  | Resizable_stack _ -> 1
+  | Linked_stack _ -> 2
+
+let kind_param = function
+  | Bounded_stack p | Resizable_stack p | Linked_stack p -> p
+
+let kind_of ~tag ~param =
+  match tag with
+  | 0 -> Bounded_stack param
+  | 1 -> Resizable_stack param
+  | 2 -> Linked_stack param
+  | _ -> invalid_arg (Printf.sprintf "System: unknown stack kind tag %d" tag)
+
+let write_superblock pmem config =
+  Pmem.write_int64 pmem Offset.null magic;
+  Pmem.write_int pmem (Offset.of_int 8) config.workers;
+  Pmem.write_int pmem (Offset.of_int 16) (kind_tag config.stack_kind);
+  Pmem.write_int pmem (Offset.of_int 24) (kind_param config.stack_kind);
+  Pmem.write_int pmem (Offset.of_int 32) config.task_capacity;
+  Pmem.write_int pmem (Offset.of_int 40) config.task_max_args;
+  Pmem.write_int pmem root_off 0;
+  Pmem.flush pmem ~off:Offset.null ~len:superblock_fixed
+
+let read_superblock pmem =
+  if not (Int64.equal (Pmem.read_int64 pmem Offset.null) magic) then
+    invalid_arg "System.attach: no system superblock on this device";
+  let workers = Pmem.read_int pmem (Offset.of_int 8) in
+  let tag = Pmem.read_int pmem (Offset.of_int 16) in
+  let param = Pmem.read_int pmem (Offset.of_int 24) in
+  let task_capacity = Pmem.read_int pmem (Offset.of_int 32) in
+  let task_max_args = Pmem.read_int pmem (Offset.of_int 40) in
+  { workers; stack_kind = kind_of ~tag ~param; task_capacity; task_max_args }
+
+let pack_bounded s = Exec.Stack ((module Pstack.Bounded), s)
+let pack_resizable s = Exec.Stack ((module Pstack.Resizable), s)
+let pack_linked s = Exec.Stack ((module Pstack.Linked), s)
+
+let bounded_region config i =
+  match config.stack_kind with
+  | Bounded_stack capacity ->
+      let capacity = align capacity 64 in
+      (Offset.add (stacks_base config) (i * capacity), capacity)
+  | Resizable_stack _ | Linked_stack _ ->
+      invalid_arg "System: not a bounded-stack configuration"
+
+let make_stack ~fresh pmem config heap i =
+  match config.stack_kind with
+  | Bounded_stack _ ->
+      let base, capacity = bounded_region config i in
+      pack_bounded
+        (if fresh then Pstack.Bounded.create pmem ~base ~capacity
+         else Pstack.Bounded.attach pmem ~base ~capacity)
+  | Resizable_stack initial_capacity ->
+      let anchor = anchor_off i in
+      pack_resizable
+        (if fresh then
+           Pstack.Resizable.create pmem ~heap ~anchor ~initial_capacity ()
+         else Pstack.Resizable.attach pmem ~heap ~anchor)
+  | Linked_stack block_size ->
+      let anchor = anchor_off i in
+      pack_linked
+        (if fresh then Pstack.Linked.create pmem ~heap ~anchor ~block_size ()
+         else Pstack.Linked.attach pmem ~heap ~anchor)
+
+let make_stacks ~fresh pmem config heap =
+  Array.init config.workers (make_stack ~fresh pmem config heap)
+
+(* The reserved task wrapper.  Its frame brackets the whole task execution,
+   so the completion bookkeeping is covered by recovery: the answer of the
+   inner call survives in the wrapper frame's answer slot, and the task
+   table's status commit makes [mark_done] idempotent. *)
+let install_task_runner registry tasks =
+  let run_inner ctx idx =
+    Exec.call ctx ~func_id:(Task.func_id tasks idx) ~args:(Task.args tasks idx)
+  in
+  let body ctx args =
+    let idx = Value.to_int args in
+    let answer = run_inner ctx idx in
+    Task.mark_done tasks idx answer;
+    answer
+  in
+  let recover ctx args =
+    let idx = Value.to_int args in
+    match Task.status tasks idx with
+    | `Done answer -> Registry.Complete answer
+    | `Pending ->
+        let answer =
+          match Exec.last_answer ctx with
+          | Some answer ->
+              (* The inner call completed (possibly via its own recovery)
+                 and deposited its answer in our frame before the crash or
+                 during this recovery pass. *)
+              answer
+          | None ->
+              (* Never invoked, or invoked and rolled back: run it (again). *)
+              run_inner ctx idx
+        in
+        Task.mark_done tasks idx answer;
+        Registry.Complete answer
+  in
+  Registry.register_reserved registry ~id:Registry.reserved_task_runner_id
+    ~name:"system.task_runner" ~body ~recover
+
+let heap_region pmem config =
+  let base = align (Offset.to_int (heap_base config)) 16 in
+  let len = (Pmem.size pmem - base) / 16 * 16 in
+  if len < 1024 then
+    invalid_arg "System: device too small for this configuration";
+  (Offset.of_int base, len)
+
+let build pmem config registry heap stacks tasks =
+  let ctxs =
+    Array.mapi
+      (fun i stack -> Exec.make ~pmem ~heap ~stack ~registry ~worker_id:i)
+      stacks
+  in
+  install_task_runner registry tasks;
+  { pmem; config; registry; heap; tasks; ctxs }
+
+let create pmem ~registry ~config =
+  write_superblock pmem config;
+  let tasks =
+    Task.create pmem ~base:(task_base config) ~capacity:config.task_capacity
+      ~max_args:config.task_max_args
+  in
+  let base, len = heap_region pmem config in
+  let heap = Heap.format pmem ~base ~len in
+  let stacks = make_stacks ~fresh:true pmem config heap in
+  build pmem config registry heap stacks tasks
+
+let attach pmem ~registry =
+  let config = read_superblock pmem in
+  let tasks = Task.attach pmem ~base:(task_base config) in
+  let base, _len = heap_region pmem config in
+  let heap = Heap.recover pmem ~base in
+  let stacks = make_stacks ~fresh:false pmem config heap in
+  build pmem config registry heap stacks tasks
+
+let submit t ~func_id ~args = Task.add t.tasks ~func_id ~args
+let results t = Task.results t.tasks
+
+let set_root t off =
+  Pmem.write_int t.pmem root_off (Offset.to_int off);
+  Pmem.flush t.pmem ~off:root_off ~len:8
+
+let root t =
+  match Pmem.read_int t.pmem root_off with
+  | 0 -> None
+  | off -> Some (Offset.of_int off)
+
+(* Run [f i] on one domain per worker; swallow the crash signal (the crashed
+   flag is checked afterwards) and re-raise any other failure.  A start
+   barrier aligns the domains so they truly race: without it the spawn
+   latency serialises short eras and concurrency windows never occur. *)
+let parallel_workers t f =
+  let failures = Array.make t.config.workers None in
+  let barrier_mu = Mutex.create () in
+  let barrier_cv = Condition.create () in
+  let waiting = ref 0 in
+  let wait_for_start () =
+    Mutex.protect barrier_mu (fun () ->
+        incr waiting;
+        if !waiting >= t.config.workers then Condition.broadcast barrier_cv
+        else
+          while !waiting < t.config.workers do
+            Condition.wait barrier_cv barrier_mu
+          done)
+  in
+  let threads =
+    Array.init t.config.workers (fun i ->
+        Thread.create
+          (fun () ->
+            wait_for_start ();
+            try f i with
+            | Nvram.Crash.Crash_now -> ()
+            | exn -> failures.(i) <- Some exn)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.iter (function Some exn -> raise exn | None -> ()) failures;
+  if Nvram.Crash.crashed (Pmem.crash_ctl t.pmem) then `Crashed else `Completed
+
+(* Individual crash-recovery (Section 2.2): worker [i] restarts alone while
+   the rest of the system keeps running.  The old context's volatile index
+   cannot be trusted (the kill may have landed between a device operation
+   and the index update), so the stack is re-attached from the device —
+   exactly what a restarted process would do — and recovered in place.  A
+   repeated kill during this recovery simply restarts it. *)
+let rec recover_worker t i =
+  Log.info (fun m -> m "individual recovery of worker %d" i);
+  t.ctxs.(i) <-
+    Exec.make ~pmem:t.pmem ~heap:t.heap
+      ~stack:(make_stack ~fresh:false t.pmem t.config t.heap i)
+      ~registry:t.registry ~worker_id:i;
+  try Exec.recover t.ctxs.(i) with Nvram.Crash.Thread_killed -> recover_worker t i
+
+let run t =
+  let queue = Work_queue.create () in
+  List.iter (Work_queue.push queue) (Task.pending t.tasks);
+  Work_queue.close queue;
+  let worker i =
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some idx ->
+          (* On an individual crash, recover in place and retry the same
+             task: if the interrupted wrapper already completed it during
+             recovery, the status check skips it (exactly-once); if the
+             kill landed before the wrapper frame was pushed, the task was
+             never started and must be re-invoked here — the queue entry
+             was already consumed.  The context is re-read because an
+             individual crash replaces it. *)
+          let rec exec_task () =
+            try
+              match Task.status t.tasks idx with
+              | `Done _ -> ()
+              | `Pending ->
+                  ignore
+                    (Exec.call t.ctxs.(i)
+                       ~func_id:Registry.reserved_task_runner_id
+                       ~args:(Value.of_int idx))
+            with Nvram.Crash.Thread_killed ->
+              recover_worker t i;
+              exec_task ()
+          in
+          exec_task ();
+          loop ()
+    in
+    loop ()
+  in
+  parallel_workers t worker
+
+let recover ?reclaim t =
+  let recover_one i =
+    try Exec.recover t.ctxs.(i)
+    with Nvram.Crash.Thread_killed -> recover_worker t i
+  in
+  match parallel_workers t recover_one with
+  | `Crashed -> `Crashed
+  | `Completed ->
+      (match reclaim with
+      | None -> ()
+      | Some extra_roots ->
+          let live =
+            List.concat_map Exec.live_blocks (Array.to_list t.ctxs)
+            @ extra_roots ()
+          in
+          let freed = Heap.retain t.heap ~live in
+          if freed > 0 then
+            Log.info (fun m -> m "reclaimed %d leaked heap block(s)" freed));
+      `Completed
+
+let pp_kind fmt = function
+  | Bounded_stack n -> Format.fprintf fmt "bounded(%d B)" n
+  | Resizable_stack n -> Format.fprintf fmt "resizable(initial %d B)" n
+  | Linked_stack n -> Format.fprintf fmt "linked(block %d B)" n
+
+let pp_image fmt pmem =
+  let config = read_superblock pmem in
+  Format.fprintf fmt "@[<v>system image (%d bytes device)@," (Pmem.size pmem);
+  Format.fprintf fmt "  workers: %d, stacks: %a, tasks: %d max (%d arg bytes)@,"
+    config.workers pp_kind config.stack_kind config.task_capacity
+    config.task_max_args;
+  (match Pmem.read_int pmem root_off with
+  | 0 -> Format.fprintf fmt "  user root: (none)@,"
+  | r -> Format.fprintf fmt "  user root: @@%d@," r);
+  let tasks = Task.attach pmem ~base:(task_base config) in
+  let total = Task.count tasks in
+  let pending = List.length (Task.pending tasks) in
+  Format.fprintf fmt "  tasks: %d submitted, %d pending, %d done@," total
+    pending (total - pending);
+  List.iter
+    (fun i ->
+      match Task.status tasks i with
+      | `Pending ->
+          Format.fprintf fmt "    #%d func=%d PENDING@," i (Task.func_id tasks i)
+      | `Done answer ->
+          Format.fprintf fmt "    #%d func=%d done answer=%Ld@," i
+            (Task.func_id tasks i) answer)
+    (List.init (min total 32) Fun.id);
+  if total > 32 then Format.fprintf fmt "    ... (%d more)@," (total - 32);
+  for i = 0 to config.workers - 1 do
+    Format.fprintf fmt "  worker %d stack:@," i;
+    let lines =
+      match config.stack_kind with
+      | Bounded_stack _ ->
+          let base, _ = bounded_region config i in
+          Pstack.Dump.scan_region pmem ~view:Pstack.Dump.Volatile ~base
+      | Resizable_stack _ ->
+          let payload = Offset.of_int (Pmem.read_int pmem (anchor_off i)) in
+          Pstack.Dump.scan_region pmem ~view:Pstack.Dump.Volatile ~base:payload
+      | Linked_stack _ ->
+          Pstack.Dump.scan_linked pmem ~view:Pstack.Dump.Volatile
+            ~anchor:(anchor_off i)
+    in
+    List.iter
+      (fun line -> Format.fprintf fmt "    %a@," Pstack.Dump.pp_line line)
+      lines
+  done;
+  let heap_base_off, _ = heap_region pmem config in
+  let heap = Heap.open_existing pmem ~base:heap_base_off in
+  Format.fprintf fmt
+    "  heap: %d bytes at %a; %d allocated / %d free blocks; %d free bytes \
+     (largest %d)@,"
+    (Heap.length heap) Offset.pp (Heap.base heap)
+    (Heap.block_count heap ~allocated:true)
+    (Heap.block_count heap ~allocated:false)
+    (Heap.free_bytes heap) (Heap.largest_free heap);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,121 @@
+(** The system architecture of Section 4.3.
+
+    A system owns a persistent-memory device and lays it out as:
+
+    {v
+    superblock  | per-worker stack anchors | task table | worker stacks
+    (config)    | (unbounded kinds)        |            | (bounded kind)
+                                                        | heap (rest)
+    v}
+
+    In {e standard mode} ({!create} then {!run}) the main thread
+    initialises the heap and [N] persistent stacks, starts [N] worker
+    domains, and feeds them tasks through a volatile producer-consumer
+    queue backed by the persistent task table.
+
+    In {e recovery mode} ({!attach} then {!recover}) it re-attaches
+    every structure from the superblock, starts one recovery domain per
+    worker stack, and waits for them to complete the interrupted
+    operations; repeated failures during recovery resume where the
+    previous recovery stopped, because every finished frame was already
+    popped.
+
+    Every task is executed under a reserved {e task wrapper} function whose
+    frame outlives the task's own call: its recover function re-runs or
+    completes the task and persists the answer in the task table, so a task
+    is marked done exactly once even if the crash lands between the task's
+    completion and the bookkeeping. *)
+
+type stack_kind =
+  | Bounded_stack of int  (** fixed per-worker capacity, bytes *)
+  | Resizable_stack of int  (** initial capacity, bytes (Appendix A.2) *)
+  | Linked_stack of int  (** block size, bytes (Appendix A.3) *)
+
+type config = {
+  workers : int;
+  stack_kind : stack_kind;
+  task_capacity : int;  (** max number of tasks *)
+  task_max_args : int;  (** max argument bytes per task *)
+}
+
+val default_config : config
+(** 4 workers (as in Section 5.2), bounded 4096-byte stacks, 1024 tasks of
+    up to 64 argument bytes. *)
+
+type t
+
+val create : Nvram.Pmem.t -> registry:Exec.t Registry.t -> config:config -> t
+(** [create pmem ~registry ~config] formats the device for a fresh system:
+    writes the superblock, creates the task table, the heap and one
+    persistent stack per worker.  The configuration is persisted, so
+    {!attach} needs no configuration argument. *)
+
+val attach : Nvram.Pmem.t -> registry:Exec.t Registry.t -> t
+(** [attach pmem ~registry] reopens a system after a restart: reads the
+    superblock, re-attaches the task table and the stacks, and recovers the
+    heap's free list.
+
+    @raise Invalid_argument if the device holds no system superblock. *)
+
+val config : t -> config
+val pmem : t -> Nvram.Pmem.t
+val heap : t -> Nvheap.Heap.t
+val tasks : t -> Task.t
+
+val ctx : t -> int -> Exec.t
+(** [ctx t i] is worker [i]'s execution context — for single-threaded use
+    of the call protocol outside {!run} (examples, tests). *)
+
+val submit : t -> func_id:int -> args:bytes -> int
+(** Persistently appends a task; returns its index. *)
+
+val run : t -> [ `Completed | `Crashed ]
+(** [run t] executes every pending task on the worker domains and returns
+    [`Completed] when all are done, or [`Crashed] as soon as a simulated
+    crash stopped the workers (the caller then goes through
+    [Pmem.crash]/[Pmem.restart]/{!attach}/{!recover}).
+
+    Any exception other than the crash signal raised by a task body is
+    re-raised after all workers stopped. *)
+
+val recover_worker : t -> int -> unit
+(** [recover_worker t i] performs an {e individual} recovery of worker [i]
+    (the individual crash-recovery model of Section 2.2): re-attaches the
+    worker's stack from the device, replaces its execution context, and
+    completes its interrupted operations — without stopping the other
+    workers.  {!run} calls this automatically when a worker receives
+    [Nvram.Crash.Thread_killed] from an armed individual-crash plan, so a
+    killed worker restarts and resumes in place. *)
+
+val recover : ?reclaim:(unit -> Nvram.Offset.t list) -> t -> [ `Completed | `Crashed ]
+(** [recover t] runs one recovery domain per worker stack (parallel
+    recovery, Section 4.3) and returns [`Completed] when every interrupted
+    operation has been completed and popped.
+
+    If [reclaim] is given, a successful recovery then frees every heap
+    block that is referenced neither by a stack nor by the extra roots
+    [reclaim ()] — closing the allocation/resize leak windows
+    (Appendix A; DESIGN.md section 4). *)
+
+val results : t -> (int * int64 option) list
+(** Answers of all submitted tasks, [None] for tasks not yet completed. *)
+
+(** {1 User root}
+
+    One 8-byte superblock cell for the application's own persistent root
+    (e.g. the offset of an experiment's register), so applications need no
+    private well-known locations. *)
+
+val set_root : t -> Nvram.Offset.t -> unit
+val root : t -> Nvram.Offset.t option
+
+(** {1 Inspection} *)
+
+val pp_image : Format.formatter -> Nvram.Pmem.t -> unit
+(** [pp_image fmt pmem] prints a human-readable summary of the system
+    image on [pmem]: the persisted configuration, the user root, task
+    counts and statuses, each worker's decoded stack, and the heap block
+    map.  Reads the {e currently visible} content; does not modify the
+    image.
+
+    @raise Invalid_argument if the device holds no system superblock. *)

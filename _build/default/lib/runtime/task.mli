@@ -1,0 +1,53 @@
+(** Persistent task table.
+
+    Section 4.3: the main thread "receives tasks that should be executed by
+    the system and adds them to the producer-consumer queue", and after a
+    crash the remaining descriptors are re-submitted (Section 5.2, step 7).
+    For that to be possible the descriptors and their completion status
+    must themselves survive crashes, so they live in this NVRAM-resident
+    table.  The volatile producer-consumer queue ({!Work_queue}) only
+    carries indices into it.
+
+    Adding a task commits with the flush of the table's count field;
+    completing one commits with the flush of its status field (the answer
+    is flushed before the status, so a status of "done" always has a valid
+    answer next to it). *)
+
+type t
+
+val region_size : capacity:int -> max_args:int -> int
+(** Device bytes needed for a table of [capacity] tasks whose argument
+    blobs are at most [max_args] bytes. *)
+
+val create :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> capacity:int -> max_args:int -> t
+(** Initialises an empty table at [base]. *)
+
+val attach : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
+(** Attaches to a table created earlier at [base].
+
+    @raise Invalid_argument if the header magic does not match. *)
+
+val add : t -> func_id:int -> args:bytes -> int
+(** [add t ~func_id ~args] persistently appends a task and returns its
+    index.
+
+    @raise Invalid_argument if the table is full or [args] exceed the
+    table's argument capacity. *)
+
+val count : t -> int
+
+val func_id : t -> int -> int
+val args : t -> int -> bytes
+
+val status : t -> int -> [ `Pending | `Done of int64 ]
+
+val mark_done : t -> int -> int64 -> unit
+(** Idempotent: a recovery re-marking an already-done task rewrites the
+    same answer. *)
+
+val pending : t -> int list
+(** Indices of tasks not yet marked done, in submission order. *)
+
+val results : t -> (int * int64 option) list
+(** For every task, its answer if completed. *)

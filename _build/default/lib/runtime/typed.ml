@@ -1,0 +1,41 @@
+type ('a, 'r) t = {
+  id : int;
+  args : 'a Codec.t;
+  answer : 'r Codec.answer;
+}
+
+type ('a, 'r) recovery =
+  | By_rerunning
+  | With_recover of (Exec.t -> 'a -> 'r)
+  | With_rollback of (Exec.t -> 'a -> unit)
+
+let by_rerunning = By_rerunning
+let with_recover f = With_recover f
+let with_rollback f = With_rollback f
+
+let define registry ~id ~name ~args ~answer ~body ~recover =
+  let raw_body ctx raw = Codec.to_answer answer (body ctx (Codec.decode args raw)) in
+  let raw_recover =
+    match recover with
+    | By_rerunning -> fun ctx raw -> Registry.Complete (raw_body ctx raw)
+    | With_recover f ->
+        fun ctx raw ->
+          Registry.Complete
+            (Codec.to_answer answer (f ctx (Codec.decode args raw)))
+    | With_rollback f ->
+        fun ctx raw ->
+          f ctx (Codec.decode args raw);
+          Registry.Rolled_back
+  in
+  Registry.register registry ~id ~name ~body:raw_body ~recover:raw_recover;
+  { id; args; answer }
+
+let call ctx t v =
+  Codec.of_answer t.answer
+    (Exec.call ctx ~func_id:t.id ~args:(Codec.encode t.args v))
+
+let submit sys t v =
+  System.submit sys ~func_id:t.id ~args:(Codec.encode t.args v)
+
+let answer_of_task t raw = Codec.of_answer t.answer raw
+let id t = t.id

@@ -1,0 +1,58 @@
+(** Typed registration and invocation of recoverable functions.
+
+    Removes the byte-level boilerplate from the common case: a function
+    with a typed argument tuple and a small typed answer.  This is the
+    library counterpart of the paper's future-work direction 3 (a compiler
+    plugin that creates and removes stack frames automatically): here the
+    frame management is already automatic ({!Exec.call}), and this module
+    makes the marshalling disappear too.
+
+    {[
+      let fib =
+        Typed.define registry ~id:10 ~name:"fib" ~args:Codec.int
+          ~answer:Codec.answer_int
+          ~body:(fun ctx n ->
+            if n <= 1 then n
+            else Typed.call ctx fib_ref (n - 1) + ...)
+          ~recover:Typed.by_rerunning
+    ]} *)
+
+type ('a, 'r) t
+(** A registered recoverable function with argument type ['a] and answer
+    type ['r]. *)
+
+type ('a, 'r) recovery
+(** How the function recovers. *)
+
+val by_rerunning : ('a, 'r) recovery
+(** Recover by running the body again — for idempotent bodies or bodies
+    whose nested calls carry all the recovery state. *)
+
+val with_recover : (Exec.t -> 'a -> 'r) -> ('a, 'r) recovery
+(** A dedicated recover function that completes the operation. *)
+
+val with_rollback : (Exec.t -> 'a -> unit) -> ('a, 'r) recovery
+(** A recover function that undoes the operation; the invocation is
+    treated as if it never happened (see {!Registry.outcome}). *)
+
+val define :
+  Exec.t Registry.t ->
+  id:int ->
+  name:string ->
+  args:'a Codec.t ->
+  answer:'r Codec.answer ->
+  body:(Exec.t -> 'a -> 'r) ->
+  recover:('a, 'r) recovery ->
+  ('a, 'r) t
+
+val call : Exec.t -> ('a, 'r) t -> 'a -> 'r
+(** Typed {!Exec.call}: encodes the arguments, runs the function on the
+    persistent stack, decodes the answer. *)
+
+val submit : System.t -> ('a, 'r) t -> 'a -> int
+(** Typed {!System.submit}. *)
+
+val answer_of_task : ('a, 'r) t -> int64 -> 'r
+(** Decode a task-table answer produced by this function. *)
+
+val id : ('a, 'r) t -> int

@@ -1,0 +1,41 @@
+type 'a t = {
+  items : 'a Queue.t;
+  mutable closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create () =
+  {
+    items = Queue.create ();
+    closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let push t x =
+  Mutex.protect t.mu (fun () ->
+      if t.closed then invalid_arg "Work_queue.push: queue is closed";
+      Queue.push x t.items;
+      Condition.signal t.nonempty)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.mu;
+              wait ()
+            end
+      in
+      wait ())
+
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.items)

@@ -1,0 +1,22 @@
+(** Volatile producer–consumer queue (Section 4.3).
+
+    The main thread feeds task indices to worker threads through this
+    queue.  It is deliberately volatile: its content is rebuilt from the
+    persistent task table after a restart, exactly as the paper re-adds the
+    remaining descriptors in step 7 of Section 5.2. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if the queue is closed. *)
+
+val close : 'a t -> unit
+(** After [close], consumers drain the remaining items and then receive
+    [None].  Idempotent. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available or the queue is closed and empty. *)
+
+val length : 'a t -> int

@@ -1,0 +1,1 @@
+lib/verify/brute.ml: Array Hashtbl History

@@ -1,0 +1,1 @@
+lib/verify/brute.mli: History

@@ -1,0 +1,1 @@
+lib/verify/euler.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/verify/generator.ml: History List Random

@@ -1,0 +1,1 @@
+lib/verify/generator.mli: History

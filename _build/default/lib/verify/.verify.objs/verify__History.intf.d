@@ -1,0 +1,1 @@
+lib/verify/history.mli: Format

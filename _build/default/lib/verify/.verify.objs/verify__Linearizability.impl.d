@@ -1,0 +1,1 @@
+lib/verify/linearizability.ml: Array Hashtbl History List

@@ -1,0 +1,1 @@
+lib/verify/linearizability.mli: History

@@ -1,0 +1,1 @@
+lib/verify/serializability.ml: Euler Format Hashtbl History List Option

@@ -1,0 +1,1 @@
+lib/verify/serializability.mli: Format History

@@ -1,0 +1,31 @@
+let is_serializable (h : History.t) =
+  let ops = Array.of_list h.ops in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Brute.is_serializable: history too large";
+  let full = (1 lsl n) - 1 in
+  let memo = Hashtbl.create 1024 in
+  let rec go value mask =
+    if mask = full then value = h.final
+    else begin
+      match Hashtbl.find_opt memo (value, mask) with
+      | Some result -> result
+      | None ->
+          let rec try_op i =
+            if i >= n then false
+            else if mask land (1 lsl i) <> 0 then try_op (i + 1)
+            else begin
+              let op = ops.(i) in
+              let matches = value = op.History.expected in
+              let feasible =
+                if op.History.result then matches else not matches
+              in
+              let value' = if op.History.result then op.History.desired else value in
+              (feasible && go value' (mask lor (1 lsl i))) || try_op (i + 1)
+            end
+          in
+          let result = try_op 0 in
+          Hashtbl.add memo (value, mask) result;
+          result
+    end
+  in
+  go h.init 0

@@ -1,0 +1,9 @@
+(** Exhaustive serializability check, for cross-validating the polynomial
+    checker on small histories (tests only).
+
+    Explores every sequential order with memoisation on
+    (register value, set of already-placed operations); exponential in the
+    worst case, fine below ~20 operations. *)
+
+val is_serializable : History.t -> bool
+(** @raise Invalid_argument on histories with more than 62 operations. *)

@@ -1,0 +1,102 @@
+type t = {
+  adjacency : (int, int list ref) Hashtbl.t;
+  in_degrees : (int, int) Hashtbl.t;
+  mutable edges : int;
+}
+
+let create () =
+  { adjacency = Hashtbl.create 16; in_degrees = Hashtbl.create 16; edges = 0 }
+
+let successors t v =
+  match Hashtbl.find_opt t.adjacency v with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.adjacency v l;
+      l
+
+let add_edge t src dst =
+  let l = successors t src in
+  l := dst :: !l;
+  Hashtbl.replace t.in_degrees dst
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.in_degrees dst));
+  t.edges <- t.edges + 1
+
+let edge_count t = t.edges
+
+let vertices t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) t.adjacency;
+  Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) t.in_degrees;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+let out_degree t v =
+  match Hashtbl.find_opt t.adjacency v with
+  | Some l -> List.length !l
+  | None -> 0
+
+let in_degree t v = Option.value ~default:0 (Hashtbl.find_opt t.in_degrees v)
+
+let degrees_admit_path t ~src ~dst =
+  List.for_all
+    (fun v ->
+      let balance = out_degree t v - in_degree t v in
+      if src = dst then balance = 0
+      else if v = src then balance = 1
+      else if v = dst then balance = -1
+      else balance = 0)
+    (vertices t)
+
+(* A returned sequence must be a genuine trail: consecutive vertices joined
+   by distinct edges, consuming the whole edge multiset. *)
+let is_trail t sequence =
+  let pool = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun v l -> List.iter (fun u -> Hashtbl.add pool (v, u) ()) !l)
+    t.adjacency;
+  let rec consume = function
+    | a :: (b :: _ as rest) -> (
+        match Hashtbl.find_opt pool (a, b) with
+        | Some () ->
+            Hashtbl.remove pool (a, b);
+            consume rest
+        | None -> false)
+    | [ _ ] | [] -> Hashtbl.length pool = 0
+  in
+  consume sequence
+
+(* Hierholzer.  The walk is a correct Eulerian trail only when the degree
+   conditions hold (otherwise its pop order can fabricate adjacencies), so
+   they are checked first; the trail validation then certifies
+   connectivity — and the answer. *)
+let path t ~src ~dst =
+  if not (degrees_admit_path t ~src ~dst) then None
+  else begin
+    let remaining = Hashtbl.create (Hashtbl.length t.adjacency) in
+    Hashtbl.iter (fun v l -> Hashtbl.replace remaining v (ref !l)) t.adjacency;
+    let next v =
+      match Hashtbl.find_opt remaining v with
+      | Some ({ contents = u :: rest } as l) ->
+          l := rest;
+          Some u
+      | Some { contents = [] } | None -> None
+    in
+    let rec walk stack acc =
+      match stack with
+      | [] -> acc
+      | v :: rest -> (
+          match next v with
+          | Some u -> walk (u :: stack) acc
+          | None -> walk rest (v :: acc))
+    in
+    (* [walk] emits vertices in reverse completion order, which is the
+       trail from [src] when all edges were consumed. *)
+    let sequence = walk [ src ] [] in
+    let ok =
+      List.length sequence = t.edges + 1
+      && (match sequence with v :: _ -> v = src | [] -> false)
+      && (match List.rev sequence with v :: _ -> v = dst | [] -> false)
+      && is_trail t sequence
+    in
+    if ok then Some sequence else None
+  end

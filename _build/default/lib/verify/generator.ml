@@ -1,0 +1,36 @@
+type range = Wide | Narrow | Custom of int * int
+
+let range_bounds = function
+  | Wide -> (-100_000, 100_000)
+  | Narrow -> (-10, 10)
+  | Custom (lo, hi) ->
+      if lo > hi then invalid_arg "Generator: empty custom range";
+      (lo, hi)
+
+let sample rng range =
+  let lo, hi = range_bounds range in
+  lo + Random.State.int rng (hi - lo + 1)
+
+let workload ~seed ~n ~range =
+  let rng = Random.State.make [| seed |] in
+  let init = sample rng range in
+  let ops =
+    List.init n (fun _ ->
+        let old_value = sample rng range in
+        let new_value = sample rng range in
+        (old_value, new_value))
+  in
+  (init, ops)
+
+let sequential_history ~seed ~n ~range =
+  let init, pairs = workload ~seed ~n ~range in
+  let value = ref init in
+  let ops =
+    List.map
+      (fun (expected, desired) ->
+        let result = !value = expected in
+        if result then value := desired;
+        { History.expected; desired; result })
+      pairs
+  in
+  { History.init; final = !value; ops }

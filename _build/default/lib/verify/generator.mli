@@ -1,0 +1,20 @@
+(** Random workload generation — steps 1–2 of Section 5.2.
+
+    Operands are sampled uniformly either from the paper's wide range
+    [[-10^5, 10^5]] (collisions between operand values are rare, so most
+    CAS operations fail) or from the narrow range [[-10, 10]] (collisions
+    are common, exercising long success chains and the announcement
+    matrix). *)
+
+type range = Wide | Narrow | Custom of int * int
+
+val range_bounds : range -> int * int
+
+val workload : seed:int -> n:int -> range:range -> int * (int * int) list
+(** [workload ~seed ~n ~range] is [(init, [(old_i, new_i); ...])]: an
+    initial register value and [n] operand pairs, deterministic in
+    [seed]. *)
+
+val sequential_history : seed:int -> n:int -> range:range -> History.t
+(** A history produced by actually replaying the workload sequentially —
+    serializable by construction; test fodder for the checkers. *)

@@ -1,0 +1,26 @@
+type op = { expected : int; desired : int; result : bool }
+type t = { init : int; final : int; ops : op list }
+
+let successes t = List.filter (fun op -> op.result) t.ops
+let failures t = List.filter (fun op -> not op.result) t.ops
+
+let replay ~init ops =
+  let rec go value = function
+    | [] -> Ok value
+    | op :: rest ->
+        let would_succeed = value = op.expected in
+        if would_succeed <> op.result then Error op
+        else go (if op.result then op.desired else value) rest
+  in
+  go init ops
+
+type timed_op = { pid : int; base : op; invoked : int; returned : int }
+
+let pp_op fmt { expected; desired; result } =
+  Format.fprintf fmt "CAS(%d->%d)=%s" expected desired
+    (if result then "ok" else "fail")
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>init=%d final=%d@,%a@]" t.init t.final
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_op)
+    t.ops

@@ -1,0 +1,39 @@
+(** Execution histories of CAS operations on a single register.
+
+    Section 5 verifies executions of the form: initial value, a multiset of
+    [CAS(Reg, old_i, new_i)] operations each known to have succeeded or
+    failed, and the final value read after all operations completed. *)
+
+type op = { expected : int; desired : int; result : bool }
+
+type t = { init : int; final : int; ops : op list }
+
+val successes : t -> op list
+val failures : t -> op list
+
+(** {1 Sequential replay}
+
+    The ground truth used to validate witnesses produced by the checkers:
+    replay operations one by one against register semantics. *)
+
+val replay : init:int -> op list -> (int, op) result
+(** [replay ~init ops] applies [ops] in order.  [Ok final] if every
+    operation's recorded result matches what a sequential register would
+    return; [Error op] identifies the first operation whose recorded result
+    contradicts the state. *)
+
+(** {1 Timed histories}
+
+    Used by the linearizability and sequential-consistency checkers
+    (future-work direction 2 of Section 6).  Timestamps are logical; only
+    their order matters. *)
+
+type timed_op = {
+  pid : int;
+  base : op;
+  invoked : int;  (** invocation timestamp *)
+  returned : int;  (** response timestamp; must be [> invoked] *)
+}
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+let check_complete ops =
+  List.iter
+    (fun (op : History.timed_op) ->
+      if op.returned <= op.invoked then
+        invalid_arg "Linearizability: operation interval is empty or inverted")
+    ops
+
+let apply value (op : History.op) =
+  let matches = value = op.expected in
+  if matches <> op.result then None
+  else Some (if op.result then op.desired else value)
+
+(* Memoised search over (register value, set of placed operations); the
+   [candidate] predicate decides which remaining operation may be placed
+   next under the target correctness condition. *)
+let search ~init ~ops ~candidate =
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Linearizability: history too large";
+  let full = (1 lsl n) - 1 in
+  let memo = Hashtbl.create 1024 in
+  let rec go value mask =
+    if mask = full then true
+    else begin
+      match Hashtbl.find_opt memo (value, mask) with
+      | Some result -> result
+      | None ->
+          let rec try_op i =
+            if i >= n then false
+            else if mask land (1 lsl i) <> 0 || not (candidate mask i) then
+              try_op (i + 1)
+            else begin
+              match apply value ops.(i).History.base with
+              | Some value' when go value' (mask lor (1 lsl i)) -> true
+              | Some _ | None -> try_op (i + 1)
+            end
+          in
+          let result = try_op 0 in
+          Hashtbl.add memo (value, mask) result;
+          result
+    end
+  in
+  go init 0
+
+let is_linearizable ~init ops =
+  check_complete ops;
+  let ops = Array.of_list ops in
+  (* [i] may be linearized next iff no remaining operation returned before
+     [i] was invoked. *)
+  let candidate mask i =
+    let ok = ref true in
+    Array.iteri
+      (fun j op ->
+        if j <> i && mask land (1 lsl j) = 0 then
+          if op.History.returned < ops.(i).History.invoked then ok := false)
+      ops;
+    !ok
+  in
+  search ~init ~ops ~candidate
+
+let is_sequentially_consistent ~init ops =
+  check_complete ops;
+  let ops = Array.of_list ops in
+  (* [i] may be placed next iff it is the earliest remaining operation of
+     its process in program order. *)
+  let candidate mask i =
+    let ok = ref true in
+    Array.iteri
+      (fun j op ->
+        if j <> i && mask land (1 lsl j) = 0 then
+          if
+            op.History.pid = ops.(i).History.pid
+            && op.History.invoked < ops.(i).History.invoked
+          then ok := false)
+      ops;
+    !ok
+  in
+  search ~init ~ops ~candidate

@@ -1,0 +1,19 @@
+(** Linearizability and sequential-consistency checkers for small CAS
+    histories — future-work direction 2 of Section 6.
+
+    The paper leaves open whether these can be verified in polynomial time;
+    here they are decided exactly by memoised search (Wing–Gong style),
+    exponential in the worst case and practical up to a few dozen
+    operations — enough to verify the runtime's executions in tests.
+
+    Histories must be complete: every operation has both an invocation and
+    a response timestamp. *)
+
+val is_linearizable : init:int -> History.timed_op list -> bool
+(** Some total order consistent with real time (if [a] returned before [b]
+    was invoked, [a] precedes [b]) replays all recorded results. *)
+
+val is_sequentially_consistent : init:int -> History.timed_op list -> bool
+(** Some total order consistent with every process's program order (per
+    process, by invocation time) replays all recorded results.  Weaker than
+    linearizability. *)

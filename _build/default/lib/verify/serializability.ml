@@ -1,0 +1,90 @@
+type reason = No_eulerian_path | Impossible_failure of History.op
+
+type verdict = Serializable of History.op list | Not_serializable of reason
+
+(* Map the consecutive state pairs of the Eulerian path back to concrete
+   operation instances.  Operations with equal (expected, desired) are
+   interchangeable, so any matching instance will do. *)
+let ops_along_path successes states =
+  let pool = Hashtbl.create 16 in
+  List.iter
+    (fun (op : History.op) -> Hashtbl.add pool (op.expected, op.desired) op)
+    successes;
+  let rec pair = function
+    | a :: (b :: _ as rest) ->
+        let op =
+          match Hashtbl.find_opt pool (a, b) with
+          | Some op ->
+              Hashtbl.remove pool (a, b);
+              op
+          | None -> assert false (* the path uses exactly the edge multiset *)
+        in
+        op :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair states
+
+(* Insertion slot for a failed operation: the index of the first state whose
+   value differs from the operation's expected value. *)
+let failure_slot states (op : History.op) =
+  let rec find i = function
+    | [] -> None
+    | v :: rest -> if v <> op.expected then Some i else find (i + 1) rest
+  in
+  find 0 states
+
+let weave ordered_successes failures_with_slots =
+  let at_slot i =
+    List.filter_map
+      (fun (slot, op) -> if slot = i then Some op else None)
+      failures_with_slots
+  in
+  let rec go i successes =
+    let here = at_slot i in
+    match successes with
+    | [] -> here
+    | op :: rest -> here @ (op :: go (i + 1) rest)
+  in
+  go 0 ordered_successes
+
+let check (h : History.t) =
+  let successes = History.successes h in
+  let failures = History.failures h in
+  let graph = Euler.create () in
+  List.iter
+    (fun (op : History.op) -> Euler.add_edge graph op.expected op.desired)
+    successes;
+  match Euler.path graph ~src:h.init ~dst:h.final with
+  | None -> Not_serializable No_eulerian_path
+  | Some states -> (
+      let slots =
+        List.map (fun op -> (failure_slot states op, op)) failures
+      in
+      match
+        List.find_opt (fun (slot, _) -> Option.is_none slot) slots
+      with
+      | Some (_, op) -> Not_serializable (Impossible_failure op)
+      | None ->
+          let failures_with_slots =
+            List.map (fun (slot, op) -> (Option.get slot, op)) slots
+          in
+          let witness =
+            weave (ops_along_path successes states) failures_with_slots
+          in
+          (* The witness must replay exactly; anything else is a checker
+             bug, not a property of the input. *)
+          (match History.replay ~init:h.init witness with
+          | Ok final -> assert (final = h.final)
+          | Error _ -> assert false);
+          Serializable witness)
+
+let is_serializable h =
+  match check h with Serializable _ -> true | Not_serializable _ -> false
+
+let pp_verdict fmt = function
+  | Serializable _ -> Format.fprintf fmt "serializable"
+  | Not_serializable No_eulerian_path ->
+      Format.fprintf fmt "NOT serializable: no Eulerian path"
+  | Not_serializable (Impossible_failure op) ->
+      Format.fprintf fmt "NOT serializable: failure %a cannot be placed"
+        History.pp_op op

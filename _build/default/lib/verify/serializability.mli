@@ -1,0 +1,37 @@
+(** Serializability of CAS executions — the polynomial-time verifier of
+    Section 5.1.
+
+    An execution [{init; final; ops}] is serializable iff the operations
+    can be arranged in {e some} sequential order that a register starting
+    at [init] would execute with exactly the recorded results, ending at
+    [final].  Successful operations form the edges of a value multigraph;
+    the sequential orders of the successes are exactly the Eulerian paths
+    from [init] to [final].  A failed [CAS(old, new)] can be inserted at
+    any state whose value differs from [old].
+
+    The paper's footnote assumes such a state always exists; it does not
+    when {e every} state along the path (including the endpoints) equals
+    [old] — e.g. an execution with no successful operations and a failed
+    [CAS(init, x)].  {!check} implements the complete rule (DESIGN.md,
+    decision 6). *)
+
+type reason =
+  | No_eulerian_path
+      (** The successes cannot be ordered sequentially: degree or
+          connectivity conditions fail between [init] and [final]. *)
+  | Impossible_failure of History.op
+      (** A failed operation whose expected value equals every reachable
+          state — sequentially it would have succeeded. *)
+
+type verdict =
+  | Serializable of History.op list
+      (** A witness: all operations (successes and failures) in a
+          sequential order that replays exactly. *)
+  | Not_serializable of reason
+
+val check : History.t -> verdict
+(** Polynomial in the number of operations. *)
+
+val is_serializable : History.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+test/test_bank.ml: Alcotest Apps Array Int64 List Nvheap Nvram Option Printf Random Runtime String

@@ -1,0 +1,1 @@
+test/test_crashpoints.ml: Alcotest Int64 List Nvheap Nvram Option Printf Runtime String

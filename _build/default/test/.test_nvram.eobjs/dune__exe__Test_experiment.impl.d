@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Experiment Format List Printf Recoverable Runtime String Verify

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Bytes List Nvheap Nvram Pstack

@@ -1,0 +1,1 @@
+test/test_nvheap.ml: Alcotest Bytes Domain List Nvheap Nvram String

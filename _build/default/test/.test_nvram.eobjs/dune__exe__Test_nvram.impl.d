@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest Bytes Filename Fun List Nvram Printf Sys

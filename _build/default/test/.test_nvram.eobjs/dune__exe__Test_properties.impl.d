@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Char Format Hashtbl List Nvheap Nvram Printf Pstack QCheck2 QCheck_alcotest Queue Random Recoverable Runtime String Verify

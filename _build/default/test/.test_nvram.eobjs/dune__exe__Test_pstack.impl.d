@@ -1,0 +1,1 @@
+test/test_pstack.ml: Alcotest Bytes List Nvheap Nvram Printf Pstack String

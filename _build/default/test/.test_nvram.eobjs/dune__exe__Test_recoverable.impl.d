@@ -1,0 +1,1 @@
+test/test_recoverable.ml: Alcotest Array Bytes Fun Int64 List Nvheap Nvram Option Printf Recoverable Runtime String Thread

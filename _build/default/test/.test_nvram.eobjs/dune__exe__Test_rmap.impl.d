@@ -1,0 +1,1 @@
+test/test_rmap.ml: Alcotest Array Fun Int64 List Nvheap Nvram Option Printf Recoverable Runtime String Thread

@@ -1,0 +1,1 @@
+test/test_rqueue.ml: Alcotest Array Atomic Bytes Fun List Nvheap Nvram Option Recoverable Runtime String Thread

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Bytes Int64 List Nvram Printf Runtime Thread

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Bytes Filename Format Fun List Nvheap Nvram Pstack Runtime String Sys Unix

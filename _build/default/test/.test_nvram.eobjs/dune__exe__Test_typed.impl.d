@@ -1,0 +1,1 @@
+test/test_typed.ml: Alcotest Bytes List Nvheap Nvram Option Printf Runtime String

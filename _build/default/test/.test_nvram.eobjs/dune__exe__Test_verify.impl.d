@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Format List Printf Random String Verify

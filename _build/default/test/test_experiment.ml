@@ -1,0 +1,202 @@
+(* End-to-end reproduction of the Section 5.2 running examples (experiment
+   rows E1-E3 of DESIGN.md):
+
+   - E1/E2: random CAS workloads (wide and narrow ranges) executed by 4
+     workers under random crashes with the CORRECT recoverable CAS are
+     always serializable;
+   - E3: the same harness with the BUGGY CAS (announcement matrix removed)
+     produces non-serializable executions that the verifier reports.
+
+   The buggy variant's vulnerable window (install, overwrite, crash before
+   the bookkeeping) is narrow, so E3 uses a high-contention two-value
+   workload and several seeds, mirroring the paper's "a lot of random
+   executions". *)
+
+module E = Experiment
+module S = Verify.Serializability
+
+let is_serializable o =
+  match o.E.verdict with
+  | S.Serializable _ -> true
+  | S.Not_serializable _ -> false
+
+let test_e1_wide_range () =
+  for seed = 1 to 5 do
+    let o =
+      E.run
+        {
+          E.default_spec with
+          n_ops = 48;
+          seed;
+          range = Verify.Generator.Wide;
+          crash_mode = E.Random_ops 0.01;
+        }
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "wide seed %d serializable" seed)
+      true (is_serializable o);
+    Alcotest.(check int)
+      (Printf.sprintf "wide seed %d all ops answered" seed)
+      48
+      (List.length o.E.history.Verify.History.ops)
+  done
+
+let test_e2_narrow_range () =
+  for seed = 1 to 5 do
+    let o =
+      E.run
+        {
+          E.default_spec with
+          n_ops = 48;
+          seed;
+          range = Verify.Generator.Narrow;
+          crash_mode = E.Random_ops 0.01;
+        }
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "narrow seed %d serializable" seed)
+      true (is_serializable o)
+  done
+
+let test_e1_deterministic_crashes () =
+  let o =
+    E.run
+      {
+        E.default_spec with
+        n_ops = 32;
+        seed = 7;
+        crash_mode = E.Every_ops 500;
+      }
+  in
+  Alcotest.(check bool) "crashes occurred" true (o.E.crashes > 0);
+  Alcotest.(check bool) "serializable" true (is_serializable o)
+
+let test_no_crash_mode () =
+  let o =
+    E.run { E.default_spec with n_ops = 32; seed = 9; crash_mode = E.No_crashes }
+  in
+  Alcotest.(check int) "no crashes" 0 o.E.crashes;
+  Alcotest.(check bool) "serializable" true (is_serializable o)
+
+let test_unbounded_stack_kinds () =
+  List.iter
+    (fun stack_kind ->
+      let o =
+        E.run
+          {
+            E.default_spec with
+            n_ops = 24;
+            seed = 11;
+            crash_mode = E.Random_ops 0.005;
+            stack_kind;
+          }
+      in
+      Alcotest.(check bool) "serializable" true (is_serializable o))
+    [ Runtime.System.Resizable_stack 128; Runtime.System.Linked_stack 256 ]
+
+let test_e3_buggy_detected () =
+  (* High contention (two values, 8 workers) makes the lost-success window
+     reachable; across seeds the verifier must flag at least one execution.
+     Stop at the first detection to keep the test fast. *)
+  let detected = ref false in
+  let seed = ref 1 in
+  while (not !detected) && !seed <= 12 do
+    let o =
+      E.run
+        {
+          E.default_spec with
+          n_ops = 300;
+          seed = !seed;
+          workers = 8;
+          variant = Recoverable.Rcas.Buggy;
+          range = Verify.Generator.Custom (0, 1);
+          crash_mode = E.Random_ops 0.02;
+        }
+    in
+    if not (is_serializable o) then detected := true;
+    incr seed
+  done;
+  Alcotest.(check bool) "buggy CAS caught as non-serializable" true !detected
+
+let test_correct_survives_high_contention () =
+  (* the exact E3 setup but with the correct CAS: never flagged *)
+  for seed = 1 to 4 do
+    let o =
+      E.run
+        {
+          E.default_spec with
+          n_ops = 300;
+          seed;
+          workers = 8;
+          variant = Recoverable.Rcas.Correct;
+          range = Verify.Generator.Custom (0, 1);
+          crash_mode = E.Random_ops 0.02;
+        }
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "correct seed %d" seed)
+      true (is_serializable o)
+  done
+
+
+let test_timed_linearizable () =
+  (* run small concurrent workloads and verify the recorded executions for
+     linearizability and sequential consistency — the paper's future-work
+     direction 2 wired to the real runtime *)
+  for seed = 1 to 6 do
+    let ops, init =
+      E.run_timed
+        {
+          E.default_spec with
+          n_ops = 12;
+          seed;
+          workers = 3;
+          range = Verify.Generator.Custom (0, 2);
+        }
+    in
+    Alcotest.(check int) "all ops recorded" 12 (List.length ops);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d linearizable" seed)
+      true
+      (Verify.Linearizability.is_linearizable ~init ops);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d sequentially consistent" seed)
+      true
+      (Verify.Linearizability.is_sequentially_consistent ~init ops)
+  done
+
+let test_outcome_reporting () =
+  let o =
+    E.run { E.default_spec with n_ops = 16; seed = 2; crash_mode = E.No_crashes }
+  in
+  let text = Format.asprintf "%a" E.pp_outcome o in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary mentions verdict" true
+    (contains text "serializable")
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ( "section 5.2",
+        [
+          Alcotest.test_case "E1: wide range, correct CAS" `Slow
+            test_e1_wide_range;
+          Alcotest.test_case "E2: narrow range, correct CAS" `Slow
+            test_e2_narrow_range;
+          Alcotest.test_case "deterministic crash schedule" `Quick
+            test_e1_deterministic_crashes;
+          Alcotest.test_case "no-crash mode" `Quick test_no_crash_mode;
+          Alcotest.test_case "unbounded stacks" `Slow test_unbounded_stack_kinds;
+          Alcotest.test_case "E3: buggy CAS detected" `Slow
+            test_e3_buggy_detected;
+          Alcotest.test_case "E3 control: correct CAS clean" `Slow
+            test_correct_survives_high_contention;
+          Alcotest.test_case "timed executions linearizable" `Slow
+            test_timed_linearizable;
+          Alcotest.test_case "outcome reporting" `Quick test_outcome_reporting;
+        ] );
+    ]

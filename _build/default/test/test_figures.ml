@@ -1,0 +1,201 @@
+(* Executable reproductions of the paper's structural figures.
+
+   The paper's Figures 2-6 and 8 are state diagrams of the persistent stack
+   protocol.  Each test here drives the implementation into exactly the
+   state a figure depicts and asserts the decoded layout — so the figures
+   are regenerated from the real byte-level behaviour rather than described
+   in prose.  (Figures 1 and 7 illustrate the abstract system model and need
+   no byte-level counterpart.)  EXPERIMENTS.md maps figure ids to these
+   tests. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Heap = Nvheap.Heap
+module Frame = Pstack.Frame
+module Dump = Pstack.Dump
+
+let off = Offset.of_int
+
+let fresh () =
+  let pmem = Pmem.create ~policy:Pmem.Lose_all ~size:65536 () in
+  (pmem, Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192)
+
+let decode ?(view = Dump.Volatile) pmem =
+  Dump.scan_region pmem ~view ~base:(off 0)
+
+let frame_ids lines =
+  List.filter_map
+    (function Dump.Frame { func_id; _ } -> Some func_id | _ -> None)
+    lines
+
+let last_flags lines =
+  List.filter_map
+    (function Dump.Frame { last; _ } -> Some last | _ -> None)
+    lines
+
+(* Fig. 2: persistent stack structure — consecutive frames, frame-end
+   markers 0x0, one stack-end marker 0x1, invalid data after it. *)
+let test_fig2_stack_structure () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:(Bytes.of_string "one");
+  Pstack.Bounded.push s ~func_id:3 ~args:(Bytes.of_string "two");
+  let lines = decode pmem in
+  Alcotest.(check (list int)) "dummy + two frames" [ 0; 2; 3 ] (frame_ids lines);
+  Alcotest.(check (list bool)) "only the top is stack-end"
+    [ false; false; true ] (last_flags lines);
+  match List.rev lines with
+  | Dump.Invalid_tail _ :: _ -> ()
+  | _ -> Alcotest.fail "data after the stack end must be invalid"
+
+(* Fig. 3: adding a frame.  3b: the new frame is written after the stack
+   end marker and is NOT yet part of the stack; 3c: moving the stack end
+   forward makes it the top. *)
+let test_fig3_add_frame () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  (* 3b: write the new frame but crash before the marker moves.  The marker
+     move is the last persistence op of a push: cut it with the crash
+     scheduler by counting ops of a probe push first. *)
+  let ops_per_push =
+    let pmem', s' = fresh () in
+    Pstack.Bounded.push s' ~func_id:2 ~args:Bytes.empty;
+    let before = Crash.ops (Pmem.crash_ctl pmem') in
+    Pstack.Bounded.push s' ~func_id:3 ~args:Bytes.empty;
+    Crash.ops (Pmem.crash_ctl pmem') - before
+  in
+  (* crash on the very last op of the upcoming push: the marker flush
+     (arming resets the operation counter) *)
+  Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op ops_per_push);
+  (try Pstack.Bounded.push s ~func_id:3 ~args:Bytes.empty
+   with Crash.Crash_now -> ());
+  Pmem.crash_and_restart pmem;
+  let lines = decode ~view:Dump.Persistent pmem in
+  Alcotest.(check (list int)) "3b: frame 3 not yet in the stack" [ 0; 2 ]
+    (frame_ids lines);
+  (* 3c: now do a clean push: both frames present, end moved forward *)
+  let s = Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 in
+  Pstack.Bounded.push s ~func_id:3 ~args:Bytes.empty;
+  let lines = decode pmem in
+  Alcotest.(check (list int)) "3c: frame 3 on top" [ 0; 2; 3 ] (frame_ids lines);
+  Alcotest.(check (list bool)) "3c: markers" [ false; false; true ]
+    (last_flags lines)
+
+(* Fig. 4: removing the top frame — the penultimate frame's marker becomes
+   the stack end and the old top turns into invalid data. *)
+let test_fig4_remove_frame () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  Pstack.Bounded.push s ~func_id:3 ~args:Bytes.empty;
+  Pstack.Bounded.pop s;
+  let lines = decode pmem in
+  Alcotest.(check (list int)) "frame 3 gone" [ 0; 2 ] (frame_ids lines);
+  Alcotest.(check (list bool)) "frame 2 is the stack end" [ false; true ]
+    (last_flags lines)
+
+(* Fig. 5: a frame longer than a cache line, partially flushed at a crash,
+   lies beyond the stack end marker and is never interpreted. *)
+let test_fig5_partially_flushed_long_frame () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  (* long frame: args larger than one cache line *)
+  let long_args = Bytes.make 200 'L' in
+  (* the frame spans 4 cache lines: 4 write ops then 4 flush ops; crash in
+     the middle of the flushes so the frame is persisted only partially *)
+  Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op 6);
+  (try Pstack.Bounded.push s ~func_id:3 ~args:long_args
+   with Crash.Crash_now -> ());
+  Pmem.crash_and_restart pmem;
+  let s' = Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 in
+  Alcotest.(check int) "torn frame invisible" 1 (Pstack.Bounded.depth s');
+  let lines = decode ~view:Dump.Persistent pmem in
+  Alcotest.(check (list int)) "stack readable" [ 0; 2 ] (frame_ids lines)
+
+(* Fig. 6a: violating invariant 1 (flush the frame before moving the end)
+   loses the frame body while the stack end points into garbage. *)
+let test_fig6a_lost_frame () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  Pstack.Bounded.unsafe_push ~flush_frame:false s ~func_id:3
+    ~args:(Bytes.of_string "body");
+  Pmem.crash_and_restart pmem;
+  (* The stack end points at frame 3, but the unflushed frame body did not
+     survive: whatever decodes there has lost the 4 argument bytes (the
+     head of the frame may survive by sharing a cache line with the flushed
+     marker of frame 2). *)
+  let lines = decode ~view:Dump.Persistent pmem in
+  let intact =
+    List.exists
+      (function
+        | Dump.Frame { func_id = 3; args_len = 4; _ } -> true
+        | Dump.Frame _ | Dump.Pointer_frame _ | Dump.Invalid_tail _ -> false)
+      lines
+  in
+  Alcotest.(check bool) "frame 3's body was lost" false intact
+
+(* Fig. 6b: violating invariant 2 (flush the moved marker) makes the frame
+   invisible after a crash — F.Recover would never be invoked. *)
+let test_fig6b_lost_marker () =
+  let pmem, s = fresh () in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  Pstack.Bounded.unsafe_push ~flush_marker:false s ~func_id:3 ~args:Bytes.empty;
+  Alcotest.(check int) "frame 3 visible before crash" 2
+    (Pstack.Bounded.depth s);
+  Pmem.crash_and_restart pmem;
+  let s' = Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 in
+  Alcotest.(check int) "frame 3 invisible after crash" 1
+    (Pstack.Bounded.depth s');
+  Alcotest.(check (list int)) "persistent view stops at frame 2" [ 0; 2 ]
+    (frame_ids (decode ~view:Dump.Persistent pmem))
+
+(* Fig. 8: linked-list stack — popping the only frame of the last block
+   moves the stack end backward past the pointer frame and deallocates the
+   emptied block. *)
+let test_fig8_linked_pop_frees_block () =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let heap = Heap.format pmem ~base:(off 64) ~len:(1 lsl 19) in
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:96 () in
+  (* fill the first block, force a second one *)
+  Pstack.Linked.push s ~func_id:2 ~args:(Bytes.make 20 'a');
+  Pstack.Linked.push s ~func_id:3 ~args:(Bytes.make 40 'b');
+  Alcotest.(check int) "two blocks" 2 (Pstack.Linked.block_count s);
+  let allocated_before = Heap.block_count heap ~allocated:true in
+  (* the dump follows the pointer frame into the second block *)
+  let lines = Dump.scan_linked pmem ~view:Dump.Volatile ~anchor:(off 0) in
+  Alcotest.(check bool) "pointer frame in the dump" true
+    (List.exists
+       (function Dump.Pointer_frame _ -> true | _ -> false)
+       lines);
+  (* 8a -> 8b: pop the only frame of the second block *)
+  Pstack.Linked.pop s;
+  Alcotest.(check int) "back to one block" 1 (Pstack.Linked.block_count s);
+  Alcotest.(check int) "block deallocated" (allocated_before - 1)
+    (Heap.block_count heap ~allocated:true);
+  let lines = Dump.scan_linked pmem ~view:Dump.Volatile ~anchor:(off 0) in
+  Alcotest.(check (list int)) "frame 3 and the pointer gone" [ 0; 2 ]
+    (frame_ids lines);
+  Alcotest.(check bool) "no pointer frame remains visible" true
+    (List.for_all
+       (function Dump.Pointer_frame _ -> false | _ -> true)
+       lines)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "structural figures",
+        [
+          Alcotest.test_case "Fig. 2: stack structure" `Quick
+            test_fig2_stack_structure;
+          Alcotest.test_case "Fig. 3: adding a frame" `Quick test_fig3_add_frame;
+          Alcotest.test_case "Fig. 4: removing the top frame" `Quick
+            test_fig4_remove_frame;
+          Alcotest.test_case "Fig. 5: partially flushed long frame" `Quick
+            test_fig5_partially_flushed_long_frame;
+          Alcotest.test_case "Fig. 6a: lost frame body" `Quick
+            test_fig6a_lost_frame;
+          Alcotest.test_case "Fig. 6b: lost end marker" `Quick
+            test_fig6b_lost_marker;
+          Alcotest.test_case "Fig. 8: linked pop frees block" `Quick
+            test_fig8_linked_pop_frees_block;
+        ] );
+    ]

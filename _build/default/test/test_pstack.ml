@@ -1,0 +1,393 @@
+(* Tests for the persistent stack: frame codec, the three implementations
+   behind one interface, answer slots, crash-point sweeps of the push/pop
+   protocols, and the unbounded stacks' block management. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Heap = Nvheap.Heap
+module Frame = Pstack.Frame
+
+let off = Offset.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+
+let test_codec_roundtrip () =
+  let pmem = Pmem.create ~size:4096 () in
+  let frame = { Frame.func_id = 77; args = Bytes.of_string "payload" } in
+  let image = Frame.encode_ordinary frame ~marker:Frame.marker_stack_end in
+  Alcotest.(check int) "size" (Frame.ordinary_size ~args_len:7)
+    (Bytes.length image);
+  Pmem.write_bytes pmem ~off:(off 100) image;
+  (match Frame.read pmem ~at:(off 100) with
+  | Frame.Ordinary { frame = f; size; last } ->
+      Alcotest.(check int) "func_id" 77 f.Frame.func_id;
+      Alcotest.(check string) "args" "payload" (Bytes.to_string f.Frame.args);
+      Alcotest.(check int) "size" (Bytes.length image) size;
+      Alcotest.(check bool) "last" true last
+  | Frame.Pointer _ -> Alcotest.fail "expected ordinary frame");
+  let pointer =
+    Frame.encode_pointer ~next:(off 640) ~marker:Frame.marker_frame_end
+  in
+  Alcotest.(check int) "pointer size" Frame.pointer_size (Bytes.length pointer);
+  Pmem.write_bytes pmem ~off:(off 200) pointer;
+  match Frame.read pmem ~at:(off 200) with
+  | Frame.Pointer { next; size; last } ->
+      Alcotest.(check int) "next" 640 (Offset.to_int next);
+      Alcotest.(check int) "psize" Frame.pointer_size size;
+      Alcotest.(check bool) "not last" false last
+  | Frame.Ordinary _ -> Alcotest.fail "expected pointer frame"
+
+let test_codec_rejects_garbage () =
+  let pmem = Pmem.create ~size:4096 () in
+  Pmem.write_byte pmem (off 0) 0x5A;
+  Alcotest.check_raises "preamble"
+    (Invalid_argument "Frame.read: invalid preamble 0x5A at 0") (fun () ->
+      ignore (Frame.read pmem ~at:(off 0)))
+
+let test_answer_slot () =
+  let pmem = Pmem.create ~size:4096 () in
+  let frame = { Frame.func_id = 5; args = Bytes.empty } in
+  Pmem.write_bytes pmem ~off:(off 0)
+    (Frame.encode_ordinary frame ~marker:Frame.marker_stack_end);
+  Alcotest.(check (option int64)) "initially empty" None
+    (Frame.read_answer pmem ~frame:(off 0));
+  Frame.write_answer pmem ~frame:(off 0) 42L;
+  Alcotest.(check (option int64)) "written" (Some 42L)
+    (Frame.read_answer pmem ~frame:(off 0));
+  (* the slot write flushes, so it must already be persistent *)
+  Pmem.crash_and_restart pmem;
+  Alcotest.(check (option int64)) "persisted" (Some 42L)
+    (Frame.read_answer pmem ~frame:(off 0));
+  Frame.clear_answer pmem ~frame:(off 0);
+  Alcotest.(check (option int64)) "cleared" None
+    (Frame.read_answer pmem ~frame:(off 0))
+
+(* ------------------------------------------------------------------ *)
+(* The three implementations behind the common interface               *)
+
+type harness =
+  | Harness : {
+      name : string;
+      stack : (module Pstack.Stack_intf.S with type t = 's);
+      make : unit -> Pmem.t * 's;
+      reattach : Pmem.t -> 's;
+    }
+      -> harness
+
+let bounded_harness =
+  Harness
+    {
+      name = "bounded";
+      stack = (module Pstack.Bounded);
+      make =
+        (fun () ->
+          let pmem = Pmem.create ~size:65536 () in
+          (pmem, Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192));
+      reattach =
+        (fun pmem -> Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192);
+    }
+
+let with_heap () =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let heap = Heap.format pmem ~base:(off 64) ~len:(1 lsl 19) in
+  (pmem, heap)
+
+let resizable_harness =
+  Harness
+    {
+      name = "resizable";
+      stack = (module Pstack.Resizable);
+      make =
+        (fun () ->
+          let pmem, heap = with_heap () in
+          (pmem, Pstack.Resizable.create pmem ~heap ~anchor:(off 0) ()));
+      reattach =
+        (fun pmem ->
+          let heap = Heap.open_existing pmem ~base:(off 64) in
+          Pstack.Resizable.attach pmem ~heap ~anchor:(off 0));
+    }
+
+let linked_harness =
+  Harness
+    {
+      name = "linked";
+      stack = (module Pstack.Linked);
+      make =
+        (fun () ->
+          let pmem, heap = with_heap () in
+          ( pmem,
+            Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:128 ()
+          ));
+      reattach =
+        (fun pmem ->
+          let heap = Heap.open_existing pmem ~base:(off 64) in
+          Pstack.Linked.attach pmem ~heap ~anchor:(off 0));
+    }
+
+let harnesses = [ bounded_harness; resizable_harness; linked_harness ]
+
+let args_of n = Bytes.of_string (Printf.sprintf "args-%d" n)
+
+let test_push_pop (Harness h) () =
+  let module S = (val h.stack) in
+  let _pmem, s = h.make () in
+  Alcotest.(check int) "fresh depth" 0 (S.depth s);
+  Alcotest.(check bool) "fresh top" true (S.top s = None);
+  S.push s ~func_id:2 ~args:(args_of 2);
+  S.push s ~func_id:3 ~args:(args_of 3);
+  S.push s ~func_id:4 ~args:(args_of 4);
+  Alcotest.(check int) "depth 3" 3 (S.depth s);
+  (match S.top s with
+  | Some (_, f) -> Alcotest.(check int) "top id" 4 f.Frame.func_id
+  | None -> Alcotest.fail "top expected");
+  let ids = List.map (fun (_, f) -> f.Frame.func_id) (S.frames s) in
+  Alcotest.(check (list int)) "bottom to top" [ 2; 3; 4 ] ids;
+  S.pop s;
+  Alcotest.(check int) "depth 2" 2 (S.depth s);
+  (match S.top s with
+  | Some (_, f) ->
+      Alcotest.(check int) "new top id" 3 f.Frame.func_id;
+      Alcotest.(check string) "args preserved" "args-3"
+        (Bytes.to_string f.Frame.args)
+  | None -> Alcotest.fail "top expected");
+  S.pop s;
+  S.pop s;
+  Alcotest.(check int) "empty" 0 (S.depth s);
+  Alcotest.(check bool) "pop empty raises" true
+    (match S.pop s with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_attach_matches (Harness h) () =
+  let module S = (val h.stack) in
+  let pmem, s = h.make () in
+  List.iter (fun i -> S.push s ~func_id:i ~args:(args_of i)) [ 2; 3; 4; 5 ];
+  S.pop s;
+  let s' = h.reattach pmem in
+  Alcotest.(check int) "depth preserved" (S.depth s) (S.depth s');
+  let ids st = List.map (fun (_, f) -> f.Frame.func_id) (S.frames st) in
+  Alcotest.(check (list int)) "frames preserved" (ids s) (ids s')
+
+let test_answer_via_interface (Harness h) () =
+  let module S = (val h.stack) in
+  let pmem, s = h.make () in
+  S.push s ~func_id:2 ~args:Bytes.empty;
+  S.push s ~func_id:3 ~args:Bytes.empty;
+  (* callee (3) deposits an answer in the caller (2)'s frame *)
+  Frame.write_answer pmem ~frame:(S.under_top_offset s) 99L;
+  S.pop s;
+  Alcotest.(check (option int64)) "caller sees answer" (Some 99L)
+    (Frame.read_answer pmem ~frame:(S.top_offset s))
+
+let test_deep_stack (Harness h) () =
+  let module S = (val h.stack) in
+  let pmem, s = h.make () in
+  let n = 60 in
+  for i = 1 to n do
+    S.push s ~func_id:(i + 1) ~args:(args_of i)
+  done;
+  Alcotest.(check int) "deep" n (S.depth s);
+  let s' = h.reattach pmem in
+  Alcotest.(check int) "deep reattach" n (S.depth s');
+  for _ = 1 to n do
+    S.pop s
+  done;
+  Alcotest.(check int) "drained" 0 (S.depth s)
+
+(* Crash-point sweep of the push/pop protocol: crash before every
+   persistence operation of a scripted workload; the reattached stack must
+   decode to one of the states the linearization points allow (a prefix of
+   the scripted history). *)
+let test_crash_point_sweep (Harness h) () =
+  let module S = (val h.stack) in
+  let script s =
+    S.push s ~func_id:2 ~args:(args_of 1);
+    S.push s ~func_id:3 ~args:(Bytes.make 100 'x') (* long frame, Fig. 5 *);
+    S.pop s;
+    S.push s ~func_id:4 ~args:Bytes.empty;
+    S.pop s;
+    S.pop s
+  in
+  let legal_histories = [ []; [ 2 ]; [ 2; 3 ]; [ 2; 4 ] ] in
+  let total =
+    let pmem, s = h.make () in
+    let before = Crash.ops (Pmem.crash_ctl pmem) in
+    script s;
+    Crash.ops (Pmem.crash_ctl pmem) - before
+  in
+  Alcotest.(check bool) "script persists" true (total > 10);
+  for point = 1 to total do
+    let pmem, s = h.make () in
+    Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point);
+    (try script s with Crash.Crash_now -> ());
+    Pmem.crash_and_restart pmem;
+    let s' = h.reattach pmem in
+    let ids = List.map (fun (_, f) -> f.Frame.func_id) (S.frames s') in
+    if not (List.mem ids legal_histories) then
+      Alcotest.failf "crash at op %d/%d left illegal stack [%s]" point total
+        (String.concat ";" (List.map string_of_int ids))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Implementation-specific behaviour                                   *)
+
+let test_bounded_overflow () =
+  let pmem = Pmem.create ~size:4096 () in
+  let s = Pstack.Bounded.create pmem ~base:(off 0) ~capacity:128 in
+  Alcotest.(check bool) "overflow raised" true
+    (match
+       for i = 1 to 100 do
+         Pstack.Bounded.push s ~func_id:(i + 1) ~args:Bytes.empty
+       done
+     with
+    | () -> false
+    | exception Pstack.Bounded.Overflow -> true)
+
+let test_resizable_grows_and_shrinks () =
+  let pmem, heap = with_heap () in
+  ignore pmem;
+  let s = Pstack.Resizable.create pmem ~heap ~anchor:(off 0) () in
+  let initial = Pstack.Resizable.capacity s in
+  for i = 1 to 50 do
+    Pstack.Resizable.push s ~func_id:(i + 1) ~args:(Bytes.make 32 'a')
+  done;
+  Alcotest.(check bool) "grew" true (Pstack.Resizable.capacity s > initial);
+  Alcotest.(check bool) "resized at least once" true
+    (Pstack.Resizable.resize_count s > 0);
+  let grown = Pstack.Resizable.capacity s in
+  for _ = 1 to 50 do
+    Pstack.Resizable.pop s
+  done;
+  Alcotest.(check bool) "shrank" true (Pstack.Resizable.capacity s < grown);
+  Alcotest.(check int) "single live block" 1
+    (List.length (Pstack.Resizable.live_blocks s))
+
+let test_linked_spans_blocks () =
+  let pmem, heap = with_heap () in
+  ignore pmem;
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:128 () in
+  Alcotest.(check int) "one block" 1 (Pstack.Linked.block_count s);
+  for i = 1 to 20 do
+    Pstack.Linked.push s ~func_id:(i + 1) ~args:(Bytes.make 40 'b')
+  done;
+  Alcotest.(check bool) "multiple blocks" true (Pstack.Linked.block_count s > 1);
+  Alcotest.(check int) "depth" 20 (Pstack.Linked.depth s);
+  let allocated_at_peak = Heap.block_count heap ~allocated:true in
+  for _ = 1 to 20 do
+    Pstack.Linked.pop s
+  done;
+  Alcotest.(check int) "back to one block" 1 (Pstack.Linked.block_count s);
+  Alcotest.(check bool) "blocks freed" true
+    (Heap.block_count heap ~allocated:true < allocated_at_peak);
+  Alcotest.(check int) "drained" 0 (Pstack.Linked.depth s)
+
+let test_linked_big_frame_gets_own_block () =
+  let pmem, heap = with_heap () in
+  ignore pmem;
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:128 () in
+  Pstack.Linked.push s ~func_id:2 ~args:(Bytes.make 500 'z');
+  Alcotest.(check int) "pushed" 1 (Pstack.Linked.depth s);
+  match Pstack.Linked.top s with
+  | Some (_, f) ->
+      Alcotest.(check int) "big args" 500 (Bytes.length f.Frame.args)
+  | None -> Alcotest.fail "top expected"
+
+(* Fig. 6b: skipping the flush of the moved marker makes the pushed frame
+   invisible after the crash — its recover function would never run. *)
+let test_unsafe_push_violates_invariant_2 () =
+  let pmem = Pmem.create ~policy:Pmem.Lose_all ~size:65536 () in
+  let s = Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192 in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  Pstack.Bounded.unsafe_push ~flush_marker:false s ~func_id:3 ~args:Bytes.empty;
+  Alcotest.(check int) "visible before crash" 2 (Pstack.Bounded.depth s);
+  Pmem.crash_and_restart pmem;
+  let s' = Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 in
+  Alcotest.(check int) "frame 3 lost after crash" 1 (Pstack.Bounded.depth s')
+
+(* Fig. 6a: skipping the flush of the new frame while still moving the
+   marker can leave the marker persisted but the frame body lost. *)
+let test_unsafe_push_violates_invariant_1 () =
+  let pmem = Pmem.create ~policy:Pmem.Lose_all ~size:65536 () in
+  let s = Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192 in
+  Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  Pstack.Bounded.unsafe_push ~flush_frame:false s ~func_id:3
+    ~args:(Bytes.of_string "lost");
+  Pmem.crash_and_restart pmem;
+  Alcotest.(check bool) "frame 3 corrupted or stack unreadable" true
+    (match Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 with
+    | s' ->
+        List.for_all
+          (fun (_, f) ->
+            f.Frame.func_id <> 3
+            || Bytes.to_string f.Frame.args <> "lost")
+          (Pstack.Bounded.frames s')
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Dump                                                                *)
+
+let test_dump_views () =
+  let pmem = Pmem.create ~policy:Pmem.Lose_all ~size:65536 () in
+  let s = Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192 in
+  Pstack.Bounded.push s ~func_id:2 ~args:(Bytes.make 3 'a');
+  let lines =
+    Pstack.Dump.scan_region pmem ~view:Pstack.Dump.Volatile ~base:(off 0)
+  in
+  let frames =
+    List.filter_map
+      (function Pstack.Dump.Frame { func_id; _ } -> Some func_id | _ -> None)
+      lines
+  in
+  Alcotest.(check (list int)) "volatile sees dummy+frame" [ 0; 2 ] frames;
+  Alcotest.(check bool) "invalid tail rendered" true
+    (List.exists
+       (function Pstack.Dump.Invalid_tail _ -> true | _ -> false)
+       lines);
+  Alcotest.(check bool) "render non-empty" true
+    (String.length (Pstack.Dump.render lines) > 0)
+
+let per_impl name f =
+  List.map
+    (fun (Harness h as harness) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name h.name)
+        `Quick (f harness))
+    harnesses
+
+let () =
+  Alcotest.run "pstack"
+    [
+      ( "frame codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "answer slot" `Quick test_answer_slot;
+        ] );
+      ("interface", per_impl "push/pop" test_push_pop);
+      ("attach", per_impl "attach matches" test_attach_matches);
+      ("answers", per_impl "answer via interface" test_answer_via_interface);
+      ("depth", per_impl "deep stack" test_deep_stack);
+      ("crash sweep", per_impl "crash-point sweep" test_crash_point_sweep);
+      ("bounded", [ Alcotest.test_case "overflow" `Quick test_bounded_overflow ]);
+      ( "resizable",
+        [
+          Alcotest.test_case "grow and shrink" `Quick
+            test_resizable_grows_and_shrinks;
+        ] );
+      ( "linked",
+        [
+          Alcotest.test_case "spans blocks" `Quick test_linked_spans_blocks;
+          Alcotest.test_case "big frame" `Quick
+            test_linked_big_frame_gets_own_block;
+        ] );
+      ( "flushing invariants (Fig. 6)",
+        [
+          Alcotest.test_case "invariant 1 violation" `Quick
+            test_unsafe_push_violates_invariant_1;
+          Alcotest.test_case "invariant 2 violation" `Quick
+            test_unsafe_push_violates_invariant_2;
+        ] );
+      ("dump", [ Alcotest.test_case "views" `Quick test_dump_views ]);
+    ]

@@ -1,0 +1,175 @@
+(* Targeted tests for the operational surfaces: the image inspector, the
+   driver's crash budget, device latency and scheduling jitter, dump
+   corruption paths, and the crash controller's kill bookkeeping. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module Heap = Nvheap.Heap
+module R = Runtime
+
+let off = Offset.of_int
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let noop _ctx _args = 0L
+let noop_recover _ctx _args = R.Registry.Complete 0L
+
+let test_pp_image () =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let registry = R.Registry.create () in
+  R.Registry.register registry ~id:9 ~name:"nine" ~body:noop
+    ~recover:noop_recover;
+  let config =
+    {
+      R.System.workers = 2;
+      stack_kind = R.System.Bounded_stack 4096;
+      task_capacity = 4;
+      task_max_args = 16;
+    }
+  in
+  let sys = R.System.create pmem ~registry ~config in
+  ignore (R.System.submit sys ~func_id:9 ~args:Bytes.empty);
+  (match R.System.run sys with `Completed -> () | `Crashed -> assert false);
+  R.System.set_root sys (off 4242);
+  let text = Format.asprintf "%a" R.System.pp_image pmem in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains text needle))
+    [
+      "workers: 2";
+      "bounded(4096 B)";
+      "user root: @4242";
+      "1 submitted, 0 pending, 1 done";
+      "func=9 done";
+      "worker 0 stack";
+      "heap:";
+      "STACK-END";
+    ]
+
+let test_pp_image_requires_superblock () =
+  let pmem = Pmem.create ~size:(1 lsl 16) () in
+  Alcotest.check_raises "no superblock"
+    (Invalid_argument "System.attach: no system superblock on this device")
+    (fun () -> ignore (Format.asprintf "%a" R.System.pp_image pmem))
+
+let test_driver_crash_budget () =
+  (* a plan that fires immediately every era can never make progress *)
+  let registry = R.Registry.create () in
+  R.Registry.register registry ~id:9 ~name:"nine" ~body:noop
+    ~recover:noop_recover;
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let config =
+    {
+      R.System.workers = 1;
+      stack_kind = R.System.Bounded_stack 4096;
+      task_capacity = 1;
+      task_max_args = 16;
+    }
+  in
+  Alcotest.check_raises "budget exceeded"
+    (Failure "Driver.run_to_completion: crash budget exceeded") (fun () ->
+      ignore
+        (R.Driver.run_to_completion pmem ~registry ~config
+           ~submit:(fun sys ->
+             ignore (R.System.submit sys ~func_id:9 ~args:Bytes.empty))
+           ~plan:(fun ~era:_ -> Crash.At_op 1)
+           ~max_crashes:25 ()))
+
+let test_kill_bookkeeping () =
+  let c = Crash.create () in
+  Alcotest.(check int) "no kills" 0 (Crash.kills_fired c);
+  Crash.arm_kill c (Crash.At_op 2);
+  Crash.step c;
+  (try
+     Crash.step c;
+     Alcotest.fail "expected Thread_killed"
+   with Crash.Thread_killed -> ());
+  Alcotest.(check int) "one kill" 1 (Crash.kills_fired c);
+  (* one-shot: no further kills without re-arming *)
+  for _ = 1 to 10 do
+    Crash.step c
+  done;
+  Alcotest.(check int) "still one" 1 (Crash.kills_fired c);
+  Alcotest.(check bool) "system not crashed" false (Crash.crashed c)
+
+let test_persist_delay () =
+  let path = Filename.temp_file "pstack_delay" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let backend =
+        Nvram.Backend.file ~persist_delay:0.002 ~path ~size:4096 ()
+      in
+      let pmem = Pmem.create ~backend ~size:4096 () in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to 9 do
+        Pmem.write_int pmem (off (i * 64)) i;
+        Pmem.flush pmem ~off:(off (i * 64)) ~len:8
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "latency applied" true (elapsed >= 0.015);
+      Nvram.Backend.close backend)
+
+let test_yield_probability_smoke () =
+  (* functional smoke: heavy write traffic with yields enabled stays
+     correct (the scheduling effect itself is tested by E3) *)
+  let pmem = Pmem.create ~yield_probability:0.5 ~size:4096 () in
+  for i = 0 to 999 do
+    Pmem.write_int pmem (off ((i mod 8) * 64)) i
+  done;
+  Alcotest.(check int) "last value visible" 999
+    (Pmem.read_int pmem (off (7 * 64)))
+
+let test_dump_corrupt_pointer () =
+  let pmem = Pmem.create ~size:4096 () in
+  (* a pointer frame aiming outside the device *)
+  Pmem.write_bytes pmem ~off:(off 0)
+    (Pstack.Frame.encode_pointer ~next:(off 100) ~marker:0x0);
+  Pmem.write_int64 pmem (off 1) 99999999L (* corrupt the target *);
+  let lines = Pstack.Dump.scan_region pmem ~view:Pstack.Dump.Volatile ~base:(off 0) in
+  Alcotest.(check bool) "reports invalid tail" true
+    (List.exists
+       (function Pstack.Dump.Invalid_tail _ -> true | _ -> false)
+       lines)
+
+let test_exec_live_blocks () =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let registry = R.Registry.create () in
+  let config =
+    { R.System.default_config with workers = 1; stack_kind = R.System.Linked_stack 128 }
+  in
+  let sys = R.System.create pmem ~registry ~config in
+  let ctx = R.System.ctx sys 0 in
+  Alcotest.(check int) "one block when empty" 1
+    (List.length (R.Exec.live_blocks ctx))
+
+let () =
+  Alcotest.run "tools"
+    [
+      ( "image inspector",
+        [
+          Alcotest.test_case "pp_image" `Quick test_pp_image;
+          Alcotest.test_case "requires superblock" `Quick
+            test_pp_image_requires_superblock;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "crash budget" `Quick test_driver_crash_budget ] );
+      ( "crash controller",
+        [ Alcotest.test_case "kill bookkeeping" `Quick test_kill_bookkeeping ]
+      );
+      ( "device",
+        [
+          Alcotest.test_case "persist delay" `Quick test_persist_delay;
+          Alcotest.test_case "yield smoke" `Quick test_yield_probability_smoke;
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "corrupt pointer" `Quick test_dump_corrupt_pointer;
+        ] );
+      ( "exec",
+        [ Alcotest.test_case "live blocks" `Quick test_exec_live_blocks ] );
+    ]

@@ -1,0 +1,210 @@
+(* Tests for the typed function layer (Codec + Typed): codec roundtrips,
+   typed registration/call/submit, and the three recovery modes — the
+   boilerplate-free API of future-work direction 3. *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Crash = Nvram.Crash
+module R = Runtime
+module Codec = Runtime.Codec
+module Typed = Runtime.Typed
+
+let roundtrip codec v = Codec.decode codec (Codec.encode codec v)
+
+let test_codec_scalars () =
+  Alcotest.(check unit) "unit" () (roundtrip Codec.unit ());
+  Alcotest.(check int) "int" (-42) (roundtrip Codec.int (-42));
+  Alcotest.(check int64) "int64" 123456789L (roundtrip Codec.int64 123456789L);
+  Alcotest.(check bool) "bool true" true (roundtrip Codec.bool true);
+  Alcotest.(check bool) "bool false" false (roundtrip Codec.bool false);
+  Alcotest.(check string) "string" "hello" (roundtrip Codec.string "hello");
+  Alcotest.(check string) "empty string" "" (roundtrip Codec.string "");
+  Alcotest.(check int) "offset" 640
+    (Offset.to_int (roundtrip Codec.offset (Offset.of_int 640)))
+
+let test_codec_composites () =
+  let c = Codec.pair Codec.int Codec.string in
+  Alcotest.(check (pair int string)) "pair" (7, "x") (roundtrip c (7, "x"));
+  let t = Codec.triple Codec.int Codec.bool Codec.string in
+  let a, b, s = roundtrip t (1, true, "yo") in
+  Alcotest.(check bool) "triple" true (a = 1 && b && s = "yo");
+  let q = Codec.quad Codec.int Codec.int Codec.int Codec.int in
+  let w, x, y, z = roundtrip q (1, 2, 3, 4) in
+  Alcotest.(check (list int)) "quad" [ 1; 2; 3; 4 ] [ w; x; y; z ];
+  Alcotest.(check (list int)) "list" [ 5; 6; 7 ]
+    (roundtrip (Codec.list Codec.int) [ 5; 6; 7 ]);
+  Alcotest.(check (list string)) "empty list" []
+    (roundtrip (Codec.list Codec.string) []);
+  Alcotest.(check (option int)) "some" (Some 9)
+    (roundtrip (Codec.option Codec.int) (Some 9));
+  Alcotest.(check (option int)) "none" None
+    (roundtrip (Codec.option Codec.int) None);
+  (* nested *)
+  let nested = Codec.list (Codec.pair Codec.string (Codec.option Codec.int)) in
+  let v = [ ("a", Some 1); ("b", None) ] in
+  Alcotest.(check bool) "nested" true (roundtrip nested v = v)
+
+let test_codec_rejects_garbage () =
+  Alcotest.check_raises "trailing" (Invalid_argument "Codec: malformed trailing bytes")
+    (fun () -> ignore (Codec.decode Codec.int (Bytes.create 16)));
+  Alcotest.check_raises "truncated" (Invalid_argument "Codec: malformed int64")
+    (fun () -> ignore (Codec.decode Codec.int (Bytes.create 4)));
+  Alcotest.check_raises "bad string"
+    (Invalid_argument "Codec: malformed string")
+    (fun () ->
+      ignore (Codec.decode Codec.string (Codec.encode Codec.int 100)))
+
+let test_answer_witnesses () =
+  Alcotest.(check int) "int" (-5)
+    Codec.(of_answer answer_int (to_answer answer_int (-5)));
+  Alcotest.(check bool) "bool" true
+    Codec.(of_answer answer_bool (to_answer answer_bool true));
+  let r = Codec.answer_result ~ok:Codec.answer_int in
+  Alcotest.(check bool) "ok" true
+    (Codec.of_answer r (Codec.to_answer r (Ok 3)) = Ok 3);
+  Alcotest.(check bool) "error" true
+    (Codec.of_answer r (Codec.to_answer r (Error ())) = Error ())
+
+(* ------------------------------------------------------------------ *)
+(* Typed functions on the runtime                                      *)
+
+let make_system registry =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let config = { R.System.default_config with workers = 1 } in
+  (pmem, R.System.create pmem ~registry ~config)
+
+let test_typed_call () =
+  let registry = R.Registry.create () in
+  let fib = ref None in
+  let fib_fn =
+    Typed.define registry ~id:10 ~name:"fib" ~args:Codec.int
+      ~answer:Codec.answer_int
+      ~body:(fun ctx n ->
+        if n <= 1 then n
+        else
+          Typed.call ctx (Option.get !fib) (n - 1)
+          + Typed.call ctx (Option.get !fib) (n - 2))
+      ~recover:Typed.by_rerunning
+  in
+  fib := Some fib_fn;
+  let _, sys = make_system registry in
+  Alcotest.(check int) "fib 11" 89
+    (Typed.call (R.System.ctx sys 0) fib_fn 11);
+  Alcotest.(check int) "id" 10 (Typed.id fib_fn)
+
+let test_typed_structured_args () =
+  let registry = R.Registry.create () in
+  let concat =
+    Typed.define registry ~id:11 ~name:"concat"
+      ~args:Codec.(pair string (list string))
+      ~answer:Codec.answer_int
+      ~body:(fun _ctx (sep, parts) ->
+        String.length (String.concat sep parts))
+      ~recover:Typed.by_rerunning
+  in
+  let _, sys = make_system registry in
+  Alcotest.(check int) "length" 10
+    (Typed.call (R.System.ctx sys 0) concat (", ", [ "ab"; "cd"; "ef" ]))
+
+let test_typed_submit_with_crashes () =
+  let registry = R.Registry.create () in
+  let square =
+    Typed.define registry ~id:12 ~name:"square" ~args:Codec.int
+      ~answer:Codec.answer_int
+      ~body:(fun _ctx n -> n * n)
+      ~recover:Typed.by_rerunning
+  in
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let config =
+    {
+      R.System.workers = 2;
+      stack_kind = R.System.Bounded_stack 4096;
+      task_capacity = 8;
+      task_max_args = 16;
+    }
+  in
+  let report =
+    R.Driver.run_to_completion pmem ~registry ~config
+      ~submit:(fun sys ->
+        for n = 1 to 8 do
+          ignore (Typed.submit sys square n)
+        done)
+      ~plan:(fun ~era -> if era <= 3 then Crash.At_op (40 * era) else Crash.Never)
+      ()
+  in
+  List.iter
+    (fun (i, raw) ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d" i)
+        ((i + 1) * (i + 1))
+        (Typed.answer_of_task square raw))
+    report.R.Driver.results
+
+let test_typed_rollback () =
+  (* a typed function with rollback recovery behaves like the Appendix A
+     transaction: a crash undoes it and the wrapper re-runs it *)
+  let registry = R.Registry.create () in
+  let cell = ref Offset.null in
+  let update =
+    Typed.define registry ~id:13 ~name:"update"
+      ~args:Codec.(pair int int)
+      ~answer:Codec.answer_unit
+      ~body:(fun ctx (value, _old) ->
+        let pmem = ctx.R.Exec.pmem in
+        Pmem.write_int pmem !cell value;
+        Pmem.flush pmem ~off:!cell ~len:8)
+      ~recover:
+        (Typed.with_rollback (fun ctx (_value, old) ->
+             let pmem = ctx.R.Exec.pmem in
+             Pmem.write_int pmem !cell old;
+             Pmem.flush pmem ~off:!cell ~len:8))
+  in
+  let config =
+    {
+      R.System.workers = 1;
+      stack_kind = R.System.Bounded_stack 4096;
+      task_capacity = 1;
+      task_max_args = 32;
+    }
+  in
+  for p = 1 to 60 do
+    let pmem = Pmem.create ~size:(1 lsl 20) () in
+    let _report =
+      R.Driver.run_to_completion pmem ~registry ~config
+        ~init:(fun sys ->
+          let c = Nvheap.Heap.alloc (R.System.heap sys) 8 in
+          cell := c;
+          R.System.set_root sys c;
+          Pmem.write_int pmem c 7;
+          Pmem.flush pmem ~off:c ~len:8)
+        ~reattach:(fun sys -> cell := Option.get (R.System.root sys))
+        ~submit:(fun sys -> ignore (Typed.submit sys update (99, 7)))
+        ~plan:(fun ~era -> if era = 1 then Crash.At_op p else Crash.Never)
+        ()
+    in
+    (* after completion the update always ends up applied: any crashed
+       attempt was rolled back and the wrapper re-ran it *)
+    let final = Pmem.read_int pmem !cell in
+    if final <> 99 then
+      Alcotest.failf "crash at op %d: cell = %d, expected 99" p final
+  done
+
+let () =
+  Alcotest.run "typed"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "scalars" `Quick test_codec_scalars;
+          Alcotest.test_case "composites" `Quick test_codec_composites;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "answer witnesses" `Quick test_answer_witnesses;
+        ] );
+      ( "typed functions",
+        [
+          Alcotest.test_case "recursive call" `Quick test_typed_call;
+          Alcotest.test_case "structured args" `Quick test_typed_structured_args;
+          Alcotest.test_case "submit with crashes" `Quick
+            test_typed_submit_with_crashes;
+          Alcotest.test_case "rollback recovery sweep" `Slow test_typed_rollback;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+(* Tests for the verification layer: Eulerian paths, the polynomial
+   serializability checker (Section 5.1) including its corner cases, the
+   brute-force cross-check, and the linearizability / sequential-consistency
+   checkers (Section 6, future-work direction 2). *)
+
+module H = Verify.History
+module Euler = Verify.Euler
+module S = Verify.Serializability
+
+let op expected desired result = { H.expected; desired; result }
+
+let history ?(init = 0) ~final ops = { H.init; final; ops }
+
+(* ------------------------------------------------------------------ *)
+(* History replay                                                      *)
+
+let test_replay () =
+  (match H.replay ~init:0 [ op 0 1 true; op 1 2 true; op 0 9 false ] with
+  | Ok final -> Alcotest.(check int) "final" 2 final
+  | Error _ -> Alcotest.fail "replay should succeed");
+  (match H.replay ~init:0 [ op 5 6 true ] with
+  | Error bad -> Alcotest.(check int) "bad op" 5 bad.H.expected
+  | Ok _ -> Alcotest.fail "success recorded but value mismatched");
+  match H.replay ~init:0 [ op 0 1 false ] with
+  | Error bad -> Alcotest.(check bool) "failure impossible" false bad.H.result
+  | Ok _ -> Alcotest.fail "failure recorded but CAS would succeed"
+
+(* ------------------------------------------------------------------ *)
+(* Euler                                                               *)
+
+let test_euler_simple_path () =
+  let g = Euler.create () in
+  Euler.add_edge g 0 1;
+  Euler.add_edge g 1 2;
+  (match Euler.path g ~src:0 ~dst:2 with
+  | Some p -> Alcotest.(check (list int)) "path" [ 0; 1; 2 ] p
+  | None -> Alcotest.fail "path expected");
+  Alcotest.(check bool) "wrong endpoints" true (Euler.path g ~src:0 ~dst:1 = None)
+
+let test_euler_circuit () =
+  let g = Euler.create () in
+  Euler.add_edge g 0 1;
+  Euler.add_edge g 1 0;
+  match Euler.path g ~src:0 ~dst:0 with
+  | Some p ->
+      Alcotest.(check int) "length" 3 (List.length p);
+      Alcotest.(check bool) "starts and ends at 0" true
+        (List.hd p = 0 && List.nth p 2 = 0)
+  | None -> Alcotest.fail "circuit expected"
+
+let test_euler_empty () =
+  let g = Euler.create () in
+  Alcotest.(check bool) "trivial path" true (Euler.path g ~src:5 ~dst:5 = Some [ 5 ]);
+  Alcotest.(check bool) "no path between distinct" true
+    (Euler.path g ~src:5 ~dst:6 = None)
+
+let test_euler_disconnected () =
+  let g = Euler.create () in
+  Euler.add_edge g 0 1;
+  Euler.add_edge g 2 3;
+  Alcotest.(check bool) "disconnected" true (Euler.path g ~src:0 ~dst:1 = None)
+
+let test_euler_unbalanced () =
+  let g = Euler.create () in
+  Euler.add_edge g 0 2;
+  Euler.add_edge g 2 1;
+  Euler.add_edge g 2 1;
+  Euler.add_edge g 2 0;
+  (* out(2) - in(2) = 2: no trail from 0 to 0 or anywhere *)
+  Alcotest.(check bool) "no path 0->0" true (Euler.path g ~src:0 ~dst:0 = None);
+  Alcotest.(check bool) "no path 0->1" true (Euler.path g ~src:0 ~dst:1 = None);
+  Alcotest.(check bool) "degrees reject" false
+    (Euler.degrees_admit_path g ~src:0 ~dst:0)
+
+let test_euler_multigraph () =
+  let g = Euler.create () in
+  Euler.add_edge g 0 1;
+  Euler.add_edge g 0 1;
+  Euler.add_edge g 1 0;
+  Alcotest.(check int) "edge count" 3 (Euler.edge_count g);
+  match Euler.path g ~src:0 ~dst:1 with
+  | Some p -> Alcotest.(check (list int)) "alternating" [ 0; 1; 0; 1 ] p
+  | None -> Alcotest.fail "path expected"
+
+(* Exhaustive cross-check against reference semantics on small random
+   multigraphs: a returned path is always a genuine Eulerian trail, and
+   None agrees with (degree x connectivity) feasibility computed by brute
+   force over edge permutations. *)
+let test_euler_exhaustive_small () =
+  let rng = Random.State.make [| 2024 |] in
+  let brute_exists edges src dst =
+    (* try all edge orders with pruning *)
+    let n = List.length edges in
+    let arr = Array.of_list edges in
+    let used = Array.make n false in
+    let rec go v k =
+      if k = n then v = dst
+      else begin
+        let found = ref false in
+        Array.iteri
+          (fun i (a, b) ->
+            if (not !found) && (not used.(i)) && a = v then begin
+              used.(i) <- true;
+              if go b (k + 1) then found := true;
+              used.(i) <- false
+            end)
+          arr;
+        !found
+      end
+    in
+    go src 0
+  in
+  for _ = 1 to 3000 do
+    let nv = 1 + Random.State.int rng 3 in
+    let ne = Random.State.int rng 6 in
+    let edges =
+      List.init ne (fun _ ->
+          (Random.State.int rng nv, Random.State.int rng nv))
+    in
+    let src = Random.State.int rng nv and dst = Random.State.int rng nv in
+    let g = Euler.create () in
+    List.iter (fun (a, b) -> Euler.add_edge g a b) edges;
+    let got = Euler.path g ~src ~dst <> None in
+    let want = brute_exists edges src dst in
+    if got <> want then
+      Alcotest.failf "euler mismatch: src=%d dst=%d edges=[%s] got=%b want=%b"
+        src dst
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))
+        got want
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Serializability                                                     *)
+
+let is_serializable h =
+  match S.check h with S.Serializable _ -> true | S.Not_serializable _ -> false
+
+let witness_of h =
+  match S.check h with
+  | S.Serializable w -> w
+  | S.Not_serializable _ -> Alcotest.fail "expected serializable"
+
+let test_ser_empty () =
+  Alcotest.(check bool) "empty" true (is_serializable (history ~final:0 []));
+  Alcotest.(check bool) "final mismatch" false
+    (is_serializable (history ~final:1 []))
+
+let test_ser_simple_chain () =
+  let h = history ~final:2 [ op 1 2 true; op 0 1 true ] in
+  Alcotest.(check bool) "chain" true (is_serializable h);
+  let w = witness_of h in
+  Alcotest.(check int) "witness complete" 2 (List.length w);
+  match H.replay ~init:h.H.init w with
+  | Ok f -> Alcotest.(check int) "witness replays" h.H.final f
+  | Error _ -> Alcotest.fail "witness must replay"
+
+let test_ser_failure_placement () =
+  (* failed CAS(5, 9) is fine as long as some state differs from 5 *)
+  let h = history ~final:1 [ op 0 1 true; op 5 9 false ] in
+  Alcotest.(check bool) "placeable failure" true (is_serializable h)
+
+let test_ser_impossible_failure () =
+  (* no successful ops, register always 0: a failed CAS(0, 1) could not
+     have failed — the paper's footnote corner case *)
+  let h = history ~init:0 ~final:0 [ op 0 1 false ] in
+  (match S.check h with
+  | S.Not_serializable (S.Impossible_failure bad) ->
+      Alcotest.(check int) "the failed op" 0 bad.H.expected
+  | _ -> Alcotest.fail "expected Impossible_failure");
+  (* whereas a failed CAS on a different value is fine *)
+  Alcotest.(check bool) "other failure ok" true
+    (is_serializable (history ~init:0 ~final:0 [ op 3 1 false ]))
+
+let test_ser_lost_success_detected () =
+  (* the signature of the planted CAS bug: a success was lost from the
+     report, breaking the edge balance *)
+  let h = history ~init:0 ~final:2 [ op 1 2 true ] in
+  match S.check h with
+  | S.Not_serializable S.No_eulerian_path -> ()
+  | _ -> Alcotest.fail "expected No_eulerian_path"
+
+let test_ser_duplicate_success_detected () =
+  (* double application: the same success reported twice *)
+  let h = history ~init:0 ~final:1 [ op 0 1 true; op 0 1 true ] in
+  Alcotest.(check bool) "duplicate rejected" false (is_serializable h)
+
+let test_ser_value_collisions () =
+  (* two interchangeable successes over the same edge *)
+  let h =
+    history ~final:0
+      [ op 0 1 true; op 1 0 true; op 0 1 true; op 1 0 true ]
+  in
+  Alcotest.(check bool) "two loops" true (is_serializable h);
+  let w = witness_of h in
+  match H.replay ~init:0 w with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "witness must replay to 0"
+
+(* Random cross-check against the brute-force checker. *)
+let test_ser_matches_brute () =
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 2000 do
+    let n = Random.State.int rng 7 in
+    let ops =
+      List.init n (fun _ ->
+          op
+            (Random.State.int rng 3)
+            (Random.State.int rng 3)
+            (Random.State.bool rng))
+    in
+    let h =
+      { H.init = Random.State.int rng 3; final = Random.State.int rng 3; ops }
+    in
+    let poly = is_serializable h in
+    let brute = Verify.Brute.is_serializable h in
+    if poly <> brute then
+      Alcotest.failf "checker mismatch: %s -> poly=%b brute=%b"
+        (Format.asprintf "%a" H.pp h) poly brute
+  done
+
+let test_ser_generated_sequential () =
+  (* histories generated by sequential replay are serializable by
+     construction, in both operand ranges *)
+  List.iter
+    (fun range ->
+      for seed = 1 to 20 do
+        let h = Verify.Generator.sequential_history ~seed ~n:50 ~range in
+        Alcotest.(check bool) "sequential history serializable" true
+          (is_serializable h)
+      done)
+    [ Verify.Generator.Wide; Verify.Generator.Narrow ]
+
+let test_generator_ranges () =
+  let init, pairs =
+    Verify.Generator.workload ~seed:3 ~n:100 ~range:Verify.Generator.Narrow
+  in
+  let lo, hi = Verify.Generator.range_bounds Verify.Generator.Narrow in
+  Alcotest.(check bool) "init in range" true (init >= lo && init <= hi);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "operands in range" true
+        (a >= lo && a <= hi && b >= lo && b <= hi))
+    pairs;
+  let init', _ =
+    Verify.Generator.workload ~seed:3 ~n:100 ~range:Verify.Generator.Narrow
+  in
+  Alcotest.(check int) "deterministic" init init';
+  Alcotest.check_raises "empty custom range"
+    (Invalid_argument "Generator: empty custom range") (fun () ->
+      ignore
+        (Verify.Generator.workload ~seed:1 ~n:1
+           ~range:(Verify.Generator.Custom (3, 2))))
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability / sequential consistency                            *)
+
+let timed pid expected desired result invoked returned =
+  { H.pid; base = op expected desired result; invoked; returned }
+
+let test_lin_sequential () =
+  let ops = [ timed 0 0 1 true 0 1; timed 0 1 2 true 2 3 ] in
+  Alcotest.(check bool) "sequential" true
+    (Verify.Linearizability.is_linearizable ~init:0 ops)
+
+let test_lin_concurrent_reorder () =
+  (* overlapping ops may linearize in either order *)
+  let ops = [ timed 0 1 2 true 0 10; timed 1 0 1 true 0 10 ] in
+  Alcotest.(check bool) "overlap allows reorder" true
+    (Verify.Linearizability.is_linearizable ~init:0 ops)
+
+let test_lin_real_time_violation () =
+  (* op B strictly after op A in real time, but only B-then-A replays:
+     linearizability must fail while sequential consistency may pass when
+     the ops are on different processes *)
+  let ops = [ timed 0 1 2 true 0 1; timed 1 0 1 true 5 6 ] in
+  Alcotest.(check bool) "not linearizable" false
+    (Verify.Linearizability.is_linearizable ~init:0 ops);
+  Alcotest.(check bool) "sequentially consistent" true
+    (Verify.Linearizability.is_sequentially_consistent ~init:0 ops)
+
+let test_sc_program_order_violation () =
+  (* same process: program order pins the order, so SC fails too *)
+  let ops = [ timed 0 1 2 true 0 1; timed 0 0 1 true 5 6 ] in
+  Alcotest.(check bool) "not SC" false
+    (Verify.Linearizability.is_sequentially_consistent ~init:0 ops)
+
+let test_lin_failed_op () =
+  let ops = [ timed 0 0 1 true 0 3; timed 1 0 9 false 1 2 ] in
+  Alcotest.(check bool) "failure placed inside overlap" true
+    (Verify.Linearizability.is_linearizable ~init:0 ops)
+
+let test_lin_rejects_empty_interval () =
+  Alcotest.check_raises "inverted interval"
+    (Invalid_argument "Linearizability: operation interval is empty or inverted")
+    (fun () ->
+      ignore
+        (Verify.Linearizability.is_linearizable ~init:0 [ timed 0 0 1 true 5 5 ]))
+
+let test_lin_implies_sc () =
+  (* random histories: linearizable => sequentially consistent *)
+  let rng = Random.State.make [| 31337 |] in
+  for _ = 1 to 500 do
+    let n = 1 + Random.State.int rng 5 in
+    (* well-formed history: each process's operations are sequential *)
+    let clock = Array.make 3 0 in
+    let ops =
+      List.init n (fun _ ->
+          let pid = Random.State.int rng 3 in
+          let invoked = clock.(pid) + Random.State.int rng 5 in
+          let returned = invoked + 1 + Random.State.int rng 10 in
+          clock.(pid) <- returned + 1;
+          timed pid
+            (Random.State.int rng 3)
+            (Random.State.int rng 3)
+            (Random.State.bool rng)
+            invoked returned)
+    in
+    let lin = Verify.Linearizability.is_linearizable ~init:0 ops in
+    let sc = Verify.Linearizability.is_sequentially_consistent ~init:0 ops in
+    if lin && not sc then Alcotest.fail "linearizable but not SC"
+  done
+
+let () =
+  Alcotest.run "verify"
+    [
+      ("history", [ Alcotest.test_case "replay" `Quick test_replay ]);
+      ( "euler",
+        [
+          Alcotest.test_case "simple path" `Quick test_euler_simple_path;
+          Alcotest.test_case "circuit" `Quick test_euler_circuit;
+          Alcotest.test_case "empty graph" `Quick test_euler_empty;
+          Alcotest.test_case "disconnected" `Quick test_euler_disconnected;
+          Alcotest.test_case "unbalanced" `Quick test_euler_unbalanced;
+          Alcotest.test_case "multigraph" `Quick test_euler_multigraph;
+          Alcotest.test_case "exhaustive small graphs" `Slow
+            test_euler_exhaustive_small;
+        ] );
+      ( "serializability",
+        [
+          Alcotest.test_case "empty history" `Quick test_ser_empty;
+          Alcotest.test_case "simple chain" `Quick test_ser_simple_chain;
+          Alcotest.test_case "failure placement" `Quick
+            test_ser_failure_placement;
+          Alcotest.test_case "impossible failure (footnote corner)" `Quick
+            test_ser_impossible_failure;
+          Alcotest.test_case "lost success detected" `Quick
+            test_ser_lost_success_detected;
+          Alcotest.test_case "duplicate success detected" `Quick
+            test_ser_duplicate_success_detected;
+          Alcotest.test_case "value collisions" `Quick test_ser_value_collisions;
+          Alcotest.test_case "matches brute force" `Slow test_ser_matches_brute;
+          Alcotest.test_case "sequential histories" `Quick
+            test_ser_generated_sequential;
+        ] );
+      ( "generator",
+        [ Alcotest.test_case "ranges and determinism" `Quick test_generator_ranges ]
+      );
+      ( "linearizability",
+        [
+          Alcotest.test_case "sequential" `Quick test_lin_sequential;
+          Alcotest.test_case "concurrent reorder" `Quick
+            test_lin_concurrent_reorder;
+          Alcotest.test_case "real-time violation" `Quick
+            test_lin_real_time_violation;
+          Alcotest.test_case "program-order violation" `Quick
+            test_sc_program_order_violation;
+          Alcotest.test_case "failed op placement" `Quick test_lin_failed_op;
+          Alcotest.test_case "interval validation" `Quick
+            test_lin_rejects_empty_interval;
+          Alcotest.test_case "lin implies SC" `Slow test_lin_implies_sc;
+        ] );
+    ]
