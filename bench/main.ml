@@ -267,6 +267,143 @@ let rmap_test =
 let b8_tests = [ rqueue_test; bregister_test; rmap_test ]
 
 (* ------------------------------------------------------------------ *)
+(* S: worker scaling on the striped device                             *)
+
+(* The rows below measure what the striped Pmem lock actually buys: [n]
+   worker domains hammer one shared device at disjoint cache-line ranges,
+   so with per-line striping they should scale with cores, while the old
+   single-mutex device serialised them.  (Re-run with
+   [Pmem.create ~stripes:1] to reproduce the serialised baseline.) *)
+
+type scale_row = {
+  bench : string;
+  workers : int;
+  iters_per_worker : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+}
+
+(* Start [n] domains, release them through a barrier so the clock starts
+   only once everyone is ready, and time until the last one joins. *)
+let time_workers n body =
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let doms =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            Atomic.incr ready;
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            body i))
+  in
+  while Atomic.get ready < n do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  List.iter Domain.join doms;
+  Unix.gettimeofday () -. t0
+
+let scale_push_pop ~workers ~iters =
+  (* one shared device; each worker owns a bounded stack in its own
+     line-aligned region, so no two workers ever touch the same line *)
+  let stride = 8192 in
+  let pmem = Pmem.create ~size:(workers * stride) () in
+  let stacks =
+    Array.init workers (fun i ->
+        Pstack.Bounded.create pmem ~base:(off (i * stride)) ~capacity:stride)
+  in
+  let args = Bytes.make 16 's' in
+  let elapsed =
+    time_workers workers (fun i ->
+        let s = stacks.(i) in
+        for _ = 1 to iters do
+          Pstack.Bounded.push s ~func_id:2 ~args;
+          Pstack.Bounded.pop s
+        done)
+  in
+  let total_ops = workers * iters in
+  {
+    bench = "push_pop";
+    workers;
+    iters_per_worker = iters;
+    total_ops;
+    elapsed_s = elapsed;
+    ops_per_sec = float_of_int total_ops /. elapsed;
+  }
+
+let scale_rcas ~workers ~iters =
+  (* per-worker single-process recoverable CAS registers at disjoint
+     line-aligned offsets of one auto-flush device *)
+  let region = Rcas.region_size ~nprocs:1 in
+  let stride = (region + 63) / 64 * 64 in
+  let pmem = Pmem.create ~auto_flush:true ~size:(workers * stride) () in
+  let regs =
+    Array.init workers (fun i ->
+        Rcas.create pmem ~base:(off (i * stride)) ~nprocs:1 ~init:0
+          ~variant:Rcas.Correct)
+  in
+  let elapsed =
+    time_workers workers (fun i ->
+        let t = regs.(i) in
+        let v = ref 0 in
+        for _ = 1 to iters do
+          let cur = !v and next = (!v + 1) land 0xFFFF in
+          ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
+          v := next
+        done)
+  in
+  let total_ops = workers * iters in
+  {
+    bench = "rcas";
+    workers;
+    iters_per_worker = iters;
+    total_ops;
+    elapsed_s = elapsed;
+    ops_per_sec = float_of_int total_ops /. elapsed;
+  }
+
+let scaling_rows ~iters =
+  List.concat_map
+    (fun workers ->
+      [ scale_push_pop ~workers ~iters; scale_rcas ~workers ~iters ])
+    [ 1; 2; 4; 8 ]
+
+let print_scaling rows =
+  print_endline "";
+  print_endline "=== worker scaling on one striped device (S) ===";
+  Printf.printf "%-10s %8s %10s %12s %10s %14s\n" "bench" "workers" "iters/w"
+    "total_ops" "elapsed_s" "ops/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %8d %10d %12d %10.3f %14.0f\n%!" r.bench r.workers
+        r.iters_per_worker r.total_ops r.elapsed_s r.ops_per_sec)
+    rows
+
+let write_json ~path rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"device\": \"pmem\",\n";
+  out "  \"stripes\": %d,\n" Pmem.default_stripes;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    { \"bench\": %S, \"workers\": %d, \"iters_per_worker\": %d, \
+         \"total_ops\": %d, \"elapsed_s\": %.6f, \"ops_per_sec\": %.1f }%s\n"
+        r.bench r.workers r.iters_per_worker r.total_ops r.elapsed_s
+        r.ops_per_sec
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_benchmarks tests =
@@ -348,17 +485,62 @@ let experiment_table () =
     ~range:(Verify.Generator.Custom (0, 1))
     ~range_name:"tight" ~seeds:8 ~n_ops:300 ~workers:8 ~prob:0.02
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--json [PATH]] [--iters N] [--full]\n\n\
+    \  (no flags)    micro-benchmarks + experiment table + scaling table\n\
+    \  --json [PATH] run only the worker-scaling rows and write them as\n\
+    \                JSON to PATH (default BENCH_pmem.json)\n\
+    \  --iters N     scaling iterations per worker (default 20000)\n\
+    \  --full        with --json: also run the micro-benchmarks and\n\
+    \                experiment table";
+  exit 2
+
 let () =
-  print_endline "=== micro-benchmarks (B1-B7) ===";
-  run_benchmarks
-    [
-      Test.make_grouped ~name:"B1" b1_tests;
-      Test.make_grouped ~name:"B2" b2_tests;
-      Test.make_grouped ~name:"B3" b3_tests;
-      Test.make_grouped ~name:"B4" b4_tests;
-      Test.make_grouped ~name:"B5" b5_tests;
-      Test.make_grouped ~name:"B6" b6_tests;
-      Test.make_grouped ~name:"B7" b7_tests;
-      Test.make_grouped ~name:"B8" b8_tests;
-    ];
-  experiment_table ()
+  let json_path = ref None in
+  let iters = ref 20_000 in
+  let full = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> (
+        match rest with
+        | path :: rest' when String.length path > 0 && path.[0] <> '-' ->
+            json_path := Some path;
+            parse rest'
+        | _ ->
+            json_path := Some "BENCH_pmem.json";
+            parse rest)
+    | "--iters" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            iters := n;
+            parse rest
+        | _ -> usage ())
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let everything = !json_path = None || !full in
+  if everything then begin
+    print_endline "=== micro-benchmarks (B1-B7) ===";
+    run_benchmarks
+      [
+        Test.make_grouped ~name:"B1" b1_tests;
+        Test.make_grouped ~name:"B2" b2_tests;
+        Test.make_grouped ~name:"B3" b3_tests;
+        Test.make_grouped ~name:"B4" b4_tests;
+        Test.make_grouped ~name:"B5" b5_tests;
+        Test.make_grouped ~name:"B6" b6_tests;
+        Test.make_grouped ~name:"B7" b7_tests;
+        Test.make_grouped ~name:"B8" b8_tests;
+      ];
+    experiment_table ()
+  end;
+  let rows = scaling_rows ~iters:!iters in
+  print_scaling rows;
+  Option.iter (fun path -> write_json ~path rows) !json_path

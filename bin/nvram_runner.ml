@@ -12,6 +12,10 @@
    parent reads the answers and the final register value from the image
    and verifies the execution for serializability.
 
+   Inside each worker process, [System.run] executes its workers on OCaml
+   domains against the striped device, so a SIGKILL lands while the
+   workers genuinely run in parallel on a multicore host.
+
    Subcommands:
      selftest   run a small end-to-end parent/kill/verify loop (E4)
      parent     the kill loop with configurable workload

@@ -26,7 +26,15 @@
     paper).  We close it offline: {!recover} walks the block sequence,
     rebuilds the free list from scratch, reclaims unreachable untagged
     blocks and coalesces adjacent free blocks.  The rebuild is idempotent,
-    so repeated failures during recovery are harmless (Section 4.3). *)
+    so repeated failures during recovery are harmless (Section 4.3).
+
+    {2 Domain safety}
+
+    Every mutating or scanning entry point serialises on the heap's own
+    mutex (a free-list walk spans many device lines, so the striped device
+    lock alone would not make the walk atomic).  Worker domains therefore
+    share one heap safely; allocation throughput is serialised, which bench
+    row [heap/*] measures. *)
 
 type t
 

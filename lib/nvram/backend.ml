@@ -2,9 +2,13 @@ type storage =
   | Memory
   | File of { fd : Unix.file_descr; sync : bool; persist_delay : float }
 
-type t = { data : bytes; storage : storage }
+type t = { data : bytes; storage : storage; io_mu : Mutex.t }
+(* [io_mu] serialises the lseek+write pairs of the file backend: worker
+   domains persist disjoint cache lines in parallel on the striped device,
+   and the shared file descriptor's position is process-global state. *)
 
-let memory ~size = { data = Bytes.make size '\000'; storage = Memory }
+let memory ~size =
+  { data = Bytes.make size '\000'; storage = Memory; io_mu = Mutex.create () }
 
 let file ?(sync = false) ?(persist_delay = 0.) ~path ~size () =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
@@ -25,7 +29,7 @@ let file ?(sync = false) ?(persist_delay = 0.) ~path ~size () =
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
   read_all 0;
-  { data; storage = File { fd; sync; persist_delay } }
+  { data; storage = File { fd; sync; persist_delay }; io_mu = Mutex.create () }
 
 let size t = Bytes.length t.data
 
@@ -60,8 +64,12 @@ let persist t ~off ~src ~src_off ~len =
   match t.storage with
   | Memory -> ()
   | File { fd; sync; persist_delay } ->
+      (* The latency models per-persist device time, so it is paid outside
+         the descriptor lock: persists of disjoint lines overlap their
+         waits, only the write-through itself is serialised. *)
       if persist_delay > 0. then Unix.sleepf persist_delay;
-      write_through fd ~sync ~off ~data:t.data ~len
+      Mutex.protect t.io_mu (fun () ->
+          write_through fd ~sync ~off ~data:t.data ~len)
 
 let close t =
   match t.storage with Memory -> () | File { fd; _ } -> Unix.close fd

@@ -88,9 +88,12 @@ let step t =
 let reset t =
   Mutex.protect t.mu (fun () ->
       t.plan <- Never;
+      t.rng <- rng_of_plan Never;
       t.counter <- 0;
       t.kill_plan <- Never;
+      t.kill_rng <- rng_of_plan Never;
       t.kill_counter <- 0;
+      t.kill_count <- 0;
       Atomic.set t.crashed false)
 
 let ops t = Mutex.protect t.mu (fun () -> t.counter)

@@ -63,9 +63,13 @@ val crashed : t -> bool
     called since. *)
 
 val reset : t -> unit
-(** [reset t] clears the crashed flag and disarms the plan ([Never]),
-    modelling the restart of the machine.  The operation counter restarts
-    from zero. *)
+(** [reset t] clears the crashed flag and disarms both the crash and the
+    individual-crash plans ([Never]), modelling the restart of the machine.
+    Every piece of scheduling state restarts from scratch: the operation
+    counters, the kill tally of {!kills_fired}, {e and} the PRNG states —
+    so a seeded [Random] plan armed after a reset replays its schedule
+    from the seed rather than resuming mid-sequence, making seeded crash
+    schedules reproducible across restarts. *)
 
 val ops : t -> int
 (** [ops t] is the number of operations recorded since the last {!arm} or
@@ -83,4 +87,5 @@ val arm_kill : t -> plan -> unit
     operation counter. *)
 
 val kills_fired : t -> int
-(** Number of individual crashes delivered since creation. *)
+(** Number of individual crashes delivered since creation or the last
+    {!reset}. *)

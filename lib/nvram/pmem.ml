@@ -3,6 +3,7 @@ type policy = Lose_all | Lose_none | Lose_random of int
 type t = {
   line_size : int;
   size : int;
+  lines : int;
   policy : policy;
   auto_flush : bool;
   backend : Backend.t;
@@ -13,13 +14,23 @@ type t = {
   crash_rng : Random.State.t;
   yield_probability : float;
   yield_state : int Atomic.t;  (* lock-free LCG for scheduling jitter *)
-  mu : Mutex.t;
+  stripes : Mutex.t array;
+      (* Striped device lock: stripe [s] guards every cache line [l] with
+         [l mod Array.length stripes = s] — its bytes in [volatile], its
+         [dirty] bit and its persistence.  Operations on disjoint lines
+         proceed in parallel; an operation touching several lines holds all
+         covering stripes for its whole duration (acquired in ascending
+         stripe order, so the locking is deadlock-free), which preserves the
+         linearizability of the old single-mutex device. *)
 }
 
+let default_stripes = 64
+
 let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
-    ?(yield_probability = 0.) ?backend ~size () =
+    ?(yield_probability = 0.) ?(stripes = default_stripes) ?backend ~size () =
   Layout.check_line_size line_size;
   if size <= 0 then invalid_arg "Pmem.create: size must be positive";
+  if stripes < 1 then invalid_arg "Pmem.create: stripes must be >= 1";
   let backend =
     match backend with Some b -> b | None -> Backend.memory ~size
   in
@@ -33,9 +44,19 @@ let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
     | Lose_random seed -> Random.State.make [| seed |]
     | Lose_all | Lose_none -> Random.State.make [| 0 |]
   in
+  (* Power of two, and never more stripes than lines. *)
+  let nstripes =
+    let target = max 1 (min stripes lines) in
+    let n = ref 1 in
+    while !n * 2 <= target do
+      n := !n * 2
+    done;
+    !n
+  in
   {
     line_size;
     size;
+    lines;
     policy;
     auto_flush;
     backend;
@@ -46,7 +67,7 @@ let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
     crash_rng;
     yield_probability;
     yield_state = Atomic.make 0x9E3779B9;
-    mu = Mutex.create ();
+    stripes = Array.init nstripes (fun _ -> Mutex.create ());
   }
 
 let size t = t.size
@@ -55,6 +76,7 @@ let auto_flush t = t.auto_flush
 let crash_ctl t = t.crash_ctl
 let stats t = t.stats
 let backend t = t.backend
+let stripe_count t = Array.length t.stripes
 
 let check_range t off len =
   let off = Offset.to_int off in
@@ -65,22 +87,57 @@ let check_range t off len =
 
 (* Scheduling jitter: on a single-CPU host, OS timeslices are thousands of
    simulated operations long, so concurrent workers would never interleave
-   within the short windows concurrency bugs live in.  Yielding with some
-   probability after each tracked operation restores fine-grained
-   interleaving.  Deliberately racy LCG: determinism is not wanted here. *)
+   within the short windows concurrency bugs live in.  Descheduling the
+   calling OS thread with some probability after each tracked operation
+   restores fine-grained interleaving; a short [Unix.sleepf] deschedules
+   across worker domains, which [Thread.yield] (domain-local) does not.
+   Deliberately racy LCG: determinism is not wanted here. *)
 let maybe_yield t =
   if t.yield_probability > 0. then begin
     let s = Atomic.get t.yield_state in
     let s' = (s * 0x5851F42D4C957F2D) + 0x14057B7EF767814F in
     Atomic.set t.yield_state s';
     let u = float_of_int ((s' lsr 11) land 0xFFFFFF) /. 16777216.0 in
-    if u < t.yield_probability then Thread.yield ()
+    if u < t.yield_probability then Unix.sleepf 1e-6
   end
 
-let with_lock t f =
-  let result = Mutex.protect t.mu f in
+let stripe_of t line = line land (Array.length t.stripes - 1)
+
+(* Run [f] holding the stripes of lines [first..last].  Stripes are locked
+   in ascending index order and released in reverse, also on exceptions
+   (crash signals fire mid-operation by design). *)
+let with_lines t ~first ~last f =
+  let n = Array.length t.stripes in
+  let result =
+    if first = last then Mutex.protect t.stripes.(stripe_of t first) f
+    else begin
+      let needed =
+        if last - first + 1 >= n then Array.make n true
+        else begin
+          let needed = Array.make n false in
+          for l = first to last do
+            needed.(stripe_of t l) <- true
+          done;
+          needed
+        end
+      in
+      for s = 0 to n - 1 do
+        if needed.(s) then Mutex.lock t.stripes.(s)
+      done;
+      Fun.protect
+        ~finally:(fun () ->
+          for s = n - 1 downto 0 do
+            if needed.(s) then Mutex.unlock t.stripes.(s)
+          done)
+        f
+    end
+  in
   maybe_yield t;
   result
+
+(* Whole-device operations (crash, peeks, dirty-line census) serialise
+   against everything by holding every stripe. *)
+let with_all_lines t f = with_lines t ~first:0 ~last:(t.lines - 1) f
 
 (* Persist one cache line: atomic with respect to crashes. *)
 let persist_line t index =
@@ -90,7 +147,8 @@ let persist_line t index =
   t.dirty.(index) <- false
 
 (* Persist (or auto-flush) the lines covering [off, off+len), consulting the
-   crash scheduler once per line so a crash can land between lines. *)
+   crash scheduler once per line so a crash can land between lines.  Caller
+   holds the covering stripes. *)
 let flush_lines_locked t ~off ~len =
   let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
   for index = first to last do
@@ -102,7 +160,8 @@ let flush_lines_locked t ~off ~len =
   done
 
 (* Write [len] bytes from [src] at [off], line by line, consulting the crash
-   scheduler once per touched line (multi-line writes are not atomic). *)
+   scheduler once per touched line (multi-line writes are not atomic).
+   Caller holds the covering stripes. *)
 let write_locked t ~off ~src ~src_off ~len =
   if len > 0 then begin
     let base = Offset.to_int off in
@@ -127,23 +186,40 @@ let write_locked t ~off ~src ~src_off ~len =
     assert (!written = len)
   end
 
+let covering t off ~len = Layout.lines_covering ~line_size:t.line_size off ~len
+
 let read_bytes t ~off ~len =
   check_range t off len;
-  with_lock t (fun () ->
-      Crash.check t.crash_ctl;
-      Stats.incr_reads t.stats;
-      Bytes.sub t.volatile (Offset.to_int off) len)
+  if len = 0 then begin
+    Crash.check t.crash_ctl;
+    Stats.incr_reads t.stats;
+    Bytes.empty
+  end
+  else begin
+    let first, last = covering t off ~len in
+    with_lines t ~first ~last (fun () ->
+        Crash.check t.crash_ctl;
+        Stats.incr_reads t.stats;
+        Bytes.sub t.volatile (Offset.to_int off) len)
+  end
 
 let write_bytes t ~off src =
   let len = Bytes.length src in
   check_range t off len;
-  with_lock t (fun () ->
-      Stats.incr_writes t.stats;
-      write_locked t ~off ~src ~src_off:0 ~len)
+  if len = 0 then
+    (* The call still counts as a write (see stats.mli). *)
+    Stats.incr_writes t.stats
+  else begin
+    let first, last = covering t off ~len in
+    with_lines t ~first ~last (fun () ->
+        Stats.incr_writes t.stats;
+        write_locked t ~off ~src ~src_off:0 ~len)
+  end
 
 let read_byte t off =
   check_range t off 1;
-  with_lock t (fun () ->
+  let first, last = covering t off ~len:1 in
+  with_lines t ~first ~last (fun () ->
       Crash.check t.crash_ctl;
       Stats.incr_reads t.stats;
       Char.code (Bytes.get t.volatile (Offset.to_int off)))
@@ -151,21 +227,24 @@ let read_byte t off =
 let write_byte t off b =
   if b < 0 || b > 255 then invalid_arg "Pmem.write_byte: not a byte";
   check_range t off 1;
-  with_lock t (fun () ->
+  let first, last = covering t off ~len:1 in
+  with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
       let src = Bytes.make 1 (Char.chr b) in
       write_locked t ~off ~src ~src_off:0 ~len:1)
 
 let read_int64 t off =
   check_range t off 8;
-  with_lock t (fun () ->
+  let first, last = covering t off ~len:8 in
+  with_lines t ~first ~last (fun () ->
       Crash.check t.crash_ctl;
       Stats.incr_reads t.stats;
       Bytes.get_int64_le t.volatile (Offset.to_int off))
 
 let write_int64 t off v =
   check_range t off 8;
-  with_lock t (fun () ->
+  let first, last = covering t off ~len:8 in
+  with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
       let src = Bytes.create 8 in
       Bytes.set_int64_le src 0 v;
@@ -178,7 +257,8 @@ let cas_int64 t off ~expected ~desired =
   check_range t off 8;
   if not (Layout.same_line ~line_size:t.line_size off ~len:8) then
     invalid_arg "Pmem.cas_int64: word crosses a cache line";
-  with_lock t (fun () ->
+  let index = Layout.line_index ~line_size:t.line_size off in
+  with_lines t ~first:index ~last:index (fun () ->
       Crash.step t.crash_ctl;
       Stats.incr_reads t.stats;
       let current = Bytes.get_int64_le t.volatile (Offset.to_int off) in
@@ -188,7 +268,6 @@ let cas_int64 t off ~expected ~desired =
         Bytes.set_int64_le src 0 desired;
         (* A single-line write: no extra crash point between the read and
            the write, which models a hardware CAS instruction. *)
-        let index = Layout.line_index ~line_size:t.line_size off in
         Bytes.blit src 0 t.volatile (Offset.to_int off) 8;
         t.dirty.(index) <- true;
         if t.auto_flush then begin
@@ -201,9 +280,13 @@ let cas_int64 t off ~expected ~desired =
 
 let flush t ~off ~len =
   if len < 0 then invalid_arg "Pmem.flush: negative length";
-  if len > 0 then begin
-    check_range t off len;
-    with_lock t (fun () ->
+  check_range t off len;
+  if len = 0 then
+    (* The call still counts as a flush (see stats.mli). *)
+    Stats.incr_flushes t.stats
+  else begin
+    let first, last = covering t off ~len in
+    with_lines t ~first ~last (fun () ->
         Stats.incr_flushes t.stats;
         flush_lines_locked t ~off ~len)
   end
@@ -211,7 +294,7 @@ let flush t ~off ~len =
 let flush_byte t off = flush t ~off ~len:1
 
 let crash t =
-  with_lock t (fun () ->
+  with_all_lines t (fun () ->
       Stats.incr_crashes t.stats;
       Crash.trigger t.crash_ctl;
       Array.iteri
@@ -245,16 +328,22 @@ let crash_and_restart t =
 
 let peek_volatile t ~off ~len =
   check_range t off len;
-  with_lock t (fun () -> Bytes.sub t.volatile (Offset.to_int off) len)
+  if len = 0 then Bytes.empty
+  else
+    with_all_lines t (fun () -> Bytes.sub t.volatile (Offset.to_int off) len)
 
 let peek_persistent t ~off ~len =
   check_range t off len;
-  with_lock t (fun () -> Backend.read t.backend ~off:(Offset.to_int off) ~len)
+  if len = 0 then Bytes.empty
+  else
+    with_all_lines t (fun () ->
+        Backend.read t.backend ~off:(Offset.to_int off) ~len)
 
 let dirty_line_count t =
-  with_lock t (fun () ->
+  with_all_lines t (fun () ->
       Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty)
 
 let is_dirty t off =
   check_range t off 1;
-  with_lock t (fun () -> t.dirty.(Layout.line_index ~line_size:t.line_size off))
+  let index = Layout.line_index ~line_size:t.line_size off in
+  with_lines t ~first:index ~last:index (fun () -> t.dirty.(index))

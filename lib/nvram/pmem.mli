@@ -18,11 +18,18 @@
     emulating an NVRAM without a volatile cache — the model assumed by the
     CAS algorithm of Section 5.
 
-    All operations are linearizable (internally serialised), which models
-    x86-TSO-style atomic cache-line access closely enough for the protocols
-    in this repository.  Operations raise {!Crash.Crash_now} once the
-    system has crashed, so that all worker threads of a crashed system stop
-    promptly. *)
+    All operations are linearizable, which models x86-TSO-style atomic
+    cache-line access closely enough for the protocols in this repository.
+    Internally the device is {e striped}: cache lines are partitioned over a
+    fixed set of locks (stripe [s] guards every line [l] with
+    [l mod stripes = s]), so operations on disjoint lines proceed in
+    parallel across worker domains while an operation spanning several lines
+    holds every covering stripe for its whole duration.  Whole-device
+    operations ({!crash}, {!peek_volatile}, {!peek_persistent},
+    {!dirty_line_count}) take all stripes, in ascending order like every
+    other operation, so the locking is deadlock-free.  Operations raise
+    {!Crash.Crash_now} once the system has crashed, so that all worker
+    domains of a crashed system stop promptly. *)
 
 type t
 
@@ -40,6 +47,7 @@ val create :
   ?policy:policy ->
   ?auto_flush:bool ->
   ?yield_probability:float ->
+  ?stripes:int ->
   ?backend:Backend.t ->
   size:int ->
   unit ->
@@ -49,16 +57,30 @@ val create :
     {!Lose_all}; [auto_flush] defaults to [false]; [backend] defaults to an
     in-memory image of [size] bytes.
 
-    [yield_probability] (default 0) makes each device operation yield the
-    processor with the given probability, so that concurrent workers on a
-    machine with few cores interleave at operation granularity instead of
-    OS-timeslice granularity — without it, the narrow interleaving windows
-    that concurrency protocols defend against essentially never occur in
-    simulation.  Set it (e.g. to 0.2–0.5) for concurrency experiments. *)
+    [stripes] (default 64) is the number of device-lock stripes; it is
+    clamped to the number of cache lines and rounded down to a power of
+    two.  More stripes mean less contention between worker domains
+    operating on disjoint lines; one stripe restores the old fully
+    serialised device.
+
+    [yield_probability] (default 0) makes each device operation deschedule
+    the calling OS thread with the given probability, so that concurrent
+    workers on a machine with few cores interleave at operation granularity
+    instead of OS-timeslice granularity — without it, the narrow
+    interleaving windows that concurrency protocols defend against
+    essentially never occur in simulation.  Set it (e.g. to 0.2–0.5) for
+    concurrency experiments. *)
 
 val size : t -> int
 val line_size : t -> int
 val auto_flush : t -> bool
+
+val default_stripes : int
+(** Stripe count used when {!create} is not given [?stripes]. *)
+
+val stripe_count : t -> int
+(** Number of device-lock stripes actually in use (a power of two). *)
+
 val crash_ctl : t -> Crash.t
 val stats : t -> Stats.t
 
@@ -96,7 +118,9 @@ val cas_int64 : t -> Offset.t -> expected:int64 -> desired:int64 -> bool
 val flush : t -> off:Offset.t -> len:int -> unit
 (** [flush t ~off ~len] persists every cache line intersecting the byte
     range.  Each line is persisted atomically; the crash scheduler is
-    consulted once per line, so a crash can land between lines. *)
+    consulted once per line, so a crash can land between lines.  A
+    zero-length flush persists nothing but still counts as one flush call
+    in {!Stats} — every call counts, whatever its length (see stats.mli). *)
 
 val flush_byte : t -> Offset.t -> unit
 (** [flush_byte t off] persists the single line containing [off] — the

@@ -13,10 +13,15 @@ val reads : t -> int
 (** Number of read operations served. *)
 
 val writes : t -> int
-(** Number of write operations served. *)
+(** Number of write operations served.  Every [write_*] call counts,
+    including a zero-length [write_bytes]: the counters measure API calls
+    (what a protocol {e issues}), not bytes moved, so [Experiment] verdicts
+    that compare protocol variants see the same accounting rule on every
+    code path. *)
 
 val flushes : t -> int
-(** Number of [flush] calls. *)
+(** Number of [flush] calls.  Like {!writes}, every call counts — a
+    zero-length [flush] persists no line but is still one flush call. *)
 
 val lines_flushed : t -> int
 (** Number of cache lines persisted by explicit flushes (or by auto-flush

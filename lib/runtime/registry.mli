@@ -10,7 +10,13 @@
     see {!System}) are reserved.
 
     The registry is parameterised by the execution-context type to avoid a
-    cyclic dependency with {!Exec}, which owns that type. *)
+    cyclic dependency with {!Exec}, which owns that type.
+
+    {b Domain safety.}  The registry is a plain [Hashtbl]: concurrent
+    {!find} calls from worker domains are safe {e only} while no
+    registration is in flight.  Register every function (and let {!System}
+    install its reserved wrapper) before starting workers; never register
+    from a task body. *)
 
 type outcome =
   | Complete of int64

@@ -217,10 +217,30 @@ let root t =
   | 0 -> None
   | off -> Some (Offset.of_int off)
 
-(* Run [f i] on one domain per worker; swallow the crash signal (the crashed
-   flag is checked afterwards) and re-raise any other failure.  A start
-   barrier aligns the domains so they truly race: without it the spawn
-   latency serialises short eras and concurrency windows never occur. *)
+exception Worker_failures of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failures failures ->
+        Some
+          (Printf.sprintf "Runtime.System.Worker_failures [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun (i, exn) ->
+                     Printf.sprintf "worker %d: %s" i (Printexc.to_string exn))
+                   failures)))
+    | _ -> None)
+
+(* Run [f i] on one domain per worker — real OS-level parallelism, one
+   runtime lock per domain, so concurrent executions of the paper's
+   experiments genuinely race on a multicore host (the device is striped
+   precisely so they can).  The crash signal is swallowed (the crashed flag
+   is checked afterwards); every other failure is captured per worker and
+   re-raised after all workers stopped — all of them, as a
+   {!Worker_failures} aggregate when several workers failed, so no
+   diagnostic is silently dropped.  A start barrier aligns the domains so
+   they truly race: without it the spawn latency serialises short eras and
+   concurrency windows never occur. *)
 let parallel_workers t f =
   let failures = Array.make t.config.workers None in
   let barrier_mu = Mutex.create () in
@@ -235,18 +255,30 @@ let parallel_workers t f =
             Condition.wait barrier_cv barrier_mu
           done)
   in
-  let threads =
+  let domains =
     Array.init t.config.workers (fun i ->
-        Thread.create
-          (fun () ->
+        Domain.spawn (fun () ->
             wait_for_start ();
             try f i with
             | Nvram.Crash.Crash_now -> ()
-            | exn -> failures.(i) <- Some exn)
-          ())
+            | exn -> failures.(i) <- Some exn))
   in
-  Array.iter Thread.join threads;
-  Array.iter (function Some exn -> raise exn | None -> ()) failures;
+  Array.iter Domain.join domains;
+  let failed =
+    Array.to_list failures
+    |> List.mapi (fun i failure -> Option.map (fun exn -> (i, exn)) failure)
+    |> List.filter_map Fun.id
+  in
+  (match failed with
+  | [] -> ()
+  | [ (_, exn) ] -> raise exn
+  | _ :: _ :: _ ->
+      List.iter
+        (fun (i, exn) ->
+          Log.err (fun m ->
+              m "worker %d failed: %s" i (Printexc.to_string exn)))
+        failed;
+      raise (Worker_failures failed));
   if Nvram.Crash.crashed (Pmem.crash_ctl t.pmem) then `Crashed else `Completed
 
 (* Individual crash-recovery (Section 2.2): worker [i] restarts alone while

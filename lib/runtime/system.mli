@@ -10,8 +10,10 @@
 
     In {e standard mode} ({!create} then {!run}) the main thread
     initialises the heap and [N] persistent stacks, starts [N] worker
-    domains, and feeds them tasks through a volatile producer-consumer
-    queue backed by the persistent task table.
+    domains ([Domain.spawn] — one runtime lock each, so workers execute in
+    parallel on a multicore host against the striped device), and feeds
+    them tasks through a volatile producer-consumer queue backed by the
+    persistent task table.
 
     In {e recovery mode} ({!attach} then {!recover}) it re-attaches
     every structure from the superblock, starts one recovery domain per
@@ -43,6 +45,13 @@ val default_config : config
     up to 64 argument bytes. *)
 
 type t
+
+exception Worker_failures of (int * exn) list
+(** Raised by {!run} and {!recover} when {e several} worker domains failed
+    with an exception other than the crash signal, carrying every
+    [(worker index, exception)] pair.  A single failure is re-raised as
+    itself.  A printer is registered, so the aggregate renders each
+    worker's failure. *)
 
 val create : Nvram.Pmem.t -> registry:Exec.t Registry.t -> config:config -> t
 (** [create pmem ~registry ~config] formats the device for a fresh system:
@@ -76,7 +85,9 @@ val run : t -> [ `Completed | `Crashed ]
     [Pmem.crash]/[Pmem.restart]/{!attach}/{!recover}).
 
     Any exception other than the crash signal raised by a task body is
-    re-raised after all workers stopped. *)
+    re-raised after all workers stopped; if several workers failed, they
+    are re-raised together as {!Worker_failures} so no worker's diagnostic
+    is dropped. *)
 
 val recover_worker : t -> int -> unit
 (** [recover_worker t i] performs an {e individual} recovery of worker [i]

@@ -11,7 +11,16 @@
     Adding a task commits with the flush of the table's count field;
     completing one commits with the flush of its status field (the answer
     is flushed before the status, so a status of "done" always has a valid
-    answer next to it). *)
+    answer next to it).
+
+    {b Domain safety.}  All table state lives on the device, so the striped
+    {!Nvram.Pmem} lock is the only synchronisation.  Worker domains may
+    call {!mark_done} / {!status} / {!func_id} / {!args} concurrently on
+    {e distinct} indices (each task is executed by one worker).  {!add} is
+    single-producer: it read-modify-writes the shared count field without a
+    lock of its own and must only be called from the main thread, never
+    concurrently with itself — which is how {!System} uses it (submission
+    happens before the workers start). *)
 
 type t
 

@@ -1,9 +1,13 @@
 (** Volatile producer–consumer queue (Section 4.3).
 
-    The main thread feeds task indices to worker threads through this
+    The main thread feeds task indices to worker domains through this
     queue.  It is deliberately volatile: its content is rebuilt from the
     persistent task table after a restart, exactly as the paper re-adds the
-    remaining descriptors in step 7 of Section 5.2. *)
+    remaining descriptors in step 7 of Section 5.2.
+
+    Domain-safe: every operation runs under the queue's mutex, and [pop]
+    blocks on a condition variable, so any number of producer and consumer
+    domains may share one queue. *)
 
 type 'a t
 

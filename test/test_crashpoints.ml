@@ -30,9 +30,13 @@ let fib_workload ~stack_kind ~plan =
   let registry = R.Registry.create () in
   register_fib registry;
   let pmem = Pmem.create ~size:(1 lsl 21) () in
+  (* single worker: workers are real domains now, so with several of them
+     the interleaving — and therefore which operation the At_op counter
+     lands on — would vary between runs.  One worker keeps every sweep
+     deterministic. *)
   let config =
     {
-      R.System.workers = 2;
+      R.System.workers = 1;
       stack_kind;
       task_capacity = 4;
       task_max_args = 16;
@@ -207,7 +211,7 @@ let individual_kill_workload kill_plan =
   let pmem = Pmem.create ~size:(1 lsl 21) () in
   let config =
     {
-      R.System.workers = 2;
+      R.System.workers = 1;
       stack_kind = R.System.Bounded_stack 4096;
       task_capacity = 6;
       task_max_args = 16;
@@ -256,7 +260,7 @@ let test_individual_kill_then_system_crash () =
   let pmem = Pmem.create ~size:(1 lsl 21) () in
   let config =
     {
-      R.System.workers = 2;
+      R.System.workers = 1;
       stack_kind = R.System.Bounded_stack 4096;
       task_capacity = 4;
       task_max_args = 16;
@@ -291,7 +295,7 @@ let test_fib_lose_random () =
       let pmem = Pmem.create ~policy:(Pmem.Lose_random seed) ~size:(1 lsl 21) () in
       let config =
         {
-          R.System.workers = 2;
+          R.System.workers = 1;
           stack_kind = R.System.Bounded_stack 4096;
           task_capacity = 4;
           task_max_args = 16;

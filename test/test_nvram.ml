@@ -194,6 +194,20 @@ let test_stats () =
   Nvram.Stats.reset s;
   Alcotest.(check int) "reset" 0 (Nvram.Stats.writes s)
 
+let test_stats_zero_length () =
+  (* counters measure API calls, not bytes: a zero-length read, write or
+     flush each count exactly one call (see stats.mli) *)
+  let p = Pmem.create ~size:1024 () in
+  ignore (Pmem.read_bytes p ~off:(off 0) ~len:0);
+  Pmem.write_bytes p ~off:(off 0) Bytes.empty;
+  Pmem.flush p ~off:(off 0) ~len:0;
+  let s = Pmem.stats p in
+  Alcotest.(check int) "zero-length read counts" 1 (Nvram.Stats.reads s);
+  Alcotest.(check int) "zero-length write counts" 1 (Nvram.Stats.writes s);
+  Alcotest.(check int) "zero-length flush counts" 1 (Nvram.Stats.flushes s);
+  Alcotest.(check int) "no lines flushed" 0 (Nvram.Stats.lines_flushed s);
+  Alcotest.(check int) "nothing dirtied" 0 (Pmem.dirty_line_count p)
+
 let with_temp_file f =
   let path = Filename.temp_file "pstack_nvram" ".img" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
@@ -249,6 +263,8 @@ let () =
           Alcotest.test_case "hardware CAS" `Quick test_cas_int64;
           Alcotest.test_case "peek views" `Quick test_peek_views;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "zero-length ops count" `Quick
+            test_stats_zero_length;
         ] );
       ( "crash scheduling",
         [
