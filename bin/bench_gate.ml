@@ -1,0 +1,174 @@
+(* Bench regression gate: compare a fresh BENCH_pmem.json against the
+   committed baseline and fail on a disproportionate throughput drop.
+
+   The parser handles exactly the JSON bench/main.ml writes (flat rows of
+   scalar fields) — no JSON dependency, on purpose.
+
+   Absolute ops/sec is meaningless across machines, so the default mode
+   normalises: per matching (bench, workers) row it takes the ratio
+   candidate/baseline, then compares every row's ratio against the median
+   ratio.  A uniformly slower CI runner moves all ratios together and
+   passes; one benchmark losing more than [--tolerance] (default 0.30)
+   relative to the pack fails.  [--absolute] compares raw ratios against
+   [1 - tolerance] instead, for same-machine use.
+
+   Exit codes: 0 pass, 1 regression, 2 usage/parse error. *)
+
+type row = { bench : string; workers : int; ops_per_sec : float }
+
+exception Parse_error of string
+
+let find_from content pos needle =
+  let n = String.length needle and h = String.length content in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub content i n = needle then Some (i + n)
+    else go (i + 1)
+  in
+  go pos
+
+let string_field content pos name =
+  match find_from content pos (Printf.sprintf "%S: \"" name) with
+  | None -> raise (Parse_error (Printf.sprintf "missing field %S" name))
+  | Some start -> (
+      match String.index_from_opt content start '"' with
+      | None -> raise (Parse_error (Printf.sprintf "unterminated field %S" name))
+      | Some stop -> String.sub content start (stop - start))
+
+let number_field content pos name =
+  match find_from content pos (Printf.sprintf "%S: " name) with
+  | None -> raise (Parse_error (Printf.sprintf "missing field %S" name))
+  | Some start ->
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '.' || c = '-' || c = 'e' || c = '+'
+      in
+      let stop = ref start in
+      while !stop < String.length content && is_num content.[!stop] do
+        incr stop
+      done;
+      let raw = String.sub content start (!stop - start) in
+      (match float_of_string_opt raw with
+      | Some v -> v
+      | None ->
+          raise
+            (Parse_error (Printf.sprintf "field %S is not a number: %S" name raw)))
+
+let parse_rows content =
+  let rec go pos acc =
+    match find_from content pos "\"bench\"" with
+    | None -> List.rev acc
+    | Some after ->
+        (* Re-anchor at the start of the key so the field helpers see it. *)
+        let at = after - String.length "\"bench\"" in
+        let row =
+          {
+            bench = string_field content at "bench";
+            workers = int_of_float (number_field content at "workers");
+            ops_per_sec = number_field content at "ops_per_sec";
+          }
+        in
+        go after (row :: acc)
+  in
+  match go 0 [] with
+  | [] -> raise (Parse_error "no benchmark rows found")
+  | rows -> rows
+
+let read_rows path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> raise (Parse_error msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_rows (really_input_string ic (in_channel_length ic)))
+
+let median = function
+  | [] -> raise (Parse_error "no common rows between baseline and candidate")
+  | values ->
+      let sorted = List.sort compare values in
+      List.nth sorted (List.length sorted / 2)
+
+let run baseline candidate tolerance absolute =
+  let base = read_rows baseline and cand = read_rows candidate in
+  let pairs =
+    List.filter_map
+      (fun b ->
+        List.find_opt
+          (fun c -> c.bench = b.bench && c.workers = b.workers)
+          cand
+        |> Option.map (fun c -> (b, c)))
+      base
+  in
+  let ratios =
+    List.map
+      (fun (b, c) ->
+        if b.ops_per_sec <= 0. then
+          raise (Parse_error (Printf.sprintf "baseline %s/%d has no throughput" b.bench b.workers));
+        (b, c, c.ops_per_sec /. b.ops_per_sec))
+      pairs
+  in
+  let reference =
+    if absolute then 1.0 else median (List.map (fun (_, _, r) -> r) ratios)
+  in
+  let floor = (1. -. tolerance) *. reference in
+  Printf.printf "%-12s %8s %14s %14s %8s %8s\n" "bench" "workers" "baseline"
+    "candidate" "ratio" "verdict";
+  let failures =
+    List.filter
+      (fun (b, c, r) ->
+        let bad = r < floor in
+        Printf.printf "%-12s %8d %14.0f %14.0f %8.3f %8s\n" b.bench b.workers
+          b.ops_per_sec c.ops_per_sec r
+          (if bad then "FAIL" else "ok");
+        bad)
+      ratios
+  in
+  Printf.printf "reference ratio %.3f, floor %.3f (tolerance %.0f%%, %s)\n"
+    reference floor (tolerance *. 100.)
+    (if absolute then "absolute" else "median-normalised");
+  if failures = [] then begin
+    Printf.printf "bench gate: pass (%d rows compared)\n" (List.length ratios);
+    0
+  end
+  else begin
+    Printf.printf "bench gate: %d row(s) regressed more than %.0f%%\n"
+      (List.length failures) (tolerance *. 100.);
+    1
+  end
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate --baseline PATH --candidate PATH [--tolerance T] \
+     [--absolute]";
+  exit 2
+
+let () =
+  let baseline = ref None and candidate = ref None in
+  let tolerance = ref 0.30 and absolute = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        parse rest
+    | "--candidate" :: path :: rest ->
+        candidate := Some path;
+        parse rest
+    | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some t when t > 0. && t < 1. ->
+            tolerance := t;
+            parse rest
+        | _ -> usage ())
+    | "--absolute" :: rest ->
+        absolute := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!baseline, !candidate) with
+  | Some b, Some c -> (
+      try exit (run b c !tolerance !absolute) with
+      | Parse_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+  | _ -> usage ()

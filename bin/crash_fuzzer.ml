@@ -1,0 +1,148 @@
+(* Crash-schedule fuzzer CLI.
+
+   Default mode runs a deterministic campaign: [--seed S --runs N] draws N
+   independent cases (workload + crash schedule) from S, executes each
+   under the crash-restart driver, checks recovery invariants, and shrinks
+   any failure to a minimal reproducer written under [--out].  The printed
+   trace depends only on the seed and flags, never on thread interleaving,
+   so two invocations with the same arguments produce identical output.
+
+   [--replay FILE] re-runs a previously written reproducer exactly and
+   exits 0/1 on pass/fail — replaying the artifact of a since-fixed bug is
+   the CI-friendly regression check.
+
+   [--kinds faulty] targets the planted-bug counter workload, which fails
+   under the right crash points by construction — the self-test that the
+   search and the shrinker actually work. *)
+
+module Fuzz = Fuzz
+
+let parse_kinds raw =
+  let names = String.split_on_char ',' raw |> List.filter (( <> ) "") in
+  if names = [] then Error "no workload kinds given"
+  else
+    List.fold_left
+      (fun acc name ->
+        Result.bind acc (fun kinds ->
+            Result.map
+              (fun kind -> kind :: kinds)
+              (Fuzz.Workload.kind_of_string (String.trim name))))
+      (Ok []) names
+    |> Result.map List.rev
+
+let write_artifacts config out failures =
+  if failures <> [] then begin
+    (try Unix.mkdir out 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter
+      (fun failure ->
+        let path =
+          Filename.concat out
+            (Printf.sprintf "repro-seed%d-case%d.txt" config.Fuzz.Campaign.seed
+               failure.Fuzz.Campaign.case)
+        in
+        Fuzz.Reproducer.write path
+          (Fuzz.Campaign.reproducer_of_failure config failure);
+        Printf.printf "wrote %s\n" path)
+      failures
+  end
+
+let run_campaign seed runs kinds max_ops max_workers max_eras shrink_attempts
+    out quiet =
+  match parse_kinds kinds with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Ok kinds ->
+      let config =
+        {
+          Fuzz.Campaign.seed;
+          runs;
+          kinds;
+          max_ops;
+          max_workers;
+          max_eras;
+          shrink_attempts;
+        }
+      in
+      let log line = if not quiet then print_endline line in
+      let report = Fuzz.Campaign.run ~log config in
+      write_artifacts config out report.Fuzz.Campaign.failures;
+      let n_failures = List.length report.Fuzz.Campaign.failures in
+      Printf.printf "%d cases, %d failures\n" report.Fuzz.Campaign.cases
+        n_failures;
+      if n_failures = 0 then 0 else 1
+
+let run_replay path =
+  match Fuzz.Reproducer.read path with
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      2
+  | Ok repro -> (
+      Format.printf "replaying %a | %a@." Fuzz.Workload.pp
+        repro.Fuzz.Reproducer.workload Fuzz.Schedule.pp
+        repro.Fuzz.Reproducer.schedule;
+      (match repro.Fuzz.Reproducer.expected with
+      | Some msg -> Printf.printf "expected failure: %s\n" msg
+      | None -> ());
+      match Fuzz.Reproducer.replay repro with
+      | { Fuzz.Harness.verdict = Fuzz.Harness.Pass; _ } ->
+          print_endline "verdict: pass";
+          0
+      | { Fuzz.Harness.verdict = Fuzz.Harness.Fail msg; _ } ->
+          Printf.printf "verdict: FAIL: %s\n" msg;
+          1)
+
+open Cmdliner
+
+let main_term =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let runs = Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N") in
+  let kinds =
+    Arg.(
+      value
+      & opt string "rstack,rqueue,rmap,rcas"
+      & info [ "kinds" ] ~docv:"K1,K2"
+          ~doc:"Comma-separated workload kinds (rstack, rqueue, rmap, rcas, \
+                faulty).")
+  in
+  let max_ops = Arg.(value & opt int 48 & info [ "max-ops" ] ~docv:"N") in
+  let max_workers =
+    Arg.(value & opt int 4 & info [ "max-workers" ] ~docv:"W")
+  in
+  let max_eras = Arg.(value & opt int 4 & info [ "max-eras" ] ~docv:"E") in
+  let shrink_attempts =
+    Arg.(value & opt int 150 & info [ "shrink-attempts" ] ~docv:"N")
+  in
+  let out =
+    Arg.(
+      value & opt string "fuzz-artifacts"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for failing-case reproducer artifacts.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ]) in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a reproducer artifact instead of fuzzing.")
+  in
+  let run replay seed runs kinds max_ops max_workers max_eras shrink_attempts
+      out quiet =
+    Stdlib.exit
+      (match replay with
+      | Some path -> run_replay path
+      | None ->
+          run_campaign seed runs kinds max_ops max_workers max_eras
+            shrink_attempts out quiet)
+  in
+  Term.(
+    const run $ replay $ seed $ runs $ kinds $ max_ops $ max_workers
+    $ max_eras $ shrink_attempts $ out $ quiet)
+
+let () =
+  let doc =
+    "Deterministic crash-schedule fuzzer for the recoverable structures."
+  in
+  Stdlib.exit (Cmd.eval' (Cmd.v (Cmd.info "crash_fuzzer" ~doc) main_term))

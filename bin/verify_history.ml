@@ -1,5 +1,6 @@
 (* Standalone serializability verifier (Section 5.1) for execution
-   histories recorded outside this process.
+   histories recorded outside this process — including the failing-run
+   artifacts written by the crash fuzzer (bin/crash_fuzzer.ml).
 
    Input format (one entry per line; '#' comments and blank lines ignored):
 
@@ -12,59 +13,27 @@
      dune exec bin/verify_history.exe -- history.txt
      ... | dune exec bin/verify_history.exe -- -        # stdin
 
-   Exit codes: 0 serializable, 3 not serializable, 2 malformed input. *)
-
-let parse_line lineno line =
-  match String.split_on_char ' ' (String.trim line) with
-  | [ "" ] -> `Skip
-  | s :: _ when String.length s > 0 && s.[0] = '#' -> `Skip
-  | [ "init"; v ] -> `Init (int_of_string v)
-  | [ "final"; v ] -> `Final (int_of_string v)
-  | [ "cas"; old_v; new_v; outcome ] ->
-      let result =
-        match outcome with
-        | "ok" | "success" | "true" -> true
-        | "fail" | "failure" | "false" -> false
-        | other -> failwith (Printf.sprintf "line %d: bad outcome %S" lineno other)
-      in
-      `Op
-        {
-          Verify.History.expected = int_of_string old_v;
-          desired = int_of_string new_v;
-          result;
-        }
-  | _ -> failwith (Printf.sprintf "line %d: unparseable entry %S" lineno line)
-
-let read_history channel =
-  let init = ref None and final = ref None and ops = ref [] in
-  let lineno = ref 0 in
-  (try
-     while true do
-       incr lineno;
-       match parse_line !lineno (input_line channel) with
-       | `Skip -> ()
-       | `Init v -> init := Some v
-       | `Final v -> final := Some v
-       | `Op op -> ops := op :: !ops
-     done
-   with End_of_file -> ());
-  match (!init, !final) with
-  | Some init, Some final ->
-      { Verify.History.init; final; ops = List.rev !ops }
-  | None, _ -> failwith "missing 'init <value>' entry"
-  | _, None -> failwith "missing 'final <value>' entry"
+   Exit codes: 0 serializable, 3 not serializable, 2 malformed input.
+   Every malformed entry is reported as FILE:LINE: message. *)
 
 let run path show_witness =
   let history =
     try
-      if path = "-" then read_history stdin
+      if path = "-" then Verify.History_io.read_channel ~file:"<stdin>" stdin
       else begin
         let ic = open_in path in
-        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_history ic)
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Verify.History_io.read_channel ~file:path ic)
       end
-    with Failure msg | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 2
+    with
+    | Verify.History_io.Malformed { file; line; msg } ->
+        Printf.eprintf "error: %s\n"
+          (Verify.History_io.error_message ~file ~line ~msg);
+        exit 2
+    | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
   in
   Format.printf "%d operations, init=%d final=%d@."
     (List.length history.Verify.History.ops)
@@ -92,7 +61,8 @@ let path =
 let witness =
   Arg.(
     value & flag
-    & info [ "witness" ] ~doc:"Print a witness sequential order when serializable.")
+    & info [ "witness" ]
+        ~doc:"Print a witness sequential order when serializable.")
 
 let cmd =
   Cmd.v

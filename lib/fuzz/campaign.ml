@@ -1,0 +1,81 @@
+type config = {
+  seed : int;
+  runs : int;
+  kinds : Workload.kind list;
+  max_ops : int;
+  max_workers : int;
+  max_eras : int;
+  shrink_attempts : int;
+}
+
+let default =
+  {
+    seed = 1;
+    runs = 50;
+    kinds = Workload.correct_kinds;
+    max_ops = 48;
+    max_workers = 4;
+    max_eras = 4;
+    shrink_attempts = 150;
+  }
+
+type failure = {
+  case : int;
+  workload : Workload.t;
+  schedule : Schedule.t;
+  outcome : Harness.outcome;
+  shrunk : Shrink.result;
+}
+
+type report = { cases : int; failures : failure list }
+
+let case_inputs config i =
+  if config.kinds = [] then invalid_arg "Campaign: no workload kinds";
+  let rng = Random.State.make [| config.seed; i |] in
+  let kind =
+    List.nth config.kinds (Random.State.int rng (List.length config.kinds))
+  in
+  let n_ops = 1 + Random.State.int rng (max config.max_ops 1) in
+  let workers = 1 + Random.State.int rng (max config.max_workers 1) in
+  let workload = Workload.generate kind ~rng ~n_ops ~workers in
+  let schedule = Schedule.generate ~rng ~max_eras:config.max_eras in
+  (workload, schedule)
+
+let reproducer_of_failure config failure =
+  {
+    Reproducer.seed = Some config.seed;
+    case = Some failure.case;
+    workload = failure.shrunk.Shrink.workload;
+    schedule = failure.shrunk.Shrink.schedule;
+    expected =
+      (match failure.shrunk.Shrink.outcome.Harness.verdict with
+      | Harness.Fail msg -> Some msg
+      | Harness.Pass -> None);
+  }
+
+let run ?(log = fun _ -> ()) config =
+  let failures = ref [] in
+  for i = 0 to config.runs - 1 do
+    let workload, schedule = case_inputs config i in
+    let outcome = Harness.run workload schedule in
+    (match outcome.Harness.verdict with
+    | Harness.Pass ->
+        log
+          (Format.asprintf "case %4d: %a | %a | pass" i Workload.pp workload
+             Schedule.pp schedule)
+    | Harness.Fail msg ->
+        log
+          (Format.asprintf "case %4d: %a | %a | FAIL: %s" i Workload.pp
+             workload Schedule.pp schedule msg);
+        let shrunk =
+          Shrink.shrink ~max_attempts:config.shrink_attempts workload schedule
+            outcome
+        in
+        log
+          (Format.asprintf "           shrunk to %a | %a (%d runs)"
+             Workload.pp shrunk.Shrink.workload Schedule.pp
+             shrunk.Shrink.schedule shrunk.Shrink.attempts);
+        failures := { case = i; workload; schedule; outcome; shrunk }
+                    :: !failures)
+  done;
+  { cases = config.runs; failures = List.rev !failures }

@@ -1,0 +1,46 @@
+(** Fuzz campaigns: a deterministic sequence of cases drawn from one
+    master seed.
+
+    Case [i] of a campaign with seed [s] is generated from
+    [Random.State.make [| s; i |]] — cases are independent of each other
+    and of [runs], so case 17 of [--seed 42 --runs 50] is byte-identical
+    to case 17 of [--seed 42 --runs 1000].
+
+    The [log] trace prints one line per case — kind, workers, op count,
+    schedule digest, verdict — and never interleaving-dependent numbers
+    (crash or era counts), so two invocations with the same seed produce
+    the same trace even for multi-worker cases. *)
+
+type config = {
+  seed : int;
+  runs : int;
+  kinds : Workload.kind list;  (** Drawn uniformly per case. *)
+  max_ops : int;
+  max_workers : int;
+  max_eras : int;
+  shrink_attempts : int;  (** Re-run budget per failing case. *)
+}
+
+val default : config
+(** Seed 1, 50 runs over {!Workload.correct_kinds}, up to 48 ops, 4
+    workers, 4 eras, 150 shrink attempts. *)
+
+type failure = {
+  case : int;
+  workload : Workload.t;  (** As generated, before shrinking. *)
+  schedule : Schedule.t;
+  outcome : Harness.outcome;
+  shrunk : Shrink.result;
+}
+
+type report = { cases : int; failures : failure list }
+
+val case_inputs : config -> int -> Workload.t * Schedule.t
+(** [case_inputs config i] regenerates case [i]'s workload and schedule
+    without running it. *)
+
+val reproducer_of_failure : config -> failure -> Reproducer.t
+(** Package a failure's {e shrunk} case as a replayable artifact. *)
+
+val run : ?log:(string -> unit) -> config -> report
+(** Run the campaign, invoking [log] once per case (default: silent). *)

@@ -1,0 +1,531 @@
+module Pmem = Nvram.Pmem
+module Crash = Nvram.Crash
+module Offset = Nvram.Offset
+module Heap = Nvheap.Heap
+module System = Runtime.System
+module Value = Runtime.Value
+module Rstack = Recoverable.Rstack
+module Rqueue = Recoverable.Rqueue
+module Rmap = Recoverable.Rmap
+module Rcas = Recoverable.Rcas
+
+type stats = { eras : int; crashes : int }
+type verdict = Pass | Fail of string
+
+type outcome = {
+  verdict : verdict;
+  stats : stats;
+  crash_points : (int * int) list;
+  history : Verify.History.t option;
+}
+
+(* Function identifiers of the fuzz workloads (2 is the first free id). *)
+let push_id = 40
+let push_attempt_id = 41
+let pop_id = 42
+let pop_attempt_id = 43
+let enq_id = 44
+let enq_attempt_id = 45
+let deq_id = 46
+let deq_attempt_id = 47
+let put_id = 48
+let put_attempt_id = 49
+let rm_id = 50
+let rm_attempt_id = 51
+let cas_id = 52
+let cas_attempt_id = 53
+let bump_id = 54
+let map_buckets = 16
+
+let ( let* ) r f = match r with Ok v -> f v | Error msg -> Fail msg
+
+let rec check_duplicates ~what = function
+  | [] -> Ok ()
+  | v :: rest ->
+      if List.mem v rest then
+        Error (Printf.sprintf "%s: value %d extracted twice" what v)
+      else check_duplicates ~what rest
+
+let check_conservation ~what ~inserted ~extracted ~remaining =
+  let sorted = List.sort compare in
+  if sorted (extracted @ remaining) = sorted inserted then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "%s: values not conserved (%d inserted, %d extracted, %d remaining)"
+         what (List.length inserted) (List.length extracted)
+         (List.length remaining))
+
+(* Sequential ground truth for single-worker runs: one worker executes
+   tasks in submission order, so the answers must replay a plain
+   in-memory structure op for op, whatever the crash schedule did. *)
+let check_sequential_lifo ops answers =
+  let stack = ref [] in
+  let rec go i ops answers =
+    match (ops, answers) with
+    | [], [] -> Ok ()
+    | Workload.Push v :: ops, _ :: answers ->
+        stack := v :: !stack;
+        go (i + 1) ops answers
+    | Workload.Pop :: ops, answer :: answers ->
+        let expect =
+          match !stack with
+          | [] -> None
+          | v :: rest ->
+              stack := rest;
+              Some v
+        in
+        if Recoverable.Stack_op.pop_answer answer = expect then
+          go (i + 1) ops answers
+        else Error (Printf.sprintf "rstack: op %d diverges from sequential replay" i)
+    | _ -> Error "rstack: op/answer shape mismatch"
+  in
+  go 0 ops answers
+
+let check_sequential_fifo ops answers =
+  let queue = ref [] in
+  let rec go i ops answers =
+    match (ops, answers) with
+    | [], [] -> Ok ()
+    | Workload.Enqueue v :: ops, _ :: answers ->
+        queue := !queue @ [ v ];
+        go (i + 1) ops answers
+    | Workload.Dequeue :: ops, answer :: answers ->
+        let expect =
+          match !queue with
+          | [] -> None
+          | v :: rest ->
+              queue := rest;
+              Some v
+        in
+        if Recoverable.Queue_op.dequeue_answer answer = expect then
+          go (i + 1) ops answers
+        else Error (Printf.sprintf "rqueue: op %d diverges from sequential replay" i)
+    | _ -> Error "rqueue: op/answer shape mismatch"
+  in
+  go 0 ops answers
+
+let check_sequential_map ops answers bindings =
+  let tbl = Hashtbl.create 16 in
+  let rec go i ops answers =
+    match (ops, answers) with
+    | [], [] ->
+        let expect =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+          |> List.sort compare
+        in
+        if List.sort compare bindings = expect then Ok ()
+        else Error "rmap: final bindings diverge from sequential replay"
+    | Workload.Put (k, v) :: ops, _ :: answers ->
+        Hashtbl.replace tbl k v;
+        go (i + 1) ops answers
+    | Workload.Remove k :: ops, answer :: answers ->
+        let present = Hashtbl.mem tbl k in
+        Hashtbl.remove tbl k;
+        if Int64.equal answer (if present then 1L else 0L) then
+          go (i + 1) ops answers
+        else
+          Error (Printf.sprintf "rmap: remove %d diverges from sequential replay" i)
+    | _ -> Error "rmap: op/answer shape mismatch"
+  in
+  go 0 ops answers
+
+(* Weaker, interleaving-independent invariants for concurrent runs. *)
+let check_concurrent_map ops answers bindings =
+  let puts =
+    List.filter_map
+      (function Workload.Put (k, v) -> Some (k, v) | _ -> None)
+      ops
+  in
+  let rec check_bindings = function
+    | [] -> Ok ()
+    | (k, v) :: rest ->
+        if List.mem (k, v) puts then check_bindings rest
+        else Error (Printf.sprintf "rmap: binding (%d, %d) was never put" k v)
+  in
+  let* () = check_bindings bindings in
+  let removed_true =
+    List.combine ops answers
+    |> List.filter_map (function
+         | Workload.Remove k, a when Int64.equal a 1L -> Some k
+         | _ -> None)
+  in
+  let count key l = List.length (List.filter (( = ) key) l) in
+  let keys = List.sort_uniq compare (List.map fst puts @ removed_true) in
+  let rec check_removes = function
+    | [] -> Pass
+    | k :: rest ->
+        if count k removed_true > count k (List.map fst puts) then
+          Fail
+            (Printf.sprintf "rmap: key %d removed more often than it was put" k)
+        else check_removes rest
+  in
+  check_removes keys
+
+let check_stack workload answers remaining =
+  let ops = workload.Workload.ops in
+  let inserted =
+    List.filter_map (function Workload.Push v -> Some v | _ -> None) ops
+  in
+  let extracted =
+    List.combine ops answers
+    |> List.filter_map (function
+         | Workload.Pop, a -> Recoverable.Stack_op.pop_answer a
+         | _ -> None)
+  in
+  let* () = check_duplicates ~what:"rstack" extracted in
+  let* () =
+    check_conservation ~what:"rstack" ~inserted ~extracted ~remaining
+  in
+  if workload.Workload.workers = 1 then
+    let* () = check_sequential_lifo ops answers in
+    Pass
+  else Pass
+
+let check_queue workload answers remaining =
+  let ops = workload.Workload.ops in
+  let inserted =
+    List.filter_map (function Workload.Enqueue v -> Some v | _ -> None) ops
+  in
+  let extracted =
+    List.combine ops answers
+    |> List.filter_map (function
+         | Workload.Dequeue, a -> Recoverable.Queue_op.dequeue_answer a
+         | _ -> None)
+  in
+  let* () = check_duplicates ~what:"rqueue" extracted in
+  let* () =
+    check_conservation ~what:"rqueue" ~inserted ~extracted ~remaining
+  in
+  if workload.Workload.workers = 1 then
+    let* () = check_sequential_fifo ops answers in
+    Pass
+  else Pass
+
+let check_map workload answers bindings =
+  let ops = workload.Workload.ops in
+  if workload.Workload.workers = 1 then
+    let* () = check_sequential_map ops answers bindings in
+    Pass
+  else check_concurrent_map ops answers bindings
+
+let cas_history workload answers ~final =
+  let ops =
+    List.combine workload.Workload.ops answers
+    |> List.map (function
+         | Workload.Cas (expected, desired), a ->
+             { Verify.History.expected; desired; result = Value.bool_of_answer a }
+         | _ -> invalid_arg "Harness: non-CAS op in an rcas workload")
+  in
+  { Verify.History.init = workload.Workload.init; final; ops }
+
+let check_cas history =
+  match Verify.Serializability.check history with
+  | Verify.Serializability.Serializable _ -> Pass
+  | Verify.Serializability.Not_serializable _ as verdict ->
+      Fail (Format.asprintf "rcas: %a" Verify.Serializability.pp_verdict verdict)
+
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  registry : Runtime.Exec.t Runtime.Registry.t;
+  init : System.t -> unit;
+  reattach : System.t -> unit;
+  reclaim : System.t -> Offset.t list;
+  submit_op : System.t -> Workload.op -> unit;
+  (* evaluated after completion: per-kind verdict and optional history *)
+  conclude : (int * int64) list -> verdict * Verify.History.t option;
+}
+
+let root_exn sys =
+  match System.root sys with
+  | Some base -> base
+  | None -> invalid_arg "Harness: system root lost"
+
+let submit sys ~func_id ~args = ignore (System.submit sys ~func_id ~args)
+
+let answers_in_order workload results =
+  let n = List.length workload.Workload.ops in
+  if List.length results <> n then
+    Error
+      (Printf.sprintf "%d ops submitted but %d answers recorded" n
+         (List.length results))
+  else if List.exists (fun (i, _) -> i < 0 || i >= n) results then
+    Error "answer recorded for an unknown task"
+  else
+    Ok (List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) results))
+
+let stack_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let stack = ref None in
+  let handle () = Option.get !stack in
+  Recoverable.Stack_op.register_push registry ~id:push_id
+    ~attempt_id:push_attempt_id handle;
+  Recoverable.Stack_op.register_pop registry ~id:pop_id
+    ~attempt_id:pop_attempt_id handle;
+  let nprocs = workload.Workload.workers in
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base =
+          Heap.alloc (System.heap sys) (Rstack.region_size ~nprocs)
+        in
+        stack := Some (Rstack.create pmem ~heap:(System.heap sys) ~base ~nprocs);
+        System.set_root sys base);
+    reattach =
+      (fun sys ->
+        stack :=
+          Some
+            (Rstack.attach pmem ~heap:(System.heap sys) ~base:(root_exn sys)
+               ~nprocs));
+    reclaim =
+      (fun sys -> root_exn sys :: Rstack.live_nodes (handle ()));
+    submit_op =
+      (fun sys -> function
+        | Workload.Push v -> submit sys ~func_id:push_id ~args:(Value.of_int v)
+        | Workload.Pop -> submit sys ~func_id:pop_id ~args:Bytes.empty
+        | _ -> invalid_arg "Harness: non-stack op in an rstack workload");
+    conclude =
+      (fun results ->
+        ( (let* answers = answers_in_order workload results in
+           check_stack workload answers (Rstack.to_list (handle ()))),
+          None ));
+  }
+
+let queue_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let queue = ref None in
+  let handle () = Option.get !queue in
+  Recoverable.Queue_op.register_enqueue registry ~id:enq_id
+    ~attempt_id:enq_attempt_id handle;
+  Recoverable.Queue_op.register_dequeue registry ~id:deq_id
+    ~attempt_id:deq_attempt_id handle;
+  let nprocs = workload.Workload.workers in
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base =
+          Heap.alloc (System.heap sys) (Rqueue.region_size ~nprocs)
+        in
+        queue := Some (Rqueue.create pmem ~heap:(System.heap sys) ~base ~nprocs);
+        System.set_root sys base);
+    reattach =
+      (fun sys ->
+        queue :=
+          Some
+            (Rqueue.attach pmem ~heap:(System.heap sys) ~base:(root_exn sys)
+               ~nprocs));
+    reclaim =
+      (fun sys -> root_exn sys :: Rqueue.live_nodes (handle ()));
+    submit_op =
+      (fun sys -> function
+        | Workload.Enqueue v -> submit sys ~func_id:enq_id ~args:(Value.of_int v)
+        | Workload.Dequeue -> submit sys ~func_id:deq_id ~args:Bytes.empty
+        | _ -> invalid_arg "Harness: non-queue op in an rqueue workload");
+    conclude =
+      (fun results ->
+        ( (let* answers = answers_in_order workload results in
+           check_queue workload answers (Rqueue.to_list (handle ()))),
+          None ));
+  }
+
+let map_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let map = ref None in
+  let handle () = Option.get !map in
+  Recoverable.Map_op.register_put registry ~id:put_id
+    ~attempt_id:put_attempt_id handle;
+  Recoverable.Map_op.register_remove registry ~id:rm_id
+    ~attempt_id:rm_attempt_id handle;
+  let nprocs = workload.Workload.workers in
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base =
+          Heap.alloc (System.heap sys)
+            (Rmap.region_size ~buckets:map_buckets ~nprocs)
+        in
+        map :=
+          Some
+            (Rmap.create pmem ~heap:(System.heap sys) ~base
+               ~buckets:map_buckets ~nprocs);
+        System.set_root sys base);
+    reattach =
+      (fun sys ->
+        map :=
+          Some
+            (Rmap.attach pmem ~heap:(System.heap sys) ~base:(root_exn sys)
+               ~buckets:map_buckets ~nprocs));
+    reclaim = (fun sys -> root_exn sys :: Rmap.live_nodes (handle ()));
+    submit_op =
+      (fun sys -> function
+        | Workload.Put (k, v) ->
+            submit sys ~func_id:put_id ~args:(Value.of_int2 k v)
+        | Workload.Remove k -> submit sys ~func_id:rm_id ~args:(Value.of_int k)
+        | _ -> invalid_arg "Harness: non-map op in an rmap workload");
+    conclude =
+      (fun results ->
+        ( (let* answers = answers_in_order workload results in
+           check_map workload answers (Rmap.bindings (handle ()))),
+          None ));
+  }
+
+let cas_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let rcas = ref None in
+  let handle () = Option.get !rcas in
+  Recoverable.Cas_op.register_attempt registry ~id:cas_attempt_id handle;
+  Recoverable.Cas_op.register_cas registry ~id:cas_id
+    ~attempt_id:cas_attempt_id handle;
+  let nprocs = workload.Workload.workers in
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base = Heap.alloc (System.heap sys) (Rcas.region_size ~nprocs) in
+        rcas :=
+          Some
+            (Rcas.create pmem ~base ~nprocs ~init:workload.Workload.init
+               ~variant:Rcas.Correct);
+        System.set_root sys base);
+    reattach =
+      (fun sys ->
+        rcas :=
+          Some
+            (Rcas.attach pmem ~base:(root_exn sys) ~nprocs
+               ~variant:Rcas.Correct));
+    reclaim = (fun sys -> [ root_exn sys ]);
+    submit_op =
+      (fun sys -> function
+        | Workload.Cas (e, d) ->
+            submit sys ~func_id:cas_id ~args:(Value.of_int2 e d)
+        | _ -> invalid_arg "Harness: non-CAS op in an rcas workload");
+    conclude =
+      (fun results ->
+        match answers_in_order workload results with
+        | Error msg -> (Fail msg, None)
+        | Ok answers ->
+            let history =
+              cas_history workload answers ~final:(Rcas.read (handle ()))
+            in
+            (check_cas history, Some history));
+  }
+
+(* The planted bug: a recoverable counter whose recover blindly re-runs
+   the body instead of consulting evidence.  A crash after the increment
+   persisted but before the frame's answer did makes recovery increment
+   again — exactly the class of bug the fuzzer exists to find. *)
+let faulty_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let area = ref Offset.null in
+  let body ctx _args =
+    ignore ctx;
+    let v = Pmem.read_int pmem !area in
+    Pmem.write_int pmem !area (v + 1);
+    Pmem.flush pmem ~off:!area ~len:8;
+    Int64.of_int (v + 1)
+  in
+  Runtime.Registry.register registry ~id:bump_id ~name:"fuzz.faulty_bump"
+    ~body
+    ~recover:(Runtime.Registry.completing body);
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base = Heap.alloc (System.heap sys) 64 in
+        Pmem.write_int pmem base 0;
+        Pmem.flush pmem ~off:base ~len:8;
+        area := base;
+        System.set_root sys base);
+    reattach = (fun sys -> area := root_exn sys);
+    reclaim = (fun sys -> [ root_exn sys ]);
+    submit_op =
+      (fun sys -> function
+        | Workload.Bump -> submit sys ~func_id:bump_id ~args:Bytes.empty
+        | _ -> invalid_arg "Harness: non-bump op in a faulty workload");
+    conclude =
+      (fun results ->
+        let expected = List.length workload.Workload.ops in
+        let got = Pmem.read_int pmem !area in
+        let verdict =
+          let* _answers = answers_in_order workload results in
+          if got = expected then Pass
+          else
+            Fail
+              (Printf.sprintf "faulty counter: expected %d, got %d" expected
+                 got)
+        in
+        (verdict, None));
+  }
+
+let case_of pmem (workload : Workload.t) =
+  match workload.kind with
+  | Workload.Rstack -> stack_case pmem workload
+  | Workload.Rqueue -> queue_case pmem workload
+  | Workload.Rmap -> map_case pmem workload
+  | Workload.Rcas -> cas_case pmem workload
+  | Workload.Faulty -> faulty_case pmem workload
+
+let device_size = 1 lsl 21
+
+let run_once (workload : Workload.t) (schedule : Schedule.t) =
+  (* Section 5's cache-less model for the real structures (they are built
+     for auto-flush devices in their own test suites); the planted-bug
+     counter manages its own flushes on a cached device. *)
+  let auto_flush = workload.kind <> Workload.Faulty in
+  let yield_probability = if workload.workers > 1 then 0.3 else 0. in
+  let pmem = Pmem.create ~auto_flush ~yield_probability ~size:device_size () in
+  let case = case_of pmem workload in
+  let config =
+    {
+      System.workers = workload.workers;
+      stack_kind = System.Bounded_stack 4096;
+      task_capacity = max 1 (List.length workload.ops);
+      task_max_args = 24;
+    }
+  in
+  let eras = ref 0 in
+  let crash_points = ref [] in
+  let observer = function
+    | Runtime.Driver.Era_armed { era; _ } -> eras := era
+    | Runtime.Driver.Crash_fired { era; at_op } ->
+        crash_points := (era, at_op) :: !crash_points
+  in
+  let submit sys =
+    (match schedule.Schedule.kill with
+    | Some plan -> Crash.arm_kill (Pmem.crash_ctl pmem) plan
+    | None -> ());
+    List.iter (case.submit_op sys) workload.ops
+  in
+  let finish verdict history =
+    {
+      verdict;
+      stats = { eras = !eras; crashes = List.length !crash_points };
+      crash_points = List.rev !crash_points;
+      history;
+    }
+  in
+  match
+    Runtime.Driver.run_to_completion pmem ~registry:case.registry ~config
+      ~submit ~init:case.init ~reattach:case.reattach ~reclaim:case.reclaim
+      ~plan:(fun ~era -> Schedule.plan_for schedule ~era)
+      ~observer ~max_crashes:1000 ()
+  with
+  | report ->
+      let verdict, history = case.conclude report.Runtime.Driver.results in
+      finish verdict history
+  | exception Crash.Thread_killed -> finish (Fail "main-thread kill") None
+  | exception exn ->
+      finish (Fail ("exception: " ^ Printexc.to_string exn)) None
+
+let run workload schedule =
+  match run_once workload schedule with
+  | { verdict = Fail "main-thread kill"; _ } ->
+      (* The one-shot kill landed on the orchestrating thread — an artifact
+         of the simulation, not a finding.  The case degenerates to the
+         same schedule without the kill plan. *)
+      run_once workload { schedule with Schedule.kill = None }
+  | outcome -> outcome

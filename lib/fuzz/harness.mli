@@ -1,0 +1,44 @@
+(** Execute one fuzz case: a {!Workload} driven to completion under a
+    {!Schedule} by the crash-restart driver, followed by invariant
+    checking.
+
+    Recovery invariants checked, per workload kind:
+
+    - {b all kinds}: the driver completes within its crash budget and every
+      submitted task has exactly one answer;
+    - {b rstack / rqueue}: no value is popped/dequeued twice (exactly-once
+      under crashes), every extracted value was inserted, and the multiset
+      of extracted plus remaining values equals the multiset of inserted
+      values; with one worker the whole run must additionally replay a
+      sequential simulation answer-for-answer;
+    - {b rmap}: every surviving binding was put, and with one worker the
+      bindings and every remove's present-flag must match a sequential
+      simulation;
+    - {b rcas}: the recorded CAS history (answers, initial and final
+      register value) must be serializable per [lib/verify] — the paper's
+      Section 5 check, i.e. the observable side of nesting-safe recoverable
+      linearizability;
+    - {b faulty}: the planted-bug counter must equal the number of
+      increments (it does not for crash points inside the unprotected
+      recovery window — that is the point).
+
+    A kill plan that happens to land on the orchestrating thread instead of
+    a worker is an artifact of the simulation, not a structure bug: the
+    case is re-run once without the kill plan. *)
+
+type stats = { eras : int; crashes : int }
+
+type verdict = Pass | Fail of string  (** Deterministic failure reason. *)
+
+type outcome = {
+  verdict : verdict;
+  stats : stats;
+  crash_points : (int * int) list;
+      (** (era, at_op) for every crash that fired, in order — turns
+          probabilistic era plans into replayable [At_op] points. *)
+  history : Verify.History.t option;
+      (** The CAS history of an rcas run (whatever the verdict), for
+          serialisation as a [verify_history]-ingestible artifact. *)
+}
+
+val run : Workload.t -> Schedule.t -> outcome

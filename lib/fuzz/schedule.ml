@@ -1,0 +1,79 @@
+module Crash = Nvram.Crash
+
+type t = { eras : Crash.plan list; kill : Crash.plan option }
+
+let none = { eras = []; kill = None }
+
+let plan_for t ~era =
+  match List.nth_opt t.eras (era - 1) with
+  | Some plan -> plan
+  | None -> Crash.Never
+
+let generate ~rng ~max_eras =
+  let n = 1 + Random.State.int rng (max max_eras 1) in
+  let era_plan () =
+    if Random.State.bool rng then Crash.At_op (1 + Random.State.int rng 300)
+    else
+      Crash.Random
+        {
+          seed = 1 + Random.State.int rng 1_000_000;
+          (* Quantised to the serialised %.6f precision, so generated
+             schedules round-trip structurally through to_lines/of_lines. *)
+          probability =
+            float_of_int (2_000 + Random.State.int rng 20_000) /. 1_000_000.;
+        }
+  in
+  let eras = List.init n (fun _ -> era_plan ()) in
+  let kill =
+    if Random.State.int rng 3 = 0 then
+      Some (Crash.At_op (1 + Random.State.int rng 200))
+    else None
+  in
+  { eras; kill }
+
+let crashing_eras t =
+  List.length (List.filter (fun p -> p <> Crash.Never) t.eras)
+
+let to_lines t =
+  List.mapi
+    (fun i plan ->
+      Printf.sprintf "era %d %s" (i + 1) (Crash.plan_to_string plan))
+    t.eras
+  @
+  match t.kill with
+  | None -> []
+  | Some plan -> [ Printf.sprintf "kill %s" (Crash.plan_to_string plan) ]
+
+let of_lines lines =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc line ->
+      let* t = acc in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (( <> ) "")
+      with
+      | [] -> Ok t
+      | "era" :: n :: rest -> (
+          let expect = List.length t.eras + 1 in
+          match int_of_string_opt n with
+          | Some n when n = expect ->
+              let* plan = Crash.plan_of_string (String.concat " " rest) in
+              Ok { t with eras = t.eras @ [ plan ] }
+          | Some n ->
+              Error
+                (Printf.sprintf "era %d out of order (expected era %d)" n
+                   expect)
+          | None -> Error (Printf.sprintf "era index is not an integer: %S" n))
+      | "kill" :: rest ->
+          let* plan = Crash.plan_of_string (String.concat " " rest) in
+          Ok { t with kill = Some plan }
+      | _ -> Error (Printf.sprintf "unknown schedule entry %S" line))
+    (Ok none) lines
+
+let pp fmt t =
+  Format.fprintf fmt "[%s] kill=%s"
+    (String.concat "; " (List.map Crash.plan_to_string t.eras))
+    (match t.kill with
+    | None -> "never"
+    | Some plan -> Crash.plan_to_string plan)

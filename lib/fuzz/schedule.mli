@@ -1,0 +1,42 @@
+(** Crash schedules: one crash plan per era, plus an optional one-shot
+    individual-crash (kill) plan armed before the first era.
+
+    A schedule is the adversary of a fuzz case: era [i] of the driver runs
+    under [plan_for t ~era:i], mixing deterministic [At_op] points with
+    seeded probabilistic plans.  Eras beyond the listed ones are [Never],
+    so every schedule is finite and every case terminates.
+
+    Schedules serialise to the line-based reproducer format:
+
+    {v
+    era 1 at-op 17
+    era 2 random 9431 0.010000
+    kill at-op 40
+    v} *)
+
+type t = {
+  eras : Nvram.Crash.plan list;  (** Plan of era 1, 2, ...; then [Never]. *)
+  kill : Nvram.Crash.plan option;
+      (** Individual-crash plan armed once, at submission time. *)
+}
+
+val none : t
+(** No crashes at all. *)
+
+val plan_for : t -> era:int -> Nvram.Crash.plan
+(** Plan of the given era (1-based); [Never] past the end of the list. *)
+
+val generate : rng:Random.State.t -> max_eras:int -> t
+(** Draw a schedule: 1 to [max_eras] era plans, each either an [At_op]
+    point or a seeded [Random] probability, and a kill plan with
+    probability ~1/3.  Deterministic in [rng]. *)
+
+val crashing_eras : t -> int
+(** Number of listed era plans that are not [Never]. *)
+
+val to_lines : t -> string list
+val of_lines : string list -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** One-line digest, e.g. ["[at-op 17; random 9431 0.010000] kill=never"] —
+    stable across runs, used in the fuzzer's deterministic trace. *)

@@ -1,0 +1,142 @@
+module Crash = Nvram.Crash
+
+type result = {
+  workload : Workload.t;
+  schedule : Schedule.t;
+  outcome : Harness.outcome;
+  attempts : int;
+}
+
+(* Strictly decreasing under every candidate below, which makes the greedy
+   fixpoint terminate on its own; a Random plan outweighs any At_op the
+   generator produces, so concretising always shrinks. *)
+let plan_weight = function
+  | Crash.Never -> 0
+  | Crash.At_op n -> 1 + n
+  | Crash.Random _ -> 1000
+
+let measure (w : Workload.t) (s : Schedule.t) =
+  (List.length w.ops * 10_000)
+  + (w.workers * 100)
+  + List.fold_left (fun acc p -> acc + plan_weight p) 0 s.Schedule.eras
+  + match s.kill with None -> 0 | Some p -> plan_weight p
+
+let rec drop_trailing_never = function
+  | [] -> []
+  | plans -> (
+      match List.rev plans with
+      | Crash.Never :: rest -> drop_trailing_never (List.rev rest)
+      | _ -> plans)
+
+(* Replace Random era plans with the At_op point observed in [outcome];
+   Random plans that never fired become Never. *)
+let concretize (s : Schedule.t) (outcome : Harness.outcome) =
+  if not (List.exists (function Crash.Random _ -> true | _ -> false) s.eras)
+  then None
+  else
+    let eras =
+      List.mapi
+        (fun i plan ->
+          match plan with
+          | Crash.Random _ -> (
+              match List.assoc_opt (i + 1) outcome.Harness.crash_points with
+              | Some at_op -> Crash.At_op (max 1 at_op)
+              | None -> Crash.Never)
+          | other -> other)
+        s.eras
+    in
+    Some { s with Schedule.eras = drop_trailing_never eras }
+
+let remove_chunk ops ~start ~len =
+  List.filteri (fun i _ -> i < start || i >= start + len) ops
+
+let rec chunk_sizes n = if n >= 1 then n :: chunk_sizes (n / 2) else []
+
+let op_candidates (w : Workload.t) (s : Schedule.t) =
+  let n = List.length w.ops in
+  List.concat_map
+    (fun size ->
+      let rec starts at =
+        if at >= n then []
+        else
+          (let ops = remove_chunk w.ops ~start:at ~len:size in
+           if ops = [] then []
+           else [ ({ w with Workload.ops }, s) ])
+          @ starts (at + size)
+      in
+      starts 0)
+    (chunk_sizes (n / 2))
+
+let worker_candidates (w : Workload.t) (s : Schedule.t) =
+  if w.workers <= 1 then []
+  else
+    [ ({ w with Workload.workers = 1 }, s) ]
+    @ (if w.workers > 2 then [ ({ w with Workload.workers = w.workers - 1 }, s) ]
+       else [])
+
+let schedule_candidates (w : Workload.t) (s : Schedule.t) =
+  let kill_drop =
+    match s.Schedule.kill with
+    | Some _ -> [ (w, { s with Schedule.kill = None }) ]
+    | None -> []
+  in
+  let kill_earlier =
+    match s.Schedule.kill with
+    | Some (Crash.At_op n) when n > 1 ->
+        [ (w, { s with Schedule.kill = Some (Crash.At_op (n / 2)) }) ]
+    | _ -> []
+  in
+  let era_drop =
+    match s.eras with
+    | [] -> []
+    | eras ->
+        let all_but_last = List.filteri (fun i _ -> i < List.length eras - 1) eras in
+        [ (w, { s with Schedule.eras = drop_trailing_never all_but_last }) ]
+  in
+  let earlier =
+    List.concat
+      (List.mapi
+         (fun i plan ->
+           match plan with
+           | Crash.At_op n when n > 1 ->
+               let replace p =
+                 { s with Schedule.eras = List.mapi (fun j q -> if i = j then p else q) s.eras }
+               in
+               (* Halving jumps fast; the single step walks the edge of a
+                  failure window halving would overshoot. *)
+               [ (w, replace (Crash.At_op (n / 2)));
+                 (w, replace (Crash.At_op (n - 1))) ]
+           | _ -> [])
+         s.eras)
+  in
+  kill_drop @ era_drop @ earlier @ kill_earlier
+
+let candidates w s outcome =
+  (match concretize s outcome with Some s' -> [ (w, s') ] | None -> [])
+  @ op_candidates w s @ worker_candidates w s @ schedule_candidates w s
+
+let shrink ?(max_attempts = 150) workload schedule outcome =
+  (match outcome.Harness.verdict with
+  | Harness.Fail _ -> ()
+  | Harness.Pass -> invalid_arg "Shrink.shrink: outcome is a pass");
+  let attempts = ref 0 in
+  let budget () = !attempts < max_attempts in
+  let try_candidate ~current (w, s) =
+    if (not (budget ())) || measure w s >= current then None
+    else begin
+      incr attempts;
+      match Harness.run w s with
+      | { Harness.verdict = Harness.Fail _; _ } as o -> Some (w, s, o)
+      | _ -> None
+    end
+  in
+  let rec fixpoint (w, s, o) =
+    if not (budget ()) then (w, s, o)
+    else
+      let current = measure w s in
+      match List.find_map (try_candidate ~current) (candidates w s o) with
+      | Some smaller -> fixpoint smaller
+      | None -> (w, s, o)
+  in
+  let workload, schedule, outcome = fixpoint (workload, schedule, outcome) in
+  { workload; schedule; outcome; attempts = !attempts }

@@ -1,0 +1,34 @@
+(** Shrink a failing fuzz case to a minimal reproducer.
+
+    Greedy fixpoint over strictly-size-reducing candidates, each validated
+    by re-running the case; a candidate is kept only if it still fails.
+    Reductions, tried largest-first:
+
+    - {b concretise}: replace probabilistic era plans with [At_op] at the
+      crash point actually observed, turning the schedule replayable;
+    - {b fewer ops}: delta-style removal of chunks of the op trace
+      (halves, then quarters, down to single ops);
+    - {b fewer workers}: drop to one worker, else one fewer;
+    - {b smaller schedule}: drop the kill plan, drop trailing eras, halve
+      [At_op] crash points (earlier crashes).
+
+    Every candidate is strictly smaller under a fixed measure, so the
+    fixpoint terminates even without the attempt budget. *)
+
+type result = {
+  workload : Workload.t;
+  schedule : Schedule.t;
+  outcome : Harness.outcome;  (** Outcome of the minimal case — a [Fail]. *)
+  attempts : int;  (** Harness runs spent shrinking. *)
+}
+
+val shrink :
+  ?max_attempts:int ->
+  Workload.t ->
+  Schedule.t ->
+  Harness.outcome ->
+  result
+(** [shrink workload schedule outcome] minimises a case whose [outcome]
+    was a failure.  [max_attempts] bounds the number of validation re-runs
+    (default 150); on exhaustion the best case found so far is returned.
+    Raises [Invalid_argument] if [outcome] is a pass. *)

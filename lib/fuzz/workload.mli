@@ -1,0 +1,59 @@
+(** Fuzz workloads: a recoverable structure, a worker count, and a
+    deterministic trace of operations submitted as runtime tasks.
+
+    Four kinds exercise the real structures of [lib/recoverable]; the
+    fifth, {!Faulty}, is a deliberately broken recoverable counter (its
+    recovery re-runs a completed increment instead of checking evidence) —
+    the fuzzer's own planted bug, used to validate that the search finds
+    schedule-dependent failures and that shrinking produces minimal
+    reproducers.
+
+    Workloads serialise to the line-based reproducer format:
+
+    {v
+    kind rqueue
+    workers 2
+    init 0
+    op enq 100
+    op deq
+    v} *)
+
+type kind = Rstack | Rqueue | Rmap | Rcas | Faulty
+
+type op =
+  | Push of int  (** rstack *)
+  | Pop
+  | Enqueue of int  (** rqueue *)
+  | Dequeue
+  | Put of int * int  (** rmap: key, value *)
+  | Remove of int
+  | Cas of int * int  (** rcas: expected, desired *)
+  | Bump  (** faulty counter increment *)
+
+type t = {
+  kind : kind;
+  workers : int;
+  init : int;  (** Initial register value (rcas); [0] otherwise. *)
+  ops : op list;
+}
+
+val correct_kinds : kind list
+(** The four real-structure kinds, i.e. everything except {!Faulty}. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+val generate : kind -> rng:Random.State.t -> n_ops:int -> workers:int -> t
+(** Draw an op trace of [n_ops] operations.  Pushed/enqueued values and map
+    values are distinct (derived from the op index), so exactly-once
+    violations are observable as duplicates.  [Faulty] workloads are forced
+    to one worker — the planted bug must reproduce deterministically. *)
+
+val op_to_string : op -> string
+val op_of_string : string -> (op, string) result
+
+val to_lines : t -> string list
+val of_lines : string list -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** One-line digest: kind, workers, op count — stable across runs. *)

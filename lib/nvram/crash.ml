@@ -97,6 +97,32 @@ let reset t =
       Atomic.set t.crashed false)
 
 let ops t = Mutex.protect t.mu (fun () -> t.counter)
+let plan t = Mutex.protect t.mu (fun () -> t.plan)
+
+let pp_plan fmt = function
+  | Never -> Format.pp_print_string fmt "never"
+  | At_op n -> Format.fprintf fmt "at-op %d" n
+  | Random { seed; probability } ->
+      Format.fprintf fmt "random %d %.6f" seed probability
+
+let plan_to_string p = Format.asprintf "%a" pp_plan p
+
+let plan_of_string s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [ "never" ] -> Ok Never
+  | [ "at-op"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (At_op n)
+      | Some _ -> Error "at-op index must be >= 1"
+      | None -> Error (Printf.sprintf "at-op: not an integer: %S" n))
+  | [ "random"; seed; probability ] -> (
+      match (int_of_string_opt seed, float_of_string_opt probability) with
+      | Some seed, Some probability when probability >= 0. && probability <= 1.
+        ->
+          Ok (Random { seed; probability })
+      | Some _, Some _ -> Error "random: probability must be in [0,1]"
+      | _ -> Error (Printf.sprintf "random: bad seed/probability in %S" s))
+  | _ -> Error (Printf.sprintf "unknown crash plan %S" s)
 
 let arm_kill t plan =
   Mutex.protect t.mu (fun () ->

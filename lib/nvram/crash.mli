@@ -75,6 +75,25 @@ val ops : t -> int
 (** [ops t] is the number of operations recorded since the last {!arm} or
     {!reset}. *)
 
+val plan : t -> plan
+(** [plan t] is the currently armed crash plan — together with {!ops} it is
+    enough to record where a schedule stood, so that tooling (the crash
+    fuzzer) can replay a probabilistic plan as a deterministic [At_op]
+    point. *)
+
+(** {1 Plan serialisation}
+
+    Textual encoding used by replayable crash-schedule artifacts:
+    ["never"], ["at-op N"], or ["random SEED PROBABILITY"]. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val plan_to_string : plan -> string
+
+val plan_of_string : string -> (plan, string) result
+(** Inverse of {!plan_to_string} (tolerates extra whitespace); [Error msg]
+    on anything else. *)
+
 (** {1 Individual crashes}
 
     A second, independent plan that kills the single thread whose

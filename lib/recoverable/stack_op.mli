@@ -1,0 +1,29 @@
+(** Runtime bindings for the recoverable LIFO stack object: push and pop as
+    nesting-safe recoverable functions, following the same two-level
+    pattern as {!Queue_op} — the outer function persists the recovery scope
+    (the node offset for push, the sequence number for pop) into the nested
+    attempt's frame arguments before the attempt can take effect. *)
+
+type handle = unit -> Rstack.t
+
+val register_push :
+  Runtime.Exec.t Runtime.Registry.t ->
+  id:int ->
+  attempt_id:int ->
+  handle ->
+  unit
+(** Argument: the value to push; answer [0].  A crash between the node
+    allocation and the attempt leaks the node (reclaimed by the heap's
+    root-based sweep); a crash inside the attempt is resolved by the
+    is-linked evidence. *)
+
+val register_pop :
+  Runtime.Exec.t Runtime.Registry.t ->
+  id:int ->
+  attempt_id:int ->
+  handle ->
+  unit
+(** No arguments; the answer encodes [Some value] / [None (empty)] via
+    [Codec.answer_result].  Decode with {!pop_answer}. *)
+
+val pop_answer : int64 -> int option

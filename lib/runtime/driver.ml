@@ -7,15 +7,21 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type report = { eras : int; crashes : int; results : (int * int64) list }
 
+type event =
+  | Era_armed of { era : int; plan : Crash.plan }
+  | Crash_fired of { era : int; at_op : int }
+
 let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     ?(reattach = fun _ -> ()) ?reclaim ?(plan = fun ~era:_ -> Crash.Never)
-    ?(max_crashes = 10_000) () =
+    ?(observer = fun _ -> ()) ?(max_crashes = 10_000) () =
   let eras = ref 0 in
   let crashes = ref 0 in
   let arm () =
     incr eras;
     Log.debug (fun m -> m "era %d armed" !eras);
-    Crash.arm (Pmem.crash_ctl pmem) (plan ~era:!eras)
+    let era_plan = plan ~era:!eras in
+    Crash.arm (Pmem.crash_ctl pmem) era_plan;
+    observer (Era_armed { era = !eras; plan = era_plan })
   in
   let sys = System.create pmem ~registry ~config in
   init sys;
@@ -44,6 +50,11 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     | `Crashed -> restart ()
   and restart () =
     incr crashes;
+    (* The operation counter is read before the reboot wipes it: its value
+       is where the era's plan actually fired, which is what a replay needs
+       to turn a probabilistic schedule into a deterministic one. *)
+    observer
+      (Crash_fired { era = !eras; at_op = Crash.ops (Pmem.crash_ctl pmem) });
     Log.info (fun m -> m "crash %d: rebooting and recovering" !crashes);
     if !crashes > max_crashes then
       failwith "Driver.run_to_completion: crash budget exceeded";

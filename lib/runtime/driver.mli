@@ -17,6 +17,15 @@ type report = {
           on success). *)
 }
 
+type event =
+  | Era_armed of { era : int; plan : Nvram.Crash.plan }
+      (** A new era started and armed this crash plan. *)
+  | Crash_fired of { era : int; at_op : int }
+      (** The era's plan fired after [at_op] persistence operations — the
+          value an [At_op at_op] plan would need to reproduce this crash
+          deterministically.  Emitted before the device reboots (the
+          counter does not survive the restart). *)
+
 val run_to_completion :
   Nvram.Pmem.t ->
   registry:Exec.t Registry.t ->
@@ -26,6 +35,7 @@ val run_to_completion :
   ?reattach:(System.t -> unit) ->
   ?reclaim:(System.t -> Nvram.Offset.t list) ->
   ?plan:(era:int -> Nvram.Crash.plan) ->
+  ?observer:(event -> unit) ->
   ?max_crashes:int ->
   unit ->
   report
@@ -33,7 +43,11 @@ val run_to_completion :
     system on [pmem], calls [init] (allocate application structures), then
     [submit] (enqueue the workload), and drives it to completion.
 
-    [plan ~era] arms the crash plan of each era (default: no crashes).  [reattach] runs after each restart, before recovery, so the
+    [plan ~era] arms the crash plan of each era (default: no crashes).
+    [observer] receives one {!Era_armed} per era and one {!Crash_fired} per
+    simulated crash, in order — the snapshot hook used by the crash-schedule
+    fuzzer to record where probabilistic plans actually fired.  [reattach]
+    runs after each restart, before recovery, so the
     application can rebind its volatile handles from the persistent root.
     [reclaim] provides the application's live heap roots for the leak sweep
     after each successful recovery.

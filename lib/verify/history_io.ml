@@ -1,0 +1,73 @@
+exception Malformed of { file : string; line : int; msg : string }
+
+let error_message ~file ~line ~msg = Printf.sprintf "%s:%d: %s" file line msg
+
+let () =
+  Printexc.register_printer (function
+    | Malformed { file; line; msg } -> Some (error_message ~file ~line ~msg)
+    | _ -> None)
+
+type entry = Skip | Init of int | Final of int | Op of History.op
+
+let fail ~file ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Malformed { file; line; msg })) fmt
+
+let int_field ~file ~line ~what raw =
+  match int_of_string_opt raw with
+  | Some v -> v
+  | None -> fail ~file ~line "%s is not an integer: %S" what raw
+
+let parse_entry ~file ~line s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [] -> Skip
+  | word :: _ when String.length word > 0 && word.[0] = '#' -> Skip
+  | [ "init"; v ] -> Init (int_field ~file ~line ~what:"init value" v)
+  | [ "final"; v ] -> Final (int_field ~file ~line ~what:"final value" v)
+  | [ "cas"; old_v; new_v; outcome ] ->
+      let result =
+        match outcome with
+        | "ok" | "success" | "true" -> true
+        | "fail" | "failure" | "false" -> false
+        | other -> fail ~file ~line "bad outcome %S (want ok|fail)" other
+      in
+      Op
+        {
+          History.expected = int_field ~file ~line ~what:"expected value" old_v;
+          desired = int_field ~file ~line ~what:"desired value" new_v;
+          result;
+        }
+  | _ -> fail ~file ~line "unparseable entry %S" (String.trim s)
+
+let of_lines ~file lines =
+  let init = ref None and final = ref None and ops = ref [] in
+  List.iteri
+    (fun i s ->
+      match parse_entry ~file ~line:(i + 1) s with
+      | Skip -> ()
+      | Init v -> init := Some v
+      | Final v -> final := Some v
+      | Op op -> ops := op :: !ops)
+    lines;
+  let eof = List.length lines + 1 in
+  match (!init, !final) with
+  | Some init, Some final -> { History.init; final; ops = List.rev !ops }
+  | None, _ -> fail ~file ~line:eof "missing 'init <value>' entry"
+  | _, None -> fail ~file ~line:eof "missing 'final <value>' entry"
+
+let read_channel ~file channel =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line channel :: !lines
+     done
+   with End_of_file -> ());
+  of_lines ~file (List.rev !lines)
+
+let pp fmt { History.init; final; ops } =
+  Format.fprintf fmt "init %d@." init;
+  List.iter
+    (fun { History.expected; desired; result } ->
+      Format.fprintf fmt "cas %d %d %s@." expected desired
+        (if result then "ok" else "fail"))
+    ops;
+  Format.fprintf fmt "final %d@." final

@@ -381,65 +381,15 @@ let spush_attempt_id = 81
 let spop_id = 82
 let spop_attempt_id = 83
 
-(* runtime bindings, inline (the stack mirrors the queue pattern) *)
+(* runtime bindings now live in Recoverable.Stack_op (the stack mirrors the
+   queue pattern) *)
 let register_stack_ops registry handle =
-  let attempt_body _ctx args =
-    Rstack.link (handle ()) ~node:(R.Value.to_offset args);
-    0L
-  in
-  let attempt_recover _ctx args =
-    Rstack.link_recover (handle ()) ~node:(R.Value.to_offset args);
-    R.Registry.Complete 0L
-  in
-  R.Registry.register registry ~id:spush_attempt_id ~name:"rstack.push_attempt"
-    ~body:attempt_body ~recover:attempt_recover;
-  let push_body ctx args =
-    let node = Rstack.alloc_node (handle ()) (R.Value.to_int args) in
-    R.Exec.call ctx ~func_id:spush_attempt_id ~args:(R.Value.of_offset node)
-  in
-  let push_recover ctx args =
-    R.Registry.Complete
-      (match R.Exec.last_answer ctx with
-      | Some a -> a
-      | None -> push_body ctx args)
-  in
-  R.Registry.register registry ~id:spush_id ~name:"rstack.push"
-    ~body:push_body ~recover:push_recover;
-  let witness = R.Codec.answer_result ~ok:R.Codec.answer_int in
-  let encode = function
-    | Some v -> R.Codec.to_answer witness (Ok v)
-    | None -> R.Codec.to_answer witness (Error ())
-  in
-  let pop_attempt_body ctx args =
-    encode
-      (Rstack.take (handle ()) ~pid:ctx.R.Exec.worker_id
-         ~seq:(R.Value.to_int args))
-  in
-  let pop_attempt_recover ctx args =
-    R.Registry.Complete
-      (encode
-         (Rstack.take_recover (handle ()) ~pid:ctx.R.Exec.worker_id
-            ~seq:(R.Value.to_int args)))
-  in
-  R.Registry.register registry ~id:spop_attempt_id ~name:"rstack.pop_attempt"
-    ~body:pop_attempt_body ~recover:pop_attempt_recover;
-  let pop_body ctx _args =
-    let seq = Rstack.bump (handle ()) ~pid:ctx.R.Exec.worker_id in
-    R.Exec.call ctx ~func_id:spop_attempt_id ~args:(R.Value.of_int seq)
-  in
-  let pop_recover ctx args =
-    R.Registry.Complete
-      (match R.Exec.last_answer ctx with
-      | Some a -> a
-      | None -> pop_body ctx args)
-  in
-  R.Registry.register registry ~id:spop_id ~name:"rstack.pop" ~body:pop_body
-    ~recover:pop_recover
+  Recoverable.Stack_op.register_push registry ~id:spush_id
+    ~attempt_id:spush_attempt_id handle;
+  Recoverable.Stack_op.register_pop registry ~id:spop_id
+    ~attempt_id:spop_attempt_id handle
 
-let stack_answer raw =
-  match R.Codec.(of_answer (answer_result ~ok:answer_int)) raw with
-  | Ok v -> Some v
-  | Error () -> None
+let stack_answer = Recoverable.Stack_op.pop_answer
 
 let run_stack_workload ~plan =
   let pmem = Pmem.create ~auto_flush:true ~size:(1 lsl 21) () in

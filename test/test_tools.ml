@@ -136,6 +136,60 @@ let test_dump_corrupt_pointer () =
        (function Pstack.Dump.Invalid_tail _ -> true | _ -> false)
        lines)
 
+(* ------------------------------------------------------------------ *)
+(* History-file ingestion: every malformed entry must carry file:line   *)
+
+let parse_lines lines = Verify.History_io.of_lines ~file:"hist.txt" lines
+
+let check_malformed name ~line ~needle lines =
+  match parse_lines lines with
+  | _ -> Alcotest.failf "%s: expected Malformed" name
+  | exception Verify.History_io.Malformed { file; line = l; msg } ->
+      Alcotest.(check string) (name ^ ": file") "hist.txt" file;
+      Alcotest.(check int) (name ^ ": line") line l;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentioned in %S" name needle msg)
+        true (contains msg needle)
+
+let test_history_io_parses () =
+  let h =
+    parse_lines
+      [ "# comment"; ""; "init 5"; "cas 5 6 ok"; "cas 9 1 fail"; "final 6" ]
+  in
+  Alcotest.(check int) "init" 5 h.Verify.History.init;
+  Alcotest.(check int) "final" 6 h.Verify.History.final;
+  Alcotest.(check int) "ops" 2 (List.length h.Verify.History.ops)
+
+let test_history_io_line_numbers () =
+  check_malformed "bad outcome" ~line:3 ~needle:"maybe"
+    [ "init 0"; "cas 0 1 ok"; "cas 1 2 maybe"; "final 2" ];
+  check_malformed "non-integer operand" ~line:2 ~needle:"six"
+    [ "init 0"; "cas 5 six ok"; "final 2" ];
+  check_malformed "non-integer init" ~line:1 ~needle:"x" [ "init x" ];
+  check_malformed "unparseable entry" ~line:4 ~needle:"garbage"
+    [ "init 0"; "cas 0 1 ok"; "final 1"; "garbage here" ];
+  (* missing init/final point at the line after the last one *)
+  check_malformed "missing init" ~line:3 ~needle:"init"
+    [ "cas 0 1 ok"; "final 1" ];
+  check_malformed "missing final" ~line:3 ~needle:"final"
+    [ "init 0"; "cas 0 1 ok" ]
+
+let test_history_io_round_trip () =
+  let h =
+    {
+      Verify.History.init = 3;
+      final = 7;
+      ops =
+        [
+          { Verify.History.expected = 3; desired = 7; result = true };
+          { Verify.History.expected = 3; desired = 9; result = false };
+        ];
+    }
+  in
+  let text = Format.asprintf "%a" Verify.History_io.pp h in
+  let h' = parse_lines (String.split_on_char '\n' text) in
+  Alcotest.(check bool) "round-trips" true (h = h')
+
 let test_exec_live_blocks () =
   let pmem = Pmem.create ~size:(1 lsl 20) () in
   let registry = R.Registry.create () in
@@ -169,6 +223,14 @@ let () =
       ( "dump",
         [
           Alcotest.test_case "corrupt pointer" `Quick test_dump_corrupt_pointer;
+        ] );
+      ( "history ingestion",
+        [
+          Alcotest.test_case "parses entries" `Quick test_history_io_parses;
+          Alcotest.test_case "file:line on every malformed entry" `Quick
+            test_history_io_line_numbers;
+          Alcotest.test_case "pp/parse round-trip" `Quick
+            test_history_io_round_trip;
         ] );
       ( "exec",
         [ Alcotest.test_case "live blocks" `Quick test_exec_live_blocks ] );
