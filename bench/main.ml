@@ -282,6 +282,14 @@ type scale_row = {
   total_ops : int;
   elapsed_s : float;
   ops_per_sec : float;
+  (* Latency shape and flush cost, from a separate smaller pass run with
+     observability enabled; the throughput numbers above always come from
+     an obs-off pass, so the <5% disabled-overhead budget is never mixed
+     into them. *)
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  flush_per_op : float;
 }
 
 (* Start [n] domains, release them through a barrier so the clock starts
@@ -306,9 +314,32 @@ let time_workers n body =
   List.iter Domain.join doms;
   Unix.gettimeofday () -. t0
 
-let scale_push_pop ~workers ~iters =
-  (* one shared device; each worker owns a bounded stack in its own
-     line-aligned region, so no two workers ever touch the same line *)
+(* Run a fresh copy of a scaling workload with observability on: per-op
+   latencies go into a private histogram, flush counts into the global probe
+   counters.  Kept separate from the timed pass so instrumentation cost
+   never pollutes the throughput column. *)
+let instrument_pass ~workers ~iters setup =
+  let probe_iters = min iters 2_000 in
+  let hist = Obs.Histogram.create () in
+  Obs.Counters.reset Obs.Probe.counters;
+  Obs.Config.with_enabled true (fun () ->
+      let body = setup () in
+      ignore
+        (time_workers workers (fun i ->
+             for _ = 1 to probe_iters do
+               let t0 = Obs.Config.now_ns () in
+               body i;
+               Obs.Histogram.record hist (Obs.Config.now_ns () - t0)
+             done)));
+  let s = Obs.Histogram.summary hist in
+  let totals = Obs.Counters.totals Obs.Probe.counters in
+  let ops = workers * probe_iters in
+  ( s.Obs.Histogram.p50,
+    s.Obs.Histogram.p95,
+    s.Obs.Histogram.p99,
+    float_of_int totals.Obs.Counters.flushes /. float_of_int ops )
+
+let push_pop_setup ~workers () =
   let stride = 8192 in
   let pmem = Pmem.create ~size:(workers * stride) () in
   let stacks =
@@ -316,15 +347,25 @@ let scale_push_pop ~workers ~iters =
         Pstack.Bounded.create pmem ~base:(off (i * stride)) ~capacity:stride)
   in
   let args = Bytes.make 16 's' in
+  fun i ->
+    let s = stacks.(i) in
+    Pstack.Bounded.push s ~func_id:2 ~args;
+    Pstack.Bounded.pop s
+
+let scale_push_pop ~workers ~iters =
+  (* one shared device; each worker owns a bounded stack in its own
+     line-aligned region, so no two workers ever touch the same line *)
+  let body = push_pop_setup ~workers () in
   let elapsed =
     time_workers workers (fun i ->
-        let s = stacks.(i) in
         for _ = 1 to iters do
-          Pstack.Bounded.push s ~func_id:2 ~args;
-          Pstack.Bounded.pop s
+          body i
         done)
   in
   let total_ops = workers * iters in
+  let p50_ns, p95_ns, p99_ns, flush_per_op =
+    instrument_pass ~workers ~iters (push_pop_setup ~workers)
+  in
   {
     bench = "push_pop";
     workers;
@@ -332,11 +373,13 @@ let scale_push_pop ~workers ~iters =
     total_ops;
     elapsed_s = elapsed;
     ops_per_sec = float_of_int total_ops /. elapsed;
+    p50_ns;
+    p95_ns;
+    p99_ns;
+    flush_per_op;
   }
 
-let scale_rcas ~workers ~iters =
-  (* per-worker single-process recoverable CAS registers at disjoint
-     line-aligned offsets of one auto-flush device *)
+let rcas_setup ~workers () =
   let region = Rcas.region_size ~nprocs:1 in
   let stride = (region + 63) / 64 * 64 in
   let pmem = Pmem.create ~auto_flush:true ~size:(workers * stride) () in
@@ -345,17 +388,27 @@ let scale_rcas ~workers ~iters =
         Rcas.create pmem ~base:(off (i * stride)) ~nprocs:1 ~init:0
           ~variant:Rcas.Correct)
   in
+  let values = Array.make workers 0 in
+  fun i ->
+    let t = regs.(i) in
+    let cur = values.(i) and next = (values.(i) + 1) land 0xFFFF in
+    ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
+    values.(i) <- next
+
+let scale_rcas ~workers ~iters =
+  (* per-worker single-process recoverable CAS registers at disjoint
+     line-aligned offsets of one auto-flush device *)
+  let body = rcas_setup ~workers () in
   let elapsed =
     time_workers workers (fun i ->
-        let t = regs.(i) in
-        let v = ref 0 in
         for _ = 1 to iters do
-          let cur = !v and next = (!v + 1) land 0xFFFF in
-          ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
-          v := next
+          body i
         done)
   in
   let total_ops = workers * iters in
+  let p50_ns, p95_ns, p99_ns, flush_per_op =
+    instrument_pass ~workers ~iters (rcas_setup ~workers)
+  in
   {
     bench = "rcas";
     workers;
@@ -363,6 +416,10 @@ let scale_rcas ~workers ~iters =
     total_ops;
     elapsed_s = elapsed;
     ops_per_sec = float_of_int total_ops /. elapsed;
+    p50_ns;
+    p95_ns;
+    p99_ns;
+    flush_per_op;
   }
 
 let scaling_rows ~iters =
@@ -374,12 +431,15 @@ let scaling_rows ~iters =
 let print_scaling rows =
   print_endline "";
   print_endline "=== worker scaling on one striped device (S) ===";
-  Printf.printf "%-10s %8s %10s %12s %10s %14s\n" "bench" "workers" "iters/w"
-    "total_ops" "elapsed_s" "ops/s";
+  Printf.printf "%-10s %8s %10s %12s %10s %14s %10s %10s %10s %9s\n" "bench"
+    "workers" "iters/w" "total_ops" "elapsed_s" "ops/s" "p50_ns" "p95_ns"
+    "p99_ns" "flush/op";
   List.iter
     (fun r ->
-      Printf.printf "%-10s %8d %10d %12d %10.3f %14.0f\n%!" r.bench r.workers
-        r.iters_per_worker r.total_ops r.elapsed_s r.ops_per_sec)
+      Printf.printf
+        "%-10s %8d %10d %12d %10.3f %14.0f %10.0f %10.0f %10.0f %9.2f\n%!"
+        r.bench r.workers r.iters_per_worker r.total_ops r.elapsed_s
+        r.ops_per_sec r.p50_ns r.p95_ns r.p99_ns r.flush_per_op)
     rows
 
 let write_json ~path rows =
@@ -394,9 +454,11 @@ let write_json ~path rows =
     (fun i r ->
       out
         "    { \"bench\": %S, \"workers\": %d, \"iters_per_worker\": %d, \
-         \"total_ops\": %d, \"elapsed_s\": %.6f, \"ops_per_sec\": %.1f }%s\n"
+         \"total_ops\": %d, \"elapsed_s\": %.6f, \"ops_per_sec\": %.1f, \
+         \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, \
+         \"flush_per_op\": %.4f }%s\n"
         r.bench r.workers r.iters_per_worker r.total_ops r.elapsed_s
-        r.ops_per_sec
+        r.ops_per_sec r.p50_ns r.p95_ns r.p99_ns r.flush_per_op
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ]\n}\n";

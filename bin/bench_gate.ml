@@ -58,13 +58,23 @@ let parse_rows content =
     match find_from content pos "\"bench\"" with
     | None -> List.rev acc
     | Some after ->
-        (* Re-anchor at the start of the key so the field helpers see it. *)
+        (* Re-anchor at the start of the key, and bound the field search at
+           the row's closing brace: the gate cares only about throughput, so
+           rows may carry any extra columns (latency percentiles, flush
+           ratios, future additions), but a field must never be picked up
+           from a *different* row. *)
         let at = after - String.length "\"bench\"" in
+        let stop =
+          match String.index_from_opt content at '}' with
+          | Some i -> i
+          | None -> String.length content
+        in
+        let row_content = String.sub content 0 stop in
         let row =
           {
-            bench = string_field content at "bench";
-            workers = int_of_float (number_field content at "workers");
-            ops_per_sec = number_field content at "ops_per_sec";
+            bench = string_field row_content at "bench";
+            workers = int_of_float (number_field row_content at "workers");
+            ops_per_sec = number_field row_content at "ops_per_sec";
           }
         in
         go after (row :: acc)

@@ -36,14 +36,27 @@ let write_artifacts config out failures =
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     List.iter
       (fun failure ->
-        let path =
+        let stem =
           Filename.concat out
-            (Printf.sprintf "repro-seed%d-case%d.txt" config.Fuzz.Campaign.seed
+            (Printf.sprintf "repro-seed%d-case%d" config.Fuzz.Campaign.seed
                failure.Fuzz.Campaign.case)
         in
+        let path = stem ^ ".txt" in
         Fuzz.Reproducer.write path
           (Fuzz.Campaign.reproducer_of_failure config failure);
-        Printf.printf "wrote %s\n" path)
+        Printf.printf "wrote %s\n" path;
+        (* Same trace tail, but in Chrome trace_event form: load it in
+           chrome://tracing or Perfetto next to the textual reproducer. *)
+        match failure.Fuzz.Campaign.trace with
+        | [] -> ()
+        | events ->
+            let trace_path = stem ^ ".trace.json" in
+            let oc = open_out trace_path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Obs.Trace.chrome_json_of_events events));
+            Printf.printf "wrote %s\n" trace_path)
       failures
   end
 

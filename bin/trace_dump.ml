@@ -1,0 +1,111 @@
+(* Event-trace dumper.
+
+   Runs a workload with observability enabled, then writes the buffered
+   event trace as Chrome trace_event JSON (loadable in chrome://tracing or
+   Perfetto) and prints the human-readable tail.
+
+   Two sources:
+
+     --replay FILE   a crash_fuzzer reproducer artifact — the common case:
+                     turn a failing case's textual reproducer into a
+                     timeline you can scrub through;
+     (default)       a small built-in demo workload (deep recursion on a
+                     linked stack under a crash-restart driver), so the
+                     exporter can be exercised without a reproducer at
+                     hand. *)
+
+module Trace = Obs.Trace
+
+let demo_events () =
+  Obs.Config.with_enabled true (fun () ->
+      Obs.Trace.clear ();
+      let pmem = Nvram.Pmem.create ~size:(1 lsl 20) () in
+      let heap =
+        Nvheap.Heap.format pmem ~base:(Nvram.Offset.of_int 64)
+          ~len:(1 lsl 18)
+      in
+      let s =
+        Pstack.Linked.create pmem ~heap ~anchor:(Nvram.Offset.of_int 0)
+          ~block_size:512 ()
+      in
+      let args = Bytes.make 24 'd' in
+      for i = 1 to 200 do
+        Pstack.Linked.push s ~func_id:(1 + (i mod 7)) ~args
+      done;
+      for _ = 1 to 200 do
+        ignore (Pstack.Linked.pop s)
+      done;
+      let events = Trace.events () in
+      Trace.clear ();
+      events)
+
+let replay_events path =
+  match Fuzz.Reproducer.read path with
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 2
+  | Ok repro ->
+      Obs.Config.with_enabled true (fun () ->
+          Obs.Trace.clear ();
+          let outcome = Fuzz.Reproducer.replay repro in
+          (match outcome.Fuzz.Harness.verdict with
+          | Fuzz.Harness.Pass -> print_endline "replay verdict: pass"
+          | Fuzz.Harness.Fail msg ->
+              Printf.printf "replay verdict: FAIL: %s\n" msg);
+          let events = Trace.events () in
+          Trace.clear ();
+          events)
+
+let run replay out tail =
+  let events =
+    match replay with
+    | Some path -> replay_events path
+    | None -> demo_events ()
+  in
+  if events = [] then begin
+    prerr_endline "no events recorded";
+    exit 1
+  end;
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Trace.chrome_json_of_events events));
+  Printf.printf "wrote %s (%d events)\n" out (List.length events);
+  if tail > 0 then begin
+    let skip = max 0 (List.length events - tail) in
+    Printf.printf "last %d event(s):\n" (min tail (List.length events));
+    List.iteri
+      (fun i e ->
+        if i >= skip then Format.printf "  %a@." Trace.pp_event e)
+      events
+  end;
+  exit 0
+
+open Cmdliner
+
+let main_term =
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a crash_fuzzer reproducer and trace it (default: a \
+                built-in demo workload).")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let tail =
+    Arg.(
+      value & opt int 16
+      & info [ "tail" ] ~docv:"N"
+          ~doc:"Also print the last N events human-readably (0 disables).")
+  in
+  Term.(const run $ replay $ out $ tail)
+
+let () =
+  let doc = "Dump the observability event trace as Chrome trace JSON." in
+  Stdlib.exit (Cmd.eval' (Cmd.v (Cmd.info "trace_dump" ~doc) main_term))

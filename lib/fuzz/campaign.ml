@@ -25,6 +25,7 @@ type failure = {
   schedule : Schedule.t;
   outcome : Harness.outcome;
   shrunk : Shrink.result;
+  trace : Obs.Trace.event list;
 }
 
 type report = { cases : int; failures : failure list }
@@ -41,6 +42,18 @@ let case_inputs config i =
   let schedule = Schedule.generate ~rng ~max_eras:config.max_eras in
   (workload, schedule)
 
+(* Re-run the shrunk case once with observability on to harvest the
+   moments leading up to the failure.  The trace is captured here, not
+   during the search: the ring is global, so a later case would overwrite
+   it, and the shrunk case is the one the artifact replays anyway. *)
+let trace_of_shrunk ?(tail = 64) (shrunk : Shrink.result) =
+  Obs.Config.with_enabled true (fun () ->
+      Obs.Trace.clear ();
+      ignore (Harness.run shrunk.Shrink.workload shrunk.Shrink.schedule);
+      let events = Obs.Trace.tail tail in
+      Obs.Trace.clear ();
+      events)
+
 let reproducer_of_failure config failure =
   {
     Reproducer.seed = Some config.seed;
@@ -51,6 +64,7 @@ let reproducer_of_failure config failure =
       (match failure.shrunk.Shrink.outcome.Harness.verdict with
       | Harness.Fail msg -> Some msg
       | Harness.Pass -> None);
+    trace = failure.trace;
   }
 
 let run ?(log = fun _ -> ()) config =
@@ -75,7 +89,9 @@ let run ?(log = fun _ -> ()) config =
           (Format.asprintf "           shrunk to %a | %a (%d runs)"
              Workload.pp shrunk.Shrink.workload Schedule.pp
              shrunk.Shrink.schedule shrunk.Shrink.attempts);
-        failures := { case = i; workload; schedule; outcome; shrunk }
-                    :: !failures)
+        let trace = trace_of_shrunk shrunk in
+        failures :=
+          { case = i; workload; schedule; outcome; shrunk; trace }
+          :: !failures)
   done;
   { cases = config.runs; failures = List.rev !failures }

@@ -31,6 +31,10 @@ type failure = {
   schedule : Schedule.t;
   outcome : Harness.outcome;
   shrunk : Shrink.result;
+  trace : Obs.Trace.event list;
+      (** Event-trace tail of one extra replay of the shrunk case, run
+          with observability enabled — the moments leading up to the
+          failure, for the reproducer artifact. *)
 }
 
 type report = { cases : int; failures : failure list }
@@ -39,8 +43,15 @@ val case_inputs : config -> int -> Workload.t * Schedule.t
 (** [case_inputs config i] regenerates case [i]'s workload and schedule
     without running it. *)
 
+val trace_of_shrunk : ?tail:int -> Shrink.result -> Obs.Trace.event list
+(** [trace_of_shrunk shrunk] replays the shrunk case once with
+    observability enabled and returns the last [tail] (default 64) trace
+    events.  Deterministic: the same case yields the same event sequence
+    (timestamps aside). *)
+
 val reproducer_of_failure : config -> failure -> Reproducer.t
-(** Package a failure's {e shrunk} case as a replayable artifact. *)
+(** Package a failure's {e shrunk} case as a replayable artifact,
+    including its trace tail as comment lines. *)
 
 val run : ?log:(string -> unit) -> config -> report
 (** Run the campaign, invoking [log] once per case (default: silent). *)

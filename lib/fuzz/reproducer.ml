@@ -4,7 +4,19 @@ type t = {
   workload : Workload.t;
   schedule : Schedule.t;
   expected : string option;
+  trace : Obs.Trace.event list;
 }
+
+(* The trace tail rides along as [#] comment lines: [of_lines] strips
+   comments before parsing, so old and new readers replay the artifact
+   identically whether or not a trace is attached. *)
+let trace_lines = function
+  | [] -> []
+  | events ->
+      "# trace tail (oldest first):"
+      :: List.map
+           (fun e -> Format.asprintf "#   %a" Obs.Trace.pp_event e)
+           events
 
 let to_lines t =
   [ "# crash_fuzzer reproducer" ]
@@ -15,10 +27,10 @@ let to_lines t =
     | Some case -> [ Printf.sprintf "case %d" case ]
     | None -> [])
   @ Workload.to_lines t.workload @ Schedule.to_lines t.schedule
-  @
-  match t.expected with
-  | Some msg -> [ Printf.sprintf "fail %s" msg ]
-  | None -> []
+  @ (match t.expected with
+    | Some msg -> [ Printf.sprintf "fail %s" msg ]
+    | None -> [])
+  @ trace_lines t.trace
 
 let of_lines lines =
   let ( let* ) = Result.bind in
@@ -55,7 +67,7 @@ let of_lines lines =
   in
   let* workload = Workload.of_lines (List.rev workload_lines) in
   let* schedule = Schedule.of_lines (List.rev schedule_lines) in
-  Ok { seed; case; workload; schedule; expected }
+  Ok { seed; case; workload; schedule; expected; trace = [] }
 
 let write path t =
   let oc = open_out path in

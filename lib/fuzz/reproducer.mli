@@ -26,6 +26,10 @@ type t = {
   workload : Workload.t;
   schedule : Schedule.t;
   expected : string option;  (** Failure message at capture time. *)
+  trace : Obs.Trace.event list;
+      (** Trace tail of the failing replay; serialised as [#] comment
+          lines, so {!of_lines} always yields [[]] — the trace is
+          diagnostic context for humans, not replay input. *)
 }
 
 val to_lines : t -> string list

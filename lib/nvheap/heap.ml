@@ -207,23 +207,29 @@ let alloc t n =
           in
           raise (Out_of_heap_memory { requested = n; largest_free = largest })
       | Some (prev, block, size) ->
-          if size - need >= min_block then begin
-            (* Split: carve the allocation from the tail of [block].  The
-               new header is written into what is still free space; the
-               atomic commit is shrinking [block]'s size. *)
-            let carved = Offset.add block (size - need) in
-            write_size_tag t carved (need lor 1);
-            write_size_tag t block (size - need);
-            payload_of_block carved
-          end
-          else begin
-            (* Unlink [block]; the pointer write is the atomic commit. *)
-            let next = read_next t block in
-            if prev = 0 then write_head t next
-            else write_next t (Offset.of_int prev) next;
-            write_size_tag t block (size lor 1);
-            payload_of_block block
-          end)
+          let payload =
+            if size - need >= min_block then begin
+              (* Split: carve the allocation from the tail of [block].  The
+                 new header is written into what is still free space; the
+                 atomic commit is shrinking [block]'s size. *)
+              let carved = Offset.add block (size - need) in
+              write_size_tag t carved (need lor 1);
+              write_size_tag t block (size - need);
+              payload_of_block carved
+            end
+            else begin
+              (* Unlink [block]; the pointer write is the atomic commit. *)
+              let next = read_next t block in
+              if prev = 0 then write_head t next
+              else write_next t (Offset.of_int prev) next;
+              write_size_tag t block (size lor 1);
+              payload_of_block block
+            end
+          in
+          Obs.Trace.record
+            (Obs.Trace.Heap_alloc
+               { payload = Offset.to_int payload; size = need });
+          payload)
 
 let assert_allocated t payload =
   let block = block_of_payload payload in
@@ -244,22 +250,35 @@ let free_locked t payload =
   let block, size = assert_allocated t payload in
   write_next t block (read_head t);
   write_size_tag t block size;
-  write_head t (Offset.to_int block)
+  write_head t (Offset.to_int block);
+  Obs.Trace.record (Obs.Trace.Heap_free { payload = Offset.to_int payload })
 
 let free t payload = Mutex.protect t.mu (fun () -> free_locked t payload)
 
+type reclaimed = { blocks : int; bytes : int }
+
 let retain t ~live =
   Mutex.protect t.mu (fun () ->
-      let dead =
+      (* Membership is a hash set keyed on the payload offset, so the
+         liveness scan is O(dead + live) instead of the O(dead × live) a
+         [List.exists] per block would cost — system recoveries pass every
+         stack block and every structure node as a root, so [live] is big
+         exactly when the heap is big. *)
+      let live_set = Hashtbl.create (max 16 (2 * List.length live)) in
+      List.iter
+        (fun payload -> Hashtbl.replace live_set (Offset.to_int payload) ())
+        live;
+      let dead, bytes =
         fold_blocks t
-          (fun acc ~block ~size:_ ~allocated ->
-            if allocated && not (List.exists (Offset.equal (payload_of_block block)) live)
-            then payload_of_block block :: acc
-            else acc)
-          []
+          (fun (dead, bytes) ~block ~size ~allocated ->
+            let payload = payload_of_block block in
+            if allocated && not (Hashtbl.mem live_set (Offset.to_int payload))
+            then (payload :: dead, bytes + size)
+            else (dead, bytes))
+          ([], 0)
       in
       List.iter (free_locked t) dead;
-      List.length dead)
+      { blocks = List.length dead; bytes })
 
 let payload_size t payload =
   Mutex.protect t.mu (fun () ->

@@ -70,13 +70,19 @@ val free : t -> Nvram.Offset.t -> unit
     @raise Invalid_argument if [payload] is not the payload offset of a
     currently-allocated block. *)
 
-val retain : t -> live:Nvram.Offset.t list -> int
+type reclaimed = { blocks : int; bytes : int }
+(** What a {!retain} pass gave back: freed block count, and whole-block
+    bytes (payload + header) returned to the free list. *)
+
+val retain : t -> live:Nvram.Offset.t list -> reclaimed
 (** [retain t ~live] frees every allocated block whose payload offset is not
-    listed in [live] and returns how many blocks were freed.  This is the
-    root-based offline reclamation a system recovery runs after rebuilding
-    its data structures: any block that a crash window left allocated but
+    listed in [live] and reports what was reclaimed.  This is the root-based
+    offline reclamation a system recovery runs after rebuilding its data
+    structures: any block that a crash window left allocated but
     unreferenced (e.g. an abandoned stack block mid-resize) is returned to
-    the free list. *)
+    the free list.  Liveness membership is a hash set keyed on the payload
+    offset, so the pass costs O(blocks + length live) rather than their
+    product. *)
 
 val payload_size : t -> Nvram.Offset.t -> int
 (** [payload_size t payload] is the usable size of an allocated block, which

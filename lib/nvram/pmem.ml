@@ -103,6 +103,17 @@ let maybe_yield t =
 
 let stripe_of t line = line land (Array.length t.stripes - 1)
 
+(* Write-amplification accounting: payload bytes requested vs cache-line
+   bytes dirtied.  Only called when recording is enabled. *)
+let record_write_counters t ~off ~len =
+  if len = 0 then
+    Obs.Counters.record_write Obs.Probe.counters ~payload:0 ~amplified:0
+  else begin
+    let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+    Obs.Counters.record_write Obs.Probe.counters ~payload:len
+      ~amplified:((last - first + 1) * t.line_size)
+  end
+
 (* Run [f] holding the stripes of lines [first..last].  Stripes are locked
    in ascending index order and released in reverse, also on exceptions
    (crash signals fire mid-operation by design). *)
@@ -148,16 +159,19 @@ let persist_line t index =
 
 (* Persist (or auto-flush) the lines covering [off, off+len), consulting the
    crash scheduler once per line so a crash can land between lines.  Caller
-   holds the covering stripes. *)
+   holds the covering stripes.  Returns the number of lines persisted. *)
 let flush_lines_locked t ~off ~len =
   let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+  let persisted = ref 0 in
   for index = first to last do
     Crash.step t.crash_ctl;
     if t.dirty.(index) then begin
       persist_line t index;
-      Stats.incr_lines_flushed t.stats 1
+      Stats.incr_lines_flushed t.stats 1;
+      incr persisted
     end
-  done
+  done;
+  !persisted
 
 (* Write [len] bytes from [src] at [off], line by line, consulting the crash
    scheduler once per touched line (multi-line writes are not atomic).
@@ -188,9 +202,24 @@ let write_locked t ~off ~src ~src_off ~len =
 
 let covering t off ~len = Layout.lines_covering ~line_size:t.line_size off ~len
 
-let read_bytes t ~off ~len =
-  check_range t off len;
+(* Observability hooks for the three operation classes.  Each public
+   operation is a named [_raw] body plus an inline gate: when recording is
+   disabled the hook is one atomic load, a branch and a *direct* call into
+   the raw body — no closure is allocated, which keeps the instrumented
+   device within the <5% overhead budget (DESIGN.md section 8).  The
+   latency window surrounds the lock acquisition and the locked body, so
+   contention shows up in the histograms — that is the point of measuring.
+   No sample is recorded when the body raises: a crash signal aborts the
+   operation, so there is no completed latency to report. *)
+
+let read_bytes_raw t ~off ~len =
   if len = 0 then begin
+    (* Zero-length reads, writes and flushes all consult the crash
+       scheduler exactly once, via [Crash.check]: a crashed device
+       refuses them like any other operation, but they never count as a
+       crash *point* (no persistence op is recorded), so crash-point
+       sweeps see the same op numbering whether or not a protocol
+       issues degenerate empty calls (see pmem.mli / stats.mli). *)
     Crash.check t.crash_ctl;
     Stats.incr_reads t.stats;
     Bytes.empty
@@ -203,12 +232,24 @@ let read_bytes t ~off ~len =
         Bytes.sub t.volatile (Offset.to_int off) len)
   end
 
-let write_bytes t ~off src =
-  let len = Bytes.length src in
+let read_bytes t ~off ~len =
   check_range t off len;
-  if len = 0 then
-    (* The call still counts as a write (see stats.mli). *)
+  if not (Obs.Config.enabled ()) then read_bytes_raw t ~off ~len
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    let result = read_bytes_raw t ~off ~len in
+    Obs.Probe.record_latency Obs.Probe.Pmem_read ~t0_ns;
+    Obs.Counters.incr_reads Obs.Probe.counters;
+    result
+  end
+
+let write_bytes_raw t ~off ~src ~len =
+  if len = 0 then begin
+    (* One [Crash.check], like a zero-length read; the call still
+       counts as a write (see stats.mli). *)
+    Crash.check t.crash_ctl;
     Stats.incr_writes t.stats
+  end
   else begin
     let first, last = covering t off ~len in
     with_lines t ~first ~last (fun () ->
@@ -216,33 +257,72 @@ let write_bytes t ~off src =
         write_locked t ~off ~src ~src_off:0 ~len)
   end
 
-let read_byte t off =
-  check_range t off 1;
+let write_bytes t ~off src =
+  let len = Bytes.length src in
+  check_range t off len;
+  if not (Obs.Config.enabled ()) then write_bytes_raw t ~off ~src ~len
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    write_bytes_raw t ~off ~src ~len;
+    Obs.Probe.record_latency Obs.Probe.Pmem_write ~t0_ns;
+    record_write_counters t ~off ~len
+  end
+
+let read_byte_raw t off =
   let first, last = covering t off ~len:1 in
   with_lines t ~first ~last (fun () ->
       Crash.check t.crash_ctl;
       Stats.incr_reads t.stats;
       Char.code (Bytes.get t.volatile (Offset.to_int off)))
 
-let write_byte t off b =
-  if b < 0 || b > 255 then invalid_arg "Pmem.write_byte: not a byte";
+let read_byte t off =
   check_range t off 1;
+  if not (Obs.Config.enabled ()) then read_byte_raw t off
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    let result = read_byte_raw t off in
+    Obs.Probe.record_latency Obs.Probe.Pmem_read ~t0_ns;
+    Obs.Counters.incr_reads Obs.Probe.counters;
+    result
+  end
+
+let write_byte_raw t off b =
   let first, last = covering t off ~len:1 in
   with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
       let src = Bytes.make 1 (Char.chr b) in
       write_locked t ~off ~src ~src_off:0 ~len:1)
 
-let read_int64 t off =
-  check_range t off 8;
+let write_byte t off b =
+  if b < 0 || b > 255 then invalid_arg "Pmem.write_byte: not a byte";
+  check_range t off 1;
+  if not (Obs.Config.enabled ()) then write_byte_raw t off b
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    write_byte_raw t off b;
+    Obs.Probe.record_latency Obs.Probe.Pmem_write ~t0_ns;
+    record_write_counters t ~off ~len:1
+  end
+
+let read_int64_raw t off =
   let first, last = covering t off ~len:8 in
   with_lines t ~first ~last (fun () ->
       Crash.check t.crash_ctl;
       Stats.incr_reads t.stats;
       Bytes.get_int64_le t.volatile (Offset.to_int off))
 
-let write_int64 t off v =
+let read_int64 t off =
   check_range t off 8;
+  if not (Obs.Config.enabled ()) then read_int64_raw t off
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    let result = read_int64_raw t off in
+    Obs.Probe.record_latency Obs.Probe.Pmem_read ~t0_ns;
+    Obs.Counters.incr_reads Obs.Probe.counters;
+    result
+  end
+
+let write_int64_raw t off v =
   let first, last = covering t off ~len:8 in
   with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
@@ -250,14 +330,20 @@ let write_int64 t off v =
       Bytes.set_int64_le src 0 v;
       write_locked t ~off ~src ~src_off:0 ~len:8)
 
+let write_int64 t off v =
+  check_range t off 8;
+  if not (Obs.Config.enabled ()) then write_int64_raw t off v
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    write_int64_raw t off v;
+    Obs.Probe.record_latency Obs.Probe.Pmem_write ~t0_ns;
+    record_write_counters t ~off ~len:8
+  end
+
 let read_int t off = Int64.to_int (read_int64 t off)
 let write_int t off v = write_int64 t off (Int64.of_int v)
 
-let cas_int64 t off ~expected ~desired =
-  check_range t off 8;
-  if not (Layout.same_line ~line_size:t.line_size off ~len:8) then
-    invalid_arg "Pmem.cas_int64: word crosses a cache line";
-  let index = Layout.line_index ~line_size:t.line_size off in
+let cas_int64_raw t off ~expected ~desired ~index =
   with_lines t ~first:index ~last:index (fun () ->
       Crash.step t.crash_ctl;
       Stats.incr_reads t.stats;
@@ -278,17 +364,43 @@ let cas_int64 t off ~expected ~desired =
       end
       else false)
 
-let flush t ~off ~len =
-  if len < 0 then invalid_arg "Pmem.flush: negative length";
-  check_range t off len;
-  if len = 0 then
-    (* The call still counts as a flush (see stats.mli). *)
-    Stats.incr_flushes t.stats
+let cas_int64 t off ~expected ~desired =
+  check_range t off 8;
+  if not (Layout.same_line ~line_size:t.line_size off ~len:8) then
+    invalid_arg "Pmem.cas_int64: word crosses a cache line";
+  let index = Layout.line_index ~line_size:t.line_size off in
+  if not (Obs.Config.enabled ()) then cas_int64_raw t off ~expected ~desired ~index
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    let result = cas_int64_raw t off ~expected ~desired ~index in
+    Obs.Probe.record_latency Obs.Probe.Pmem_cas ~t0_ns;
+    result
+  end
+
+let flush_raw t ~off ~len =
+  if len = 0 then begin
+    (* One [Crash.check], like a zero-length read; the call still
+       counts as a flush (see stats.mli). *)
+    Crash.check t.crash_ctl;
+    Stats.incr_flushes t.stats;
+    0
+  end
   else begin
     let first, last = covering t off ~len in
     with_lines t ~first ~last (fun () ->
         Stats.incr_flushes t.stats;
         flush_lines_locked t ~off ~len)
+  end
+
+let flush t ~off ~len =
+  if len < 0 then invalid_arg "Pmem.flush: negative length";
+  check_range t off len;
+  if not (Obs.Config.enabled ()) then ignore (flush_raw t ~off ~len : int)
+  else begin
+    let t0_ns = Obs.Config.now_ns () in
+    let persisted = flush_raw t ~off ~len in
+    Obs.Probe.record_latency Obs.Probe.Pmem_flush ~t0_ns;
+    Obs.Counters.record_flush Obs.Probe.counters ~lines:persisted
   end
 
 let flush_byte t off = flush t ~off ~len:1

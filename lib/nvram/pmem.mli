@@ -94,7 +94,17 @@ val write_byte : t -> Offset.t -> int -> unit
 (** [write_byte t off b] stores byte [b] (0–255) at [off] in the cache. *)
 
 val read_bytes : t -> off:Offset.t -> len:int -> bytes
+(** [read_bytes t ~off ~len] copies [len] bytes of currently visible
+    content.  A zero-length read touches no line; like every zero-length
+    operation it consults the crash scheduler exactly once via
+    [Crash.check] (so it raises if a crash has already fired) but is never
+    itself a crash {e point}, and it still counts as one call in
+    {!Stats}. *)
+
 val write_bytes : t -> off:Offset.t -> bytes -> unit
+(** [write_bytes t ~off data] stores [data] into the cache.  A zero-length
+    write follows the same rule as a zero-length read: one [Crash.check],
+    never a crash point, one {!Stats} call. *)
 
 val read_int64 : t -> Offset.t -> int64
 (** Little-endian 8-byte read. *)
@@ -120,7 +130,10 @@ val flush : t -> off:Offset.t -> len:int -> unit
     range.  Each line is persisted atomically; the crash scheduler is
     consulted once per line, so a crash can land between lines.  A
     zero-length flush persists nothing but still counts as one flush call
-    in {!Stats} — every call counts, whatever its length (see stats.mli). *)
+    in {!Stats} — every call counts, whatever its length (see stats.mli).
+    Like zero-length reads and writes it consults the crash scheduler
+    exactly once via [Crash.check]: it raises if a crash has already
+    fired, but contributes no crash point of its own. *)
 
 val flush_byte : t -> Offset.t -> unit
 (** [flush_byte t off] persists the single line containing [off] — the

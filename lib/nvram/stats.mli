@@ -17,7 +17,9 @@ val writes : t -> int
     including a zero-length [write_bytes]: the counters measure API calls
     (what a protocol {e issues}), not bytes moved, so [Experiment] verdicts
     that compare protocol variants see the same accounting rule on every
-    code path. *)
+    code path.  Zero-length calls also share one crash-scheduler rule:
+    each takes exactly one [Crash.check] (raising if a crash already
+    fired) and is never a crash point — [Crash.ops] does not advance. *)
 
 val flushes : t -> int
 (** Number of [flush] calls.  Like {!writes}, every call counts — a

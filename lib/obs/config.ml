@@ -1,0 +1,15 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let before = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag before) f
+
+(* Subtracting a program-start epoch keeps the scaled float within the
+   53-bit mantissa, so differences of two [now_ns] calls resolve individual
+   device operations instead of the ~256 ns granularity a raw
+   [gettimeofday * 1e9] would give. *)
+let epoch = Unix.gettimeofday ()
+let now_ns () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)

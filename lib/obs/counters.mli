@@ -1,0 +1,52 @@
+(** Observability counter sets.
+
+    Unlike {!Nvram.Stats} (seven global lifetime counters owned by the
+    device), these are the reporting-facing counters the bench suite and
+    the fuzzer read: operations executed, flush calls and lines actually
+    persisted, crashes survived and recovery passes, and the write
+    amplification a protocol pays — payload bytes the caller asked to
+    write vs the cache-line bytes the device actually touched.
+
+    Recording is striped by domain id like {!Histogram}; {!totals} sums
+    the stripes.  All recording respects nothing — callers gate on
+    {!Config.enabled} before calling, so the counters themselves stay
+    branch-free. *)
+
+type t
+
+type totals = {
+  ops : int;  (** completed [Exec.call] invocations *)
+  reads : int;
+  writes : int;
+  flushes : int;  (** flush calls issued *)
+  lines_flushed : int;  (** cache lines actually persisted *)
+  crashes_survived : int;  (** device crashes followed by a reboot *)
+  recovery_passes : int;  (** [Exec.recover] completions *)
+  payload_bytes : int;  (** bytes the callers asked to write *)
+  amplified_bytes : int;  (** cache-line bytes those writes dirtied *)
+}
+
+val create : unit -> t
+
+val incr_ops : t -> unit
+val incr_reads : t -> unit
+val incr_crashes_survived : t -> unit
+val incr_recovery_passes : t -> unit
+
+val record_write : t -> payload:int -> amplified:int -> unit
+(** One write call: [payload] bytes requested, [amplified] bytes of cache
+    lines covered (always [>= payload] for non-empty writes). *)
+
+val record_flush : t -> lines:int -> unit
+(** One flush call that persisted [lines] cache lines. *)
+
+val totals : t -> totals
+val reset : t -> unit
+
+val write_amplification : totals -> float
+(** [amplified_bytes / payload_bytes]; [0.] when nothing was written. *)
+
+val flush_per_op : totals -> float
+(** [flushes / ops]; [0.] when no op completed. *)
+
+val pp : Format.formatter -> totals -> unit

@@ -1,0 +1,80 @@
+let buckets = 48
+let stripes = 16 (* power of two *)
+
+type t = { counts : int Atomic.t array array (* stripe -> bucket *) }
+
+let create () =
+  { counts = Array.init stripes (fun _ -> Array.init buckets (fun _ -> Atomic.make 0)) }
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 in
+    let n = ref ns in
+    while !n > 1 do
+      n := !n lsr 1;
+      incr b
+    done;
+    min !b (buckets - 1)
+  end
+
+let record t ns =
+  let stripe = t.counts.((Domain.self () :> int) land (stripes - 1)) in
+  ignore (Atomic.fetch_and_add stripe.(bucket_of_ns ns) 1)
+
+let totals t =
+  Array.init buckets (fun b ->
+      Array.fold_left (fun acc stripe -> acc + Atomic.get stripe.(b)) 0 t.counts)
+
+let count t = Array.fold_left ( + ) 0 (totals t)
+
+let merge a b =
+  let m = create () in
+  let ta = totals a and tb = totals b in
+  Array.iteri (fun i n -> Atomic.set m.counts.(0).(i) (n + tb.(i))) ta;
+  m
+
+let reset t =
+  Array.iter (fun stripe -> Array.iter (fun c -> Atomic.set c 0) stripe) t.counts
+
+(* Geometric midpoint of bucket [i]: half way through [2^i, 2^(i+1)). *)
+let representative i = 1.5 *. Float.of_int (1 lsl i)
+
+let percentile_of_totals totals p =
+  let total = Array.fold_left ( + ) 0 totals in
+  if total = 0 then 0.
+  else begin
+    let rank = Float.to_int (Float.of_int total *. p) in
+    let rank = max 0 (min (total - 1) rank) in
+    let seen = ref 0 in
+    let result = ref (representative (buckets - 1)) in
+    (try
+       Array.iteri
+         (fun i n ->
+           seen := !seen + n;
+           if !seen > rank then begin
+             result := representative i;
+             raise Exit
+           end)
+         totals
+     with Exit -> ());
+    !result
+  end
+
+let percentile t p = percentile_of_totals (totals t) p
+
+type summary = { count : int; p50 : float; p95 : float; p99 : float }
+
+let summary t =
+  let totals = totals t in
+  {
+    count = Array.fold_left ( + ) 0 totals;
+    p50 = percentile_of_totals totals 0.50;
+    p95 = percentile_of_totals totals 0.95;
+    p99 = percentile_of_totals totals 0.99;
+  }
+
+let pp fmt t =
+  let s = summary t in
+  Format.fprintf fmt "n=%d p50=%.0fns p95=%.0fns p99=%.0fns" s.count s.p50
+    s.p95 s.p99

@@ -1,0 +1,46 @@
+(** Fixed-bucket latency histograms.
+
+    Buckets are log2-spaced in nanoseconds: bucket [i] counts samples in
+    [[2^i, 2^(i+1))] (bucket 0 also absorbs sub-nanosecond samples, the
+    last bucket absorbs everything above its floor).  Fixed buckets make
+    recording allocation-free and merging trivial.
+
+    Recording is {e striped}: each histogram holds a small power-of-two
+    number of bucket arrays and a recording domain picks the stripe indexed
+    by its domain id, so concurrent workers rarely contend on one atomic.
+    Reads ({!totals}, {!summary}) sum the stripes; they are linearizable
+    per bucket, not across buckets, which is the usual (and sufficient)
+    histogram guarantee. *)
+
+type t
+
+val buckets : int
+(** Number of log2 buckets (48: up to ~3 days in nanoseconds). *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t ns] adds one sample of [ns] nanoseconds.  Lock-free; safe
+    from any domain. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val totals : t -> int array
+(** Per-bucket counts summed over all stripes ([buckets] entries). *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both sample sets. *)
+
+val reset : t -> unit
+
+type summary = { count : int; p50 : float; p95 : float; p99 : float }
+(** Percentiles in nanoseconds; a bucket's representative value is its
+    geometric midpoint ([1.5 * 2^i]).  All zero when [count = 0]. *)
+
+val summary : t -> summary
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: count and p50/p95/p99. *)

@@ -1,0 +1,35 @@
+(** The runtime's standard hook points.
+
+    One global {!Histogram} per operation class, plus one global
+    {!Counters} set.  The device, the executor and the heap record here;
+    reporting layers ({!Sink}, the bench harness, the fuzzer) read here.
+
+    Recording sites gate on {!Config.enabled} themselves (so a disabled
+    system never takes a timestamp); the helpers below assume the caller
+    already checked. *)
+
+type kind =
+  | Pmem_read
+  | Pmem_write
+  | Pmem_flush
+  | Pmem_cas
+  | Exec_call
+  | Exec_recover
+
+val kinds : kind list
+(** All kinds, in declaration order. *)
+
+val kind_name : kind -> string
+(** Stable lower-snake name ([pmem_read], [exec_call], ...). *)
+
+val histogram : kind -> Histogram.t
+(** The global latency histogram for one operation class. *)
+
+val counters : Counters.t
+(** The global counter set. *)
+
+val record_latency : kind -> t0_ns:int -> unit
+(** [record_latency k ~t0_ns] records [now - t0_ns] into [histogram k]. *)
+
+val reset : unit -> unit
+(** Zero every histogram and counter (not the trace ring). *)

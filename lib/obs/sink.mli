@@ -1,0 +1,29 @@
+(** Consuming observability data.
+
+    A sink is any consumer of a {!snapshot} — the bench harness turning it
+    into JSON columns, the fuzzer attaching a trace tail to a reproducer,
+    a future metrics endpoint.  {!capture} is the one read path: it sums
+    the striped histograms and counters and copies the trace tail, so the
+    snapshot is a plain immutable value safe to format from any thread. *)
+
+type snapshot = {
+  histograms : (string * Histogram.summary) list;
+      (** One entry per {!Probe.kind}, keyed by {!Probe.kind_name}. *)
+  counters : Counters.totals;
+  trace_tail : Trace.event list;  (** Oldest first. *)
+}
+
+type t = snapshot -> unit
+(** A sink consumes snapshots. *)
+
+val capture : ?trace_tail:int -> unit -> snapshot
+(** [capture ()] reads the global probes.  [trace_tail] bounds the copied
+    trace events (default 64). *)
+
+val summary_exn : snapshot -> string -> Histogram.summary
+(** [summary_exn s name] looks up a histogram summary by probe name.
+    @raise Not_found if [name] is not a probe. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Multi-line human-readable report (histograms, counters, derived
+    write-amplification and flush-per-op ratios). *)

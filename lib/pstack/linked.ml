@@ -79,7 +79,13 @@ let create pmem ~heap ~anchor ?(block_size = default_block_size) () =
   write_anchor t blk.payload;
   t
 
-let attach pmem ~heap ~anchor =
+let block_size t = t.default_block
+
+(* [block_size] defaults to [default_block_size] only for callers that
+   genuinely don't know the original configuration; a recovery path must
+   pass the size recorded at creation (e.g. from the system superblock) or
+   every post-crash cross-block push silently reverts to 256-byte blocks. *)
+let attach pmem ~heap ?(block_size = default_block_size) ~anchor () =
   let first = Offset.of_int (Pmem.read_int pmem anchor) in
   let blk_of payload = { payload; capacity = Heap.payload_size heap payload } in
   let rec scan blk off acc =
@@ -98,7 +104,7 @@ let attach pmem ~heap ~anchor =
     pmem;
     heap;
     anchor;
-    default_block = default_block_size;
+    default_block = block_size;
     items = scan first_blk first_blk.payload [];
   }
 

@@ -36,8 +36,22 @@ val create :
     [block_size] 256 bytes), installs the dummy frame and publishes the
     block in the anchor cell. *)
 
-val attach : Nvram.Pmem.t -> heap:Nvheap.Heap.t -> anchor:Nvram.Offset.t -> t
-(** Rebuilds the index by following the anchor and the pointer frames. *)
+val attach :
+  Nvram.Pmem.t ->
+  heap:Nvheap.Heap.t ->
+  ?block_size:int ->
+  anchor:Nvram.Offset.t ->
+  unit ->
+  t
+(** Rebuilds the index by following the anchor and the pointer frames.
+    [block_size] is the allocation granularity for blocks chained {e after}
+    the attach; pass the size the stack was created with (the runtime
+    records it in the system superblock), otherwise new blocks fall back to
+    the 256-byte default — the stack stays correct but its allocation
+    pattern silently changes across a crash. *)
+
+val block_size : t -> int
+(** The block allocation granularity this handle uses for new blocks. *)
 
 val block_count : t -> int
 (** Number of blocks currently chained. *)

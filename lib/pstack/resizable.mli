@@ -29,7 +29,10 @@ val create :
 
 val attach : Nvram.Pmem.t -> heap:Nvheap.Heap.t -> anchor:Nvram.Offset.t -> t
 (** [attach pmem ~heap ~anchor] follows the anchor and rebuilds the frame
-    index by scanning — the recovery entry point. *)
+    index by scanning — the recovery entry point.  Unlike {!Linked.attach},
+    no sizing parameter needs threading through recovery: the capacity is
+    re-derived from the live block itself ([Heap.payload_size]), so the
+    configured initial capacity cannot drift across a crash. *)
 
 val capacity : t -> int
 (** Current block capacity in bytes. *)

@@ -21,6 +21,7 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     Log.debug (fun m -> m "era %d armed" !eras);
     let era_plan = plan ~era:!eras in
     Crash.arm (Pmem.crash_ctl pmem) era_plan;
+    Obs.Trace.record (Obs.Trace.Era_armed { era = !eras });
     observer (Era_armed { era = !eras; plan = era_plan })
   in
   let sys = System.create pmem ~registry ~config in
@@ -53,8 +54,12 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     (* The operation counter is read before the reboot wipes it: its value
        is where the era's plan actually fired, which is what a replay needs
        to turn a probabilistic schedule into a deterministic one. *)
-    observer
-      (Crash_fired { era = !eras; at_op = Crash.ops (Pmem.crash_ctl pmem) });
+    let at_op = Crash.ops (Pmem.crash_ctl pmem) in
+    if Obs.Config.enabled () then begin
+      Obs.Trace.record (Obs.Trace.Crash_fired { era = !eras; at_op });
+      Obs.Counters.incr_crashes_survived Obs.Probe.counters
+    end;
+    observer (Crash_fired { era = !eras; at_op });
     Log.info (fun m -> m "crash %d: rebooting and recovering" !crashes);
     if !crashes > max_crashes then
       failwith "Driver.run_to_completion: crash budget exceeded";

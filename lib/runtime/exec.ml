@@ -56,10 +56,28 @@ let return_and_pop t answer =
 
 let call t ~func_id ~args =
   let entry = Registry.find_exn t.registry func_id in
-  push t ~func_id ~args;
-  let answer = entry.Registry.body t args in
-  return_and_pop t answer;
-  answer
+  let invoke () =
+    push t ~func_id ~args;
+    let answer = entry.Registry.body t args in
+    return_and_pop t answer;
+    answer
+  in
+  if Obs.Config.enabled () then begin
+    let t0_ns = Obs.Config.now_ns () in
+    Obs.Trace.record (Obs.Trace.Op_begin { func_id });
+    Obs.Counters.incr_ops Obs.Probe.counters;
+    match invoke () with
+    | answer ->
+        Obs.Probe.record_latency Obs.Probe.Exec_call ~t0_ns;
+        Obs.Trace.record (Obs.Trace.Op_end { func_id });
+        answer
+    | exception e ->
+        (* A crash aborts the op; close the trace span so exports stay
+           balanced, but record no latency for the unfinished call. *)
+        Obs.Trace.record (Obs.Trace.Op_end { func_id });
+        raise e
+  end
+  else invoke ()
 
 let last_answer t =
   Pstack.Frame.read_answer t.pmem ~frame:(top_offset t)
@@ -68,6 +86,20 @@ let clear_last_answer t =
   Pstack.Frame.clear_answer t.pmem ~frame:(top_offset t)
 
 let recover t =
+  let obs = Obs.Config.enabled () in
+  let t0_ns = if obs then Obs.Config.now_ns () else 0 in
+  if obs then begin
+    Obs.Trace.record (Obs.Trace.Recovery_begin { worker = t.worker_id });
+    Obs.Counters.incr_recovery_passes Obs.Probe.counters
+  end;
+  let finish_span ~completed =
+    if obs then begin
+      (* A pass interrupted by a fresh crash closes its trace span but does
+         not contribute a latency sample. *)
+      if completed then Obs.Probe.record_latency Obs.Probe.Exec_recover ~t0_ns;
+      Obs.Trace.record (Obs.Trace.Recovery_end { worker = t.worker_id })
+    end
+  in
   let rec drain () =
     match top t with
     | None -> ()
@@ -84,4 +116,8 @@ let recover t =
             pop t);
         drain ()
   in
-  drain ()
+  (match drain () with
+  | () -> finish_span ~completed:true
+  | exception e ->
+      finish_span ~completed:false;
+      raise e)

@@ -129,7 +129,11 @@ let make_stack ~fresh pmem config heap i =
       let anchor = anchor_off i in
       pack_linked
         (if fresh then Pstack.Linked.create pmem ~heap ~anchor ~block_size ()
-         else Pstack.Linked.attach pmem ~heap ~anchor)
+         else
+           (* The superblock's kind_param is the configured block size;
+              without it a recovered stack would silently chain 256-byte
+              default blocks from here on. *)
+           Pstack.Linked.attach pmem ~heap ~block_size ~anchor ())
 
 let make_stacks ~fresh pmem config heap =
   Array.init config.workers (make_stack ~fresh pmem config heap)
@@ -347,8 +351,10 @@ let recover ?reclaim t =
             @ extra_roots ()
           in
           let freed = Heap.retain t.heap ~live in
-          if freed > 0 then
-            Log.info (fun m -> m "reclaimed %d leaked heap block(s)" freed));
+          if freed.Heap.blocks > 0 then
+            Log.info (fun m ->
+                m "reclaimed %d leaked heap block(s) (%d bytes)"
+                  freed.Heap.blocks freed.Heap.bytes));
       `Completed
 
 let pp_kind fmt = function

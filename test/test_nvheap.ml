@@ -114,7 +114,9 @@ let test_retain_reclaims_leaks () =
   let leaked = Heap.alloc heap 64 in
   ignore leaked;
   let freed = Heap.retain heap ~live:[ live ] in
-  Alcotest.(check int) "one block reclaimed" 1 freed;
+  Alcotest.(check int) "one block reclaimed" 1 freed.Heap.blocks;
+  Alcotest.(check bool) "reclaimed bytes cover the block" true
+    (freed.Heap.bytes >= 64 + Heap.block_header_size);
   check_ok heap;
   Alcotest.(check int) "only live left" 1 (Heap.block_count heap ~allocated:true);
   ignore pmem

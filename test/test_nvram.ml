@@ -208,6 +208,27 @@ let test_stats_zero_length () =
   Alcotest.(check int) "no lines flushed" 0 (Nvram.Stats.lines_flushed s);
   Alcotest.(check int) "nothing dirtied" 0 (Pmem.dirty_line_count p)
 
+let test_zero_length_crash_semantics () =
+  (* every zero-length op consults the scheduler exactly once, via
+     Crash.check: it raises after a crash has fired, but is never itself a
+     crash point (Crash.ops does not advance) — the rule is symmetric
+     across read, write and flush (see pmem.mli) *)
+  let p = Pmem.create ~size:1024 () in
+  let ctl = Pmem.crash_ctl p in
+  Crash.arm ctl (Crash.At_op 1);
+  ignore (Pmem.read_bytes p ~off:(off 0) ~len:0);
+  Pmem.write_bytes p ~off:(off 0) Bytes.empty;
+  Pmem.flush p ~off:(off 0) ~len:0;
+  Alcotest.(check int) "no op consumed a crash point" 0 (Crash.ops ctl);
+  Alcotest.(check bool) "armed plan did not fire" false (Crash.crashed ctl);
+  Crash.trigger ctl;
+  Alcotest.check_raises "zero-length read after crash" Crash.Crash_now
+    (fun () -> ignore (Pmem.read_bytes p ~off:(off 0) ~len:0));
+  Alcotest.check_raises "zero-length write after crash" Crash.Crash_now
+    (fun () -> Pmem.write_bytes p ~off:(off 0) Bytes.empty);
+  Alcotest.check_raises "zero-length flush after crash" Crash.Crash_now
+    (fun () -> Pmem.flush p ~off:(off 0) ~len:0)
+
 let with_temp_file f =
   let path = Filename.temp_file "pstack_nvram" ".img" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
@@ -265,6 +286,8 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "zero-length ops count" `Quick
             test_stats_zero_length;
+          Alcotest.test_case "zero-length crash semantics" `Quick
+            test_zero_length_crash_semantics;
         ] );
       ( "crash scheduling",
         [

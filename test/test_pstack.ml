@@ -123,7 +123,7 @@ let linked_harness =
       reattach =
         (fun pmem ->
           let heap = Heap.open_existing pmem ~base:(off 64) in
-          Pstack.Linked.attach pmem ~heap ~anchor:(off 0));
+          Pstack.Linked.attach pmem ~heap ~block_size:128 ~anchor:(off 0) ());
     }
 
 let harnesses = [ bounded_harness; resizable_harness; linked_harness ]
@@ -283,6 +283,47 @@ let test_linked_spans_blocks () =
     (Heap.block_count heap ~allocated:true < allocated_at_peak);
   Alcotest.(check int) "drained" 0 (Pstack.Linked.depth s)
 
+(* The bug this pins: [Linked.attach] used to ignore the configured block
+   size and rebuild the handle with the 256-byte default, so every block
+   chained after a crash-recovery shrank silently.  The handle must honour
+   the [block_size] recovery passes in. *)
+let test_linked_attach_preserves_block_size () =
+  let pmem, heap = with_heap () in
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:1024 () in
+  Alcotest.(check int) "created with 1024" 1024 (Pstack.Linked.block_size s);
+  Pstack.Linked.push s ~func_id:2 ~args:(Bytes.make 100 'a');
+  Pmem.crash_and_restart pmem;
+  let heap = Heap.recover pmem ~base:(off 64) in
+  let s =
+    Pstack.Linked.attach pmem ~heap ~block_size:1024 ~anchor:(off 0) ()
+  in
+  Alcotest.(check int) "attach keeps the configured size" 1024
+    (Pstack.Linked.block_size s);
+  Alcotest.(check int) "frame survived" 1 (Pstack.Linked.depth s);
+  (* Force cross-block pushes on the recovered handle: with the fix every
+     chained block is allocated at >= 1024 bytes; with the old behaviour
+     they would come out at the 256-byte default. *)
+  for i = 1 to 30 do
+    Pstack.Linked.push s ~func_id:(i + 2) ~args:(Bytes.make 100 'b')
+  done;
+  Alcotest.(check bool) "chained blocks" true (Pstack.Linked.block_count s > 1);
+  List.iter
+    (fun payload ->
+      Alcotest.(check bool) "block allocated at configured size" true
+        (Heap.payload_size heap payload >= 1024))
+    (Pstack.Linked.live_blocks s)
+
+let test_linked_attach_default_falls_back () =
+  let pmem, heap = with_heap () in
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:1024 () in
+  ignore s;
+  Pmem.crash_and_restart pmem;
+  let heap = Heap.recover pmem ~base:(off 64) in
+  (* Without the parameter the handle falls back to the documented default:
+     the caller owns threading the configuration through recovery. *)
+  let s = Pstack.Linked.attach pmem ~heap ~anchor:(off 0) () in
+  Alcotest.(check int) "documented fallback" 256 (Pstack.Linked.block_size s)
+
 let test_linked_big_frame_gets_own_block () =
   let pmem, heap = with_heap () in
   ignore pmem;
@@ -379,6 +420,10 @@ let () =
       ( "linked",
         [
           Alcotest.test_case "spans blocks" `Quick test_linked_spans_blocks;
+          Alcotest.test_case "attach preserves block size" `Quick
+            test_linked_attach_preserves_block_size;
+          Alcotest.test_case "attach default falls back" `Quick
+            test_linked_attach_default_falls_back;
           Alcotest.test_case "big frame" `Quick
             test_linked_big_frame_gets_own_block;
         ] );

@@ -337,6 +337,33 @@ let test_system_root () =
   Alcotest.(check bool) "root survives" true
     (R.System.root sys' = Some (off 4242))
 
+(* System-level round trip of the linked stack's block size: the
+   superblock records [Linked_stack 4096], so a recovered worker stack
+   must keep allocating 4096-byte blocks.  The old [System.attach] dropped
+   the parameter and the recovered stack silently chained 256-byte default
+   blocks — many more blocks for the same frames, which is what the
+   block-count bound detects. *)
+let test_linked_block_size_survives_attach () =
+  let registry : R.Exec.t R.Registry.t = R.Registry.create () in
+  let pmem, sys =
+    make_system ~stack_kind:(R.System.Linked_stack 4096) registry
+  in
+  ignore sys;
+  Pmem.crash_and_restart pmem;
+  let sys' = R.System.attach pmem ~registry in
+  let ctx = R.System.ctx sys' 0 in
+  let (R.Exec.Stack ((module S), s)) = ctx.R.Exec.stack in
+  let args = Bytes.make 200 'x' in
+  for i = 1 to 40 do
+    S.push s ~func_id:(i + 1) ~args
+  done;
+  (* ~40 frames x ~220 B: a handful of 4096-byte blocks, versus one block
+     per frame at the 256-byte default. *)
+  let blocks = List.length (S.live_blocks s) in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered stack allocates full-size blocks (%d)" blocks)
+    true (blocks <= 5)
+
 let test_attach_requires_superblock () =
   let registry : R.Exec.t R.Registry.t = R.Registry.create () in
   let pmem = Pmem.create ~size:(1 lsl 16) () in
@@ -387,6 +414,8 @@ let () =
           Alcotest.test_case "root cell" `Quick test_system_root;
           Alcotest.test_case "attach validates" `Quick
             test_attach_requires_superblock;
+          Alcotest.test_case "linked block size survives attach" `Quick
+            test_linked_block_size_survives_attach;
           Alcotest.test_case "parallel workers" `Quick
             test_parallel_workers_complete_tasks;
         ] );

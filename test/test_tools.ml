@@ -201,6 +201,91 @@ let test_exec_live_blocks () =
   Alcotest.(check int) "one block when empty" 1
     (List.length (R.Exec.live_blocks ctx))
 
+(* ------------------------------------------------------------------ *)
+(* bench_gate: gate on throughput only, whatever other columns the rows
+   carry.  Drives the built executable on generated JSON files. *)
+
+let bench_gate_exe = Filename.concat (Filename.dirname Sys.argv.(0)) "../bin/bench_gate.exe"
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{ \"rows\": [\n";
+      output_string oc (String.concat ",\n" rows);
+      output_string oc "\n] }\n")
+
+let old_row ~bench ~workers ~ops =
+  Printf.sprintf
+    "{ \"bench\": \"%s\", \"workers\": %d, \"iters_per_worker\": 10, \
+     \"total_ops\": 10, \"elapsed_s\": 0.1, \"ops_per_sec\": %.1f }"
+    bench workers ops
+
+let new_row ~bench ~workers ~ops =
+  (* the current writer's shape: latency and flush columns after the
+     throughput field *)
+  Printf.sprintf
+    "{ \"bench\": \"%s\", \"workers\": %d, \"iters_per_worker\": 10, \
+     \"total_ops\": 10, \"elapsed_s\": 0.1, \"ops_per_sec\": %.1f, \
+     \"p50_ns\": 1536.0, \"p95_ns\": 3072.0, \"p99_ns\": 6144.0, \
+     \"flush_per_op\": 3.0005 }"
+    bench workers ops
+
+let run_gate baseline candidate =
+  Sys.command
+    (Printf.sprintf "%s --baseline %s --candidate %s > /dev/null"
+       (Filename.quote bench_gate_exe) (Filename.quote baseline)
+       (Filename.quote candidate))
+
+let in_temp name rows =
+  let path = Filename.temp_file name ".json" in
+  write_json path rows;
+  path
+
+let test_bench_gate_tolerates_new_columns () =
+  let baseline =
+    in_temp "gate_base"
+      [
+        old_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+        old_row ~bench:"rcas" ~workers:1 ~ops:500.;
+      ]
+  in
+  let candidate =
+    in_temp "gate_cand"
+      [
+        new_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+        new_row ~bench:"rcas" ~workers:1 ~ops:500.;
+      ]
+  in
+  Alcotest.(check int) "old baseline vs new candidate passes" 0
+    (run_gate baseline candidate);
+  let regressed =
+    in_temp "gate_regressed"
+      [
+        new_row ~bench:"push_pop" ~workers:1 ~ops:100.;
+        new_row ~bench:"rcas" ~workers:1 ~ops:500.;
+      ]
+  in
+  Alcotest.(check int) "regression still detected through new columns" 1
+    (run_gate baseline regressed);
+  List.iter Sys.remove [ baseline; candidate; regressed ]
+
+let test_bench_gate_missing_field_is_an_error () =
+  (* row-bounded parsing: a row without its own throughput must be a parse
+     error, not silently borrow the next row's value *)
+  let baseline = in_temp "gate_base2" [ old_row ~bench:"push_pop" ~workers:1 ~ops:1000. ] in
+  let truncated =
+    in_temp "gate_trunc"
+      [
+        "{ \"bench\": \"push_pop\", \"workers\": 1 }";
+        old_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+      ]
+  in
+  Alcotest.(check int) "missing ops_per_sec is a parse error" 2
+    (run_gate baseline truncated);
+  List.iter Sys.remove [ baseline; truncated ]
+
 let () =
   Alcotest.run "tools"
     [
@@ -234,4 +319,11 @@ let () =
         ] );
       ( "exec",
         [ Alcotest.test_case "live blocks" `Quick test_exec_live_blocks ] );
+      ( "bench gate",
+        [
+          Alcotest.test_case "tolerates new columns" `Quick
+            test_bench_gate_tolerates_new_columns;
+          Alcotest.test_case "missing field is an error" `Quick
+            test_bench_gate_missing_field_is_an_error;
+        ] );
     ]
