@@ -381,6 +381,13 @@ let cas_case pmem workload =
   Recoverable.Cas_op.register_cas registry ~id:cas_id
     ~attempt_id:cas_attempt_id handle;
   let nprocs = workload.Workload.workers in
+  (* The kind picks the CAS variant: [Rcas_buggy] is the paper's E3
+     planted bug (recovery without the announcement matrix). *)
+  let variant =
+    match workload.Workload.kind with
+    | Workload.Rcas_buggy -> Rcas.Buggy
+    | _ -> Rcas.Correct
+  in
   {
     registry;
     init =
@@ -389,14 +396,12 @@ let cas_case pmem workload =
         rcas :=
           Some
             (Rcas.create pmem ~base ~nprocs ~init:workload.Workload.init
-               ~variant:Rcas.Correct);
+               ~variant);
         System.set_root sys base);
     reattach =
       (fun sys ->
         rcas :=
-          Some
-            (Rcas.attach pmem ~base:(root_exn sys) ~nprocs
-               ~variant:Rcas.Correct));
+          Some (Rcas.attach pmem ~base:(root_exn sys) ~nprocs ~variant));
     reclaim = (fun sys -> [ root_exn sys ]);
     submit_op =
       (fun sys -> function
@@ -466,18 +471,24 @@ let case_of pmem (workload : Workload.t) =
   | Workload.Rstack -> stack_case pmem workload
   | Workload.Rqueue -> queue_case pmem workload
   | Workload.Rmap -> map_case pmem workload
-  | Workload.Rcas -> cas_case pmem workload
+  | Workload.Rcas | Workload.Rcas_buggy -> cas_case pmem workload
   | Workload.Faulty -> faulty_case pmem workload
 
-let device_size = 1 lsl 21
+let default_device_size = 1 lsl 21
 
-let run_once (workload : Workload.t) (schedule : Schedule.t) =
+let run_once ?spawn ?(device_size = default_device_size)
+    (workload : Workload.t) (schedule : Schedule.t) =
   (* Section 5's cache-less model for the real structures (they are built
      for auto-flush devices in their own test suites); the planted-bug
      counter manages its own flushes on a cached device. *)
   let auto_flush = workload.kind <> Workload.Faulty in
-  let yield_probability = if workload.workers > 1 then 0.3 else 0. in
+  (* A cooperative spawn strategy controls the interleaving itself: the
+     sleep-based yield would only add nondeterministic wall-clock noise. *)
+  let yield_probability =
+    if workload.workers > 1 && Option.is_none spawn then 0.3 else 0.
+  in
   let pmem = Pmem.create ~auto_flush ~yield_probability ~size:device_size () in
+  let spawn = Option.map (fun f -> f pmem) spawn in
   let case = case_of pmem workload in
   let config =
     {
@@ -512,7 +523,7 @@ let run_once (workload : Workload.t) (schedule : Schedule.t) =
     Runtime.Driver.run_to_completion pmem ~registry:case.registry ~config
       ~submit ~init:case.init ~reattach:case.reattach ~reclaim:case.reclaim
       ~plan:(fun ~era -> Schedule.plan_for schedule ~era)
-      ~observer ~max_crashes:1000 ()
+      ~observer ~max_crashes:1000 ?spawn ()
   with
   | report ->
       let verdict, history = case.conclude report.Runtime.Driver.results in
@@ -521,11 +532,12 @@ let run_once (workload : Workload.t) (schedule : Schedule.t) =
   | exception exn ->
       finish (Fail ("exception: " ^ Printexc.to_string exn)) None
 
-let run workload schedule =
-  match run_once workload schedule with
+let run ?spawn ?device_size workload schedule =
+  match run_once ?spawn ?device_size workload schedule with
   | { verdict = Fail "main-thread kill"; _ } ->
       (* The one-shot kill landed on the orchestrating thread — an artifact
          of the simulation, not a finding.  The case degenerates to the
          same schedule without the kill plan. *)
-      run_once workload { schedule with Schedule.kill = None }
+      run_once ?spawn ?device_size workload
+        { schedule with Schedule.kill = None }
   | outcome -> outcome

@@ -41,4 +41,17 @@ type outcome = {
           serialisation as a [verify_history]-ingestible artifact. *)
 }
 
-val run : Workload.t -> Schedule.t -> outcome
+val run :
+  ?spawn:(Nvram.Pmem.t -> Runtime.System.spawn) ->
+  ?device_size:int ->
+  Workload.t ->
+  Schedule.t ->
+  outcome
+(** [run workload schedule] executes the case.  [spawn], applied to the
+    freshly created device, substitutes the worker execution strategy of
+    every era (see {!Runtime.System.spawn}); when given, the device's
+    probabilistic sleep-yield is disabled, so the interleaving is entirely
+    the strategy's — this is how the systematic model checker (lib/mc)
+    reuses the harness's oracles deterministically.  [device_size]
+    overrides the 2 MiB default (model-checking runs use a small device:
+    thousands of executions, each with a fresh image). *)

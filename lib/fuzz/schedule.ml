@@ -1,8 +1,13 @@
 module Crash = Nvram.Crash
 
-type t = { eras : Crash.plan list; kill : Crash.plan option }
+type t = {
+  eras : Crash.plan list;
+  kill : Crash.plan option;
+  interleave : int list;
+  preempt : int option;
+}
 
-let none = { eras = []; kill = None }
+let none = { eras = []; kill = None; interleave = []; preempt = None }
 
 let plan_for t ~era =
   match List.nth_opt t.eras (era - 1) with
@@ -29,51 +34,112 @@ let generate ~rng ~max_eras =
       Some (Crash.At_op (1 + Random.State.int rng 200))
     else None
   in
-  { eras; kill }
+  { none with eras; kill }
 
 let crashing_eras t =
   List.length (List.filter (fun p -> p <> Crash.Never) t.eras)
+
+(* Worker ids of an interleave prefix, at most [chunk] per line so long
+   systematic traces stay readable; consecutive [interleave] lines
+   concatenate on parse. *)
+let interleave_lines t =
+  let chunk = 16 in
+  let rec split = function
+    | [] -> []
+    | ws ->
+        let taken = List.filteri (fun i _ -> i < chunk) ws in
+        let rest = List.filteri (fun i _ -> i >= chunk) ws in
+        Printf.sprintf "interleave %s"
+          (String.concat " " (List.map string_of_int taken))
+        :: split rest
+  in
+  split t.interleave
 
 let to_lines t =
   List.mapi
     (fun i plan ->
       Printf.sprintf "era %d %s" (i + 1) (Crash.plan_to_string plan))
     t.eras
+  @ (match t.kill with
+    | None -> []
+    | Some plan -> [ Printf.sprintf "kill %s" (Crash.plan_to_string plan) ])
+  @ interleave_lines t
   @
-  match t.kill with
+  match t.preempt with
   | None -> []
-  | Some plan -> [ Printf.sprintf "kill %s" (Crash.plan_to_string plan) ]
+  | Some n -> [ Printf.sprintf "preempt %d" n ]
 
 let of_lines lines =
   let ( let* ) = Result.bind in
-  List.fold_left
-    (fun acc line ->
-      let* t = acc in
-      match
-        String.split_on_char ' ' (String.trim line)
-        |> List.filter (( <> ) "")
-      with
-      | [] -> Ok t
-      | "era" :: n :: rest -> (
-          let expect = List.length t.eras + 1 in
-          match int_of_string_opt n with
-          | Some n when n = expect ->
-              let* plan = Crash.plan_of_string (String.concat " " rest) in
-              Ok { t with eras = t.eras @ [ plan ] }
-          | Some n ->
-              Error
-                (Printf.sprintf "era %d out of order (expected era %d)" n
-                   expect)
-          | None -> Error (Printf.sprintf "era index is not an integer: %S" n))
-      | "kill" :: rest ->
-          let* plan = Crash.plan_of_string (String.concat " " rest) in
-          Ok { t with kill = Some plan }
-      | _ -> Error (Printf.sprintf "unknown schedule entry %S" line))
-    (Ok none) lines
+  let at lineno = Result.map_error (Printf.sprintf "line %d: %s" lineno) in
+  let parse acc lineno line =
+    let* t = acc in
+    match
+      String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "")
+    with
+    | [] -> Ok t
+    | "era" :: n :: rest ->
+        at lineno
+          (let expect = List.length t.eras + 1 in
+           match int_of_string_opt n with
+           | Some n when n = expect ->
+               let* plan = Crash.plan_of_string (String.concat " " rest) in
+               Ok { t with eras = t.eras @ [ plan ] }
+           | Some n ->
+               Error
+                 (Printf.sprintf "era %d out of order (expected era %d)" n
+                    expect)
+           | None ->
+               Error (Printf.sprintf "era index is not an integer: %S" n))
+    | "kill" :: rest ->
+        at lineno
+          (let* plan = Crash.plan_of_string (String.concat " " rest) in
+           Ok { t with kill = Some plan })
+    | "interleave" :: workers ->
+        at lineno
+          (let* ws =
+             List.fold_left
+               (fun acc w ->
+                 let* ws = acc in
+                 match int_of_string_opt w with
+                 | Some n when n >= 0 -> Ok (n :: ws)
+                 | Some n ->
+                     Error
+                       (Printf.sprintf "interleave: negative worker id %d" n)
+                 | None ->
+                     Error
+                       (Printf.sprintf "interleave: not a worker id: %S" w))
+               (Ok []) workers
+           in
+           Ok { t with interleave = t.interleave @ List.rev ws })
+    | "preempt" :: rest ->
+        at lineno
+          (match rest with
+          | [ n ] -> (
+              match int_of_string_opt n with
+              | Some n when n >= 0 -> Ok { t with preempt = Some n }
+              | Some _ -> Error "preempt bound must be >= 0"
+              | None ->
+                  Error
+                    (Printf.sprintf "preempt bound is not an integer: %S" n))
+          | _ -> Error (Printf.sprintf "malformed preempt entry %S" line))
+    | _ -> at lineno (Error (Printf.sprintf "unknown schedule entry %S" line))
+  in
+  let acc = ref (Ok none) in
+  List.iteri (fun i line -> acc := parse !acc (i + 1) line) lines;
+  !acc
 
 let pp fmt t =
   Format.fprintf fmt "[%s] kill=%s"
     (String.concat "; " (List.map Crash.plan_to_string t.eras))
     (match t.kill with
     | None -> "never"
-    | Some plan -> Crash.plan_to_string plan)
+    | Some plan -> Crash.plan_to_string plan);
+  (match t.interleave with
+  | [] -> ()
+  | ws ->
+      Format.fprintf fmt " interleave=%s"
+        (String.concat "," (List.map string_of_int ws)));
+  match t.preempt with
+  | None -> ()
+  | Some n -> Format.fprintf fmt " preempt=%d" n

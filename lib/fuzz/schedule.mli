@@ -1,5 +1,7 @@
 (** Crash schedules: one crash plan per era, plus an optional one-shot
-    individual-crash (kill) plan armed before the first era.
+    individual-crash (kill) plan armed before the first era — and, for
+    systematic model-checking reproducers, an interleaving prefix with its
+    preemption bound.
 
     A schedule is the adversary of a fuzz case: era [i] of the driver runs
     under [plan_for t ~era:i], mixing deterministic [At_op] points with
@@ -12,16 +14,28 @@
     era 1 at-op 17
     era 2 random 9431 0.010000
     kill at-op 40
+    interleave 0 0 1 0 1
+    preempt 2
     v} *)
 
 type t = {
   eras : Nvram.Crash.plan list;  (** Plan of era 1, 2, ...; then [Never]. *)
   kill : Nvram.Crash.plan option;
       (** Individual-crash plan armed once, at submission time. *)
+  interleave : int list;
+      (** Worker id chosen at each scheduling decision of era 1, in order —
+          the decision prefix of a systematic (lib/mc) execution.  Empty
+          for randomly fuzzed schedules: workers then run free (domains).
+          Serialised as [interleave w0 w1 ...]; several [interleave] lines
+          concatenate, so long prefixes stay readable. *)
+  preempt : int option;
+      (** Preemption bound the interleaving was explored under (recorded
+          for the reproducer header; replay follows {!interleave} exactly
+          and does not need it). *)
 }
 
 val none : t
-(** No crashes at all. *)
+(** No crashes at all, no interleaving constraint. *)
 
 val plan_for : t -> era:int -> Nvram.Crash.plan
 (** Plan of the given era (1-based); [Never] past the end of the list. *)
@@ -29,13 +43,18 @@ val plan_for : t -> era:int -> Nvram.Crash.plan
 val generate : rng:Random.State.t -> max_eras:int -> t
 (** Draw a schedule: 1 to [max_eras] era plans, each either an [At_op]
     point or a seeded [Random] probability, and a kill plan with
-    probability ~1/3.  Deterministic in [rng]. *)
+    probability ~1/3.  Deterministic in [rng].  Generated schedules carry
+    no interleaving (free-running workers). *)
 
 val crashing_eras : t -> int
 (** Number of listed era plans that are not [Never]. *)
 
 val to_lines : t -> string list
+
 val of_lines : string list -> (t, string) result
+(** Inverse of {!to_lines}; blank lines are ignored.  [Error msg] on a
+    malformed entry, with [msg] prefixed by the 1-based line number
+    (["line 3: ..."]). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line digest, e.g. ["[at-op 17; random 9431 0.010000] kill=never"] —

@@ -1,4 +1,4 @@
-type kind = Rstack | Rqueue | Rmap | Rcas | Faulty
+type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty
 
 type op =
   | Push of int
@@ -19,6 +19,7 @@ let kind_to_string = function
   | Rqueue -> "rqueue"
   | Rmap -> "rmap"
   | Rcas -> "rcas"
+  | Rcas_buggy -> "rcas-buggy"
   | Faulty -> "faulty"
 
 let kind_of_string = function
@@ -26,6 +27,7 @@ let kind_of_string = function
   | "rqueue" -> Ok Rqueue
   | "rmap" -> Ok Rmap
   | "rcas" -> Ok Rcas
+  | "rcas-buggy" -> Ok Rcas_buggy
   | "faulty" -> Ok Faulty
   | other -> Error (Printf.sprintf "unknown workload kind %S" other)
 
@@ -48,10 +50,12 @@ let generate kind ~rng ~n_ops ~workers =
         let key = Random.State.int rng map_keys in
         if Random.State.int rng 3 < 2 then Put (key, value_of_index i)
         else Remove key
-    | Rcas -> Cas (Random.State.int rng 4, Random.State.int rng 4)
+    | Rcas | Rcas_buggy -> Cas (Random.State.int rng 4, Random.State.int rng 4)
     | Faulty -> Bump
   in
-  let init = match kind with Rcas -> Random.State.int rng 4 | _ -> 0 in
+  let init =
+    match kind with Rcas | Rcas_buggy -> Random.State.int rng 4 | _ -> 0
+  in
   let workers = match kind with Faulty -> 1 | _ -> max workers 1 in
   { kind; workers; init; ops = List.init n_ops gen }
 

@@ -1,10 +1,12 @@
 (** Fuzz workloads: a recoverable structure, a worker count, and a
     deterministic trace of operations submitted as runtime tasks.
 
-    Four kinds exercise the real structures of [lib/recoverable]; the
-    fifth, {!Faulty}, is a deliberately broken recoverable counter (its
-    recovery re-runs a completed increment instead of checking evidence) —
-    the fuzzer's own planted bug, used to validate that the search finds
+    Four kinds exercise the real structures of [lib/recoverable].  Two more
+    are deliberately broken: {!Rcas_buggy} is the paper's buggy recoverable
+    CAS (E3 — no announcement matrix, so a recovered operation can lose its
+    success), and {!Faulty} is a broken recoverable counter (its recovery
+    re-runs a completed increment instead of checking evidence) — the
+    fuzzer's own planted bug, used to validate that the search finds
     schedule-dependent failures and that shrinking produces minimal
     reproducers.
 
@@ -18,7 +20,7 @@
     op deq
     v} *)
 
-type kind = Rstack | Rqueue | Rmap | Rcas | Faulty
+type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty
 
 type op =
   | Push of int  (** rstack *)
@@ -38,7 +40,8 @@ type t = {
 }
 
 val correct_kinds : kind list
-(** The four real-structure kinds, i.e. everything except {!Faulty}. *)
+(** The four real-structure kinds, i.e. everything except the planted-bug
+    kinds {!Rcas_buggy} and {!Faulty}. *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result

@@ -1,0 +1,103 @@
+module Crash = Nvram.Crash
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type decision = Run of int | Crash_here
+
+type point = {
+  index : int;
+  op : int;
+  enabled : int list;
+  current : int option;
+}
+
+type fiber =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Finished
+
+let default_decision p =
+  match p.current with
+  | Some c when List.mem c p.enabled -> Run c
+  | _ -> (
+      match p.enabled with
+      | j :: _ -> Run j
+      | [] -> invalid_arg "Coop.default_decision: no enabled worker")
+
+let spawn ~crash_ctl ~decide : Runtime.System.spawn =
+ fun body workers ->
+  let fibers = Array.init workers (fun i -> Not_started (fun () -> body i)) in
+  let enabled () =
+    List.init workers Fun.id
+    |> List.filter (fun i -> fibers.(i) <> Finished)
+  in
+  (* The hook performs [Yield] at every persistence-operation entry of the
+     running fiber — and only of the fiber: it is installed around each
+     step, so the orchestrator's own device operations (task-table scans,
+     reclaim sweeps) never yield.  After a crash the guard keeps resumed
+     fibers from yielding again: each dies at its next device operation
+     ([Crash_now]) or runs to completion, so one resume drains it. *)
+  let hook () = if not (Crash.crashed crash_ctl) then perform Yield in
+  let step i =
+    Crash.set_scheduler crash_ctl (Some hook);
+    Fun.protect
+      ~finally:(fun () -> Crash.set_scheduler crash_ctl None)
+      (fun () ->
+        match fibers.(i) with
+        | Finished -> ()
+        | Suspended k -> continue k ()
+        | Not_started f ->
+            match_with f ()
+              {
+                retc = (fun () -> fibers.(i) <- Finished);
+                exnc =
+                  (fun exn ->
+                    fibers.(i) <- Finished;
+                    raise exn);
+                effc =
+                  (fun (type a) (eff : a Effect.t) ->
+                    match eff with
+                    | Yield ->
+                        Some
+                          (fun (k : (a, unit) continuation) ->
+                            fibers.(i) <- Suspended k)
+                    | _ -> None);
+              })
+  in
+  let index = ref 0 in
+  let current = ref None in
+  let rec drain () =
+    match enabled () with
+    | [] -> ()
+    | en ->
+        List.iter step en;
+        drain ()
+  in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | _ when Crash.crashed crash_ctl ->
+        (* An externally armed plan (replay's [At_op]) fired inside a
+           step: stop scheduling and let every fiber die. *)
+        drain ()
+    | en -> (
+        let point =
+          { index = !index; op = Crash.ops crash_ctl; enabled = en;
+            current = !current }
+        in
+        incr index;
+        match decide point with
+        | Run j ->
+            if not (List.mem j en) then
+              invalid_arg "Coop.spawn: decision ran a finished worker";
+            current := Some j;
+            step j;
+            loop ()
+        | Crash_here ->
+            Crash.trigger crash_ctl;
+            drain ())
+  in
+  loop ()

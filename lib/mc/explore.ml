@@ -1,0 +1,230 @@
+module Crash = Nvram.Crash
+module Pmem = Nvram.Pmem
+module Workload = Fuzz.Workload
+module Schedule = Fuzz.Schedule
+module Harness = Fuzz.Harness
+module Reproducer = Fuzz.Reproducer
+
+type config = {
+  preempt_bound : int;
+  max_executions : int;
+  max_points : int;
+  device_size : int;
+}
+
+let default_config =
+  {
+    preempt_bound = 2;
+    max_executions = 200_000;
+    max_points = 10_000;
+    (* Each execution formats a fresh device; keep it small.  128 KiB
+       comfortably fits the superblock, a handful of 4 KiB worker stacks,
+       the task table and the structures of every workload kind. *)
+    device_size = 1 lsl 17;
+  }
+
+type stats = {
+  executions : int;
+  points : int;
+  crash_placements : int;
+  deepest : int;
+}
+
+type violation = {
+  reason : string;
+  schedule : Schedule.t;
+  outcome : Harness.outcome;
+}
+
+type verdict =
+  | Certified of stats
+  | Violation of violation * stats
+  | Budget_exhausted of stats
+
+exception Too_many_points
+
+(* One stateless execution: follow [prefix] decision by decision, then
+   extend with the non-preempting default policy, recording every
+   pre-crash decision.  Executions are deterministic (single thread, no
+   sleep-yield, no RNG), so re-running a prefix reproduces its parent's
+   decisions exactly — the standard stateless-DFS invariant. *)
+let run_execution ~config ~workload prefix =
+  let trace = ref [] in
+  let n = ref 0 in
+  let crash_injected = ref false in
+  let decide p =
+    if !crash_injected then Coop.default_decision p
+    else begin
+      if !n >= config.max_points then raise Too_many_points;
+      let d =
+        if !n < Array.length prefix then
+          match prefix.(!n) with
+          | Coop.Run j when not (List.mem j p.Coop.enabled) ->
+              (* Deterministic re-execution should make this impossible;
+                 degrade to the default rather than wedge the run. *)
+              Coop.default_decision p
+          | d -> d
+        else Coop.default_decision p
+      in
+      trace := (p, d) :: !trace;
+      incr n;
+      (match d with Coop.Crash_here -> crash_injected := true | _ -> ());
+      d
+    end
+  in
+  let spawn pmem = Coop.spawn ~crash_ctl:(Pmem.crash_ctl pmem) ~decide in
+  let outcome =
+    Harness.run ~spawn ~device_size:config.device_size workload Schedule.none
+  in
+  (Array.of_list (List.rev !trace), outcome)
+
+let is_preemption (p : Coop.point) j =
+  match p.current with
+  | Some c -> c <> j && List.mem c p.enabled
+  | None -> false
+
+let schedule_of_trace ~config trace =
+  let decisions = Array.map snd trace in
+  let interleave =
+    Array.to_list decisions
+    |> List.filter_map (function
+         | Coop.Run j -> Some j
+         | Coop.Crash_here -> None)
+  in
+  let eras =
+    if Array.length trace = 0 then []
+    else
+      let p, d = trace.(Array.length trace - 1) in
+      match d with
+      | Coop.Crash_here -> [ Crash.At_op (p.Coop.op + 1) ]
+      | Coop.Run _ -> []
+  in
+  {
+    Schedule.eras;
+    kill = None;
+    interleave;
+    preempt = Some config.preempt_bound;
+  }
+
+let explore ?(config = default_config) ?(check = fun _ -> Ok ()) workload =
+  let executions = ref 0 in
+  let points = ref 0 in
+  let crash_placements = ref 0 in
+  let deepest = ref 0 in
+  let stats () =
+    {
+      executions = !executions;
+      points = !points;
+      crash_placements = !crash_placements;
+      deepest = !deepest;
+    }
+  in
+  let stack = Stack.create () in
+  Stack.push [||] stack;
+  let result = ref None in
+  while Option.is_none !result && not (Stack.is_empty stack) do
+    if !executions >= config.max_executions then
+      result := Some (Budget_exhausted (stats ()))
+    else begin
+      let prefix = Stack.pop stack in
+      let trace, outcome = run_execution ~config ~workload prefix in
+      incr executions;
+      points := !points + Array.length trace;
+      deepest := max !deepest (Array.length trace);
+      if
+        Array.length prefix > 0
+        && prefix.(Array.length prefix - 1) = Coop.Crash_here
+      then incr crash_placements;
+      let failure =
+        match outcome.Harness.verdict with
+        | Harness.Fail msg -> Some msg
+        | Harness.Pass -> (
+            match check outcome with Ok () -> None | Error msg -> Some msg)
+      in
+      match failure with
+      | Some reason ->
+          result :=
+            Some
+              (Violation
+                 ( {
+                     reason;
+                     schedule = schedule_of_trace ~config trace;
+                     outcome;
+                   },
+                   stats () ))
+      | None ->
+          (* Alternatives at every decision index not fixed by the prefix.
+             A prefix ending in [Crash_here] records nothing beyond itself
+             (post-crash scheduling is the deterministic default), so
+             crashed vectors are leaves and each decision vector is
+             explored exactly once. *)
+          let decisions = Array.map snd trace in
+          let preempts = ref 0 in
+          Array.iteri
+            (fun i (p, chosen) ->
+              if i >= Array.length prefix then begin
+                (* Single-crash placement at this point. *)
+                Stack.push
+                  (Array.append (Array.sub decisions 0 i)
+                     [| Coop.Crash_here |])
+                  stack;
+                (* Iterative context bounding: a switch away from a live
+                   worker spends one preemption; crash placements and
+                   forced switches are free. *)
+                List.iter
+                  (fun j ->
+                    let cost = if is_preemption p j then 1 else 0 in
+                    if
+                      chosen <> Coop.Run j
+                      && !preempts + cost <= config.preempt_bound
+                    then
+                      Stack.push
+                        (Array.append (Array.sub decisions 0 i)
+                           [| Coop.Run j |])
+                        stack)
+                  p.Coop.enabled
+              end;
+              match chosen with
+              | Coop.Run j -> if is_preemption p j then incr preempts
+              | Coop.Crash_here -> ())
+            trace
+    end
+  done;
+  match !result with None -> Certified (stats ()) | Some verdict -> verdict
+
+let replay_spawn (schedule : Schedule.t) pmem =
+  let remaining = ref schedule.Schedule.interleave in
+  let decide p =
+    match !remaining with
+    | j :: rest when List.mem j p.Coop.enabled ->
+        remaining := rest;
+        Coop.Run j
+    | _ :: rest ->
+        (* Divergence from the recorded prefix (hand-edited file?):
+           degrade to the default policy rather than fail. *)
+        remaining := rest;
+        Coop.default_decision p
+    | [] -> Coop.default_decision p
+  in
+  Coop.spawn ~crash_ctl:(Pmem.crash_ctl pmem) ~decide
+
+let replay ?(config = default_config) (repro : Reproducer.t) =
+  Harness.run
+    ~spawn:(replay_spawn repro.Reproducer.schedule)
+    ~device_size:config.device_size repro.Reproducer.workload
+    repro.Reproducer.schedule
+
+let reproducer ~workload (v : violation) =
+  {
+    Reproducer.seed = None;
+    case = None;
+    workload;
+    schedule = v.schedule;
+    expected = Some v.reason;
+    trace = [];
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d executions (%d with a crash), %d decision points, deepest trace %d"
+    s.executions s.crash_placements s.points s.deepest

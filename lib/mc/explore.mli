@@ -1,0 +1,79 @@
+(** Systematic state-space exploration: exhaustive interleaving and
+    crash-point enumeration under iterative context bounding (CHESS-style;
+    Musuvathi & Qadeer, PLDI 2007).
+
+    One {e execution} is a full crash-restart run of a workload under the
+    cooperative scheduler ({!Coop}), driven by a {e decision vector}: the
+    worker chosen at each persistence-operation scheduling point, or a
+    crash injected there.  The explorer performs a stateless DFS over
+    decision vectors — re-executing from scratch with a longer prefix each
+    time — and enumerates
+
+    - every interleaving whose number of {e preemptions} (switching away
+      from a still-live worker) is at most the bound; switches at worker
+      completion and the initial choice are free, as is crash injection;
+    - for every reached scheduling point along the way, the single-crash
+      vector that crashes there (post-crash recovery runs under the
+      deterministic default schedule).
+
+    Every terminal state passes through the fuzzer's oracles
+    ([Fuzz.Harness]: recovery invariants, serializability for CAS
+    workloads) plus an optional user check; the first failure stops the
+    search with a replayable schedule, and an exhausted search returns a
+    certificate with the explored-state counts. *)
+
+type config = {
+  preempt_bound : int;  (** Maximum preemptions per interleaving. *)
+  max_executions : int;
+      (** Search budget; {!Budget_exhausted} when exceeded. *)
+  max_points : int;
+      (** Per-execution decision cap — a runaway guard, far above any
+          finite workload. *)
+  device_size : int;  (** Fresh-device size per execution, bytes. *)
+}
+
+val default_config : config
+(** Preemption bound 2, 200k executions, 128 KiB device. *)
+
+type stats = {
+  executions : int;  (** Complete runs performed. *)
+  points : int;  (** Scheduling decisions taken, summed over runs. *)
+  crash_placements : int;  (** Runs whose vector injected a crash. *)
+  deepest : int;  (** Longest recorded decision vector. *)
+}
+
+type violation = {
+  reason : string;  (** Oracle failure message. *)
+  schedule : Fuzz.Schedule.t;
+      (** Replayable adversary: [interleave] prefix, the crash as an
+          [At_op] era plan, and the bound in [preempt]. *)
+  outcome : Fuzz.Harness.outcome;
+}
+
+type verdict =
+  | Certified of stats
+      (** No violation anywhere within the bounds — the "no violation
+          within bounds" certificate, quantified by {!stats}. *)
+  | Violation of violation * stats
+  | Budget_exhausted of stats
+
+val explore :
+  ?config:config ->
+  ?check:(Fuzz.Harness.outcome -> (unit, string) result) ->
+  Fuzz.Workload.t ->
+  verdict
+(** Deterministic: no randomness anywhere — same workload, same verdict,
+    same counts, every run. *)
+
+val replay : ?config:config -> Fuzz.Reproducer.t -> Fuzz.Harness.outcome
+(** Re-execute a reproducer under the cooperative scheduler: follow the
+    schedule's [interleave] prefix decision for decision (then the default
+    policy), with the crash fired by the recorded [At_op] era plan.  Used
+    by [crash_fuzzer --replay] and [model_check --replay] on reproducers
+    that carry an interleaving. *)
+
+val reproducer : workload:Fuzz.Workload.t -> violation -> Fuzz.Reproducer.t
+(** Package a violation as a [Fuzz.Reproducer] artifact (standard line
+    format, [interleave]/[preempt] lines included). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -16,6 +16,10 @@ type t = {
   mutable kill_rng : Random.State.t;
   mutable kill_counter : int;
   mutable kill_count : int;
+  (* optional cooperative-scheduler callback, consulted at the entry of every
+     persistence operation (lib/mc).  A plain mutable field: it is only ever
+     set by single-threaded model-checking runs, never under contention. *)
+  mutable scheduler : (unit -> unit) option;
   mu : Mutex.t;
 }
 
@@ -33,8 +37,14 @@ let create ?(plan = Never) () =
     kill_rng = rng_of_plan Never;
     kill_counter = 0;
     kill_count = 0;
+    scheduler = None;
     mu = Mutex.create ();
   }
+
+let set_scheduler t f = t.scheduler <- f
+
+let sched_point t =
+  match t.scheduler with None -> () | Some f -> f ()
 
 let arm t plan =
   Mutex.protect t.mu (fun () ->

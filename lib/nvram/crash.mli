@@ -75,6 +75,24 @@ val ops : t -> int
 (** [ops t] is the number of operations recorded since the last {!arm} or
     {!reset}. *)
 
+(** {1 Scheduler hook}
+
+    Systematic model checking (lib/mc) needs a scheduling decision at the
+    {e same} per-operation points this controller counts.  The hook fires at
+    the entry of every persistence operation — before the device takes any
+    stripe lock, so a cooperative scheduler may suspend the calling fiber
+    there without holding device mutexes. *)
+
+val set_scheduler : t -> (unit -> unit) option -> unit
+(** [set_scheduler t (Some f)] installs [f] to be called at every
+    persistence-operation entry; [set_scheduler t None] removes it.  Not
+    thread-safe: intended for single-threaded cooperative runs only. *)
+
+val sched_point : t -> unit
+(** [sched_point t] invokes the installed scheduler callback, if any.
+    Called by the device at persistence-operation entry points; harmless
+    no-op when no callback is installed. *)
+
 val plan : t -> plan
 (** [plan t] is the currently armed crash plan — together with {!ops} it is
     enough to record where a schedule stood, so that tooling (the crash

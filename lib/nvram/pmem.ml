@@ -251,6 +251,9 @@ let write_bytes_raw t ~off ~src ~len =
     Stats.incr_writes t.stats
   end
   else begin
+    (* Scheduling point for the cooperative model checker: before any
+       stripe lock is taken, so a suspended fiber holds no device mutex. *)
+    Crash.sched_point t.crash_ctl;
     let first, last = covering t off ~len in
     with_lines t ~first ~last (fun () ->
         Stats.incr_writes t.stats;
@@ -287,6 +290,7 @@ let read_byte t off =
   end
 
 let write_byte_raw t off b =
+  Crash.sched_point t.crash_ctl;
   let first, last = covering t off ~len:1 in
   with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
@@ -323,6 +327,7 @@ let read_int64 t off =
   end
 
 let write_int64_raw t off v =
+  Crash.sched_point t.crash_ctl;
   let first, last = covering t off ~len:8 in
   with_lines t ~first ~last (fun () ->
       Stats.incr_writes t.stats;
@@ -344,6 +349,7 @@ let read_int t off = Int64.to_int (read_int64 t off)
 let write_int t off v = write_int64 t off (Int64.of_int v)
 
 let cas_int64_raw t off ~expected ~desired ~index =
+  Crash.sched_point t.crash_ctl;
   with_lines t ~first:index ~last:index (fun () ->
       Crash.step t.crash_ctl;
       Stats.incr_reads t.stats;
@@ -386,6 +392,7 @@ let flush_raw t ~off ~len =
     0
   end
   else begin
+    Crash.sched_point t.crash_ctl;
     let first, last = covering t off ~len in
     with_lines t ~first ~last (fun () ->
         Stats.incr_flushes t.stats;

@@ -82,6 +82,15 @@ val stripe_count : t -> int
 (** Number of device-lock stripes actually in use (a power of two). *)
 
 val crash_ctl : t -> Crash.t
+(** The device's crash controller.  Every persistence mutator (non-empty
+    write, flush, or CAS) additionally invokes [Crash.sched_point] on it at
+    operation entry — {e before} taking any stripe lock — so a cooperative
+    scheduler installed with [Crash.set_scheduler] gets a scheduling
+    decision at exactly the operations the controller counts as crash
+    points, and may suspend the calling fiber without holding device
+    mutexes.  Reads and zero-length operations are not scheduling points,
+    mirroring the crash-point rule. *)
+
 val stats : t -> Stats.t
 
 (** {1 Data access} *)

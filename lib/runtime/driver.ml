@@ -13,7 +13,7 @@ type event =
 
 let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     ?(reattach = fun _ -> ()) ?reclaim ?(plan = fun ~era:_ -> Crash.Never)
-    ?(observer = fun _ -> ()) ?(max_crashes = 10_000) () =
+    ?(observer = fun _ -> ()) ?(max_crashes = 10_000) ?spawn () =
   let eras = ref 0 in
   let crashes = ref 0 in
   let arm () =
@@ -35,7 +35,7 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
   let guarded f = try f () with Crash.Crash_now -> `Crashed in
   let rec normal_mode sys =
     arm ();
-    match guarded (fun () -> System.run sys) with
+    match guarded (fun () -> System.run ?spawn sys) with
     | `Completed ->
         Log.info (fun m ->
             m "workload completed: %d eras, %d crashes" !eras !crashes);
@@ -69,7 +69,7 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     reattach sys;
     arm ();
     let reclaim = Option.map (fun f () -> f sys) reclaim in
-    match guarded (fun () -> System.recover ?reclaim sys) with
+    match guarded (fun () -> System.recover ?spawn ?reclaim sys) with
     | `Completed -> normal_mode sys
     | `Crashed -> restart ()
   in

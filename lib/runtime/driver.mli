@@ -37,6 +37,7 @@ val run_to_completion :
   ?plan:(era:int -> Nvram.Crash.plan) ->
   ?observer:(event -> unit) ->
   ?max_crashes:int ->
+  ?spawn:System.spawn ->
   unit ->
   report
 (** [run_to_completion pmem ~registry ~config ~submit ()] creates a fresh
@@ -50,7 +51,10 @@ val run_to_completion :
     runs after each restart, before recovery, so the
     application can rebind its volatile handles from the persistent root.
     [reclaim] provides the application's live heap roots for the leak sweep
-    after each successful recovery.
+    after each successful recovery.  [spawn] substitutes the worker
+    execution strategy of every era (normal and recovery) — see
+    {!System.spawn}; the model checker uses it to run the whole
+    crash-restart loop cooperatively on one thread.
 
     @raise Failure if more than [max_crashes] (default 10_000) crashes
     occur — a guard against plans that fire before any progress. *)

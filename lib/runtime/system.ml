@@ -245,29 +245,39 @@ let () =
    diagnostic is silently dropped.  A start barrier aligns the domains so
    they truly race: without it the spawn latency serialises short eras and
    concurrency windows never occur. *)
-let parallel_workers t f =
-  let failures = Array.make t.config.workers None in
+type spawn = (int -> unit) -> int -> unit
+
+(* The default spawn: one domain per worker with a start barrier, so the
+   domains truly race.  Bodies never raise (parallel_workers wraps them). *)
+let domain_spawn body workers =
   let barrier_mu = Mutex.create () in
   let barrier_cv = Condition.create () in
   let waiting = ref 0 in
   let wait_for_start () =
     Mutex.protect barrier_mu (fun () ->
         incr waiting;
-        if !waiting >= t.config.workers then Condition.broadcast barrier_cv
+        if !waiting >= workers then Condition.broadcast barrier_cv
         else
-          while !waiting < t.config.workers do
+          while !waiting < workers do
             Condition.wait barrier_cv barrier_mu
           done)
   in
   let domains =
-    Array.init t.config.workers (fun i ->
+    Array.init workers (fun i ->
         Domain.spawn (fun () ->
             wait_for_start ();
-            try f i with
-            | Nvram.Crash.Crash_now -> ()
-            | exn -> failures.(i) <- Some exn))
+            body i))
   in
-  Array.iter Domain.join domains;
+  Array.iter Domain.join domains
+
+let parallel_workers ?(spawn = domain_spawn) t f =
+  let failures = Array.make t.config.workers None in
+  let body i =
+    try f i with
+    | Nvram.Crash.Crash_now -> ()
+    | exn -> failures.(i) <- Some exn
+  in
+  spawn body t.config.workers;
   let failed =
     Array.to_list failures
     |> List.mapi (fun i failure -> Option.map (fun exn -> (i, exn)) failure)
@@ -299,7 +309,7 @@ let rec recover_worker t i =
       ~registry:t.registry ~worker_id:i;
   try Exec.recover t.ctxs.(i) with Nvram.Crash.Thread_killed -> recover_worker t i
 
-let run t =
+let run ?spawn t =
   let queue = Work_queue.create () in
   List.iter (Work_queue.push queue) (Task.pending t.tasks);
   Work_queue.close queue;
@@ -333,14 +343,14 @@ let run t =
     in
     loop ()
   in
-  parallel_workers t worker
+  parallel_workers ?spawn t worker
 
-let recover ?reclaim t =
+let recover ?spawn ?reclaim t =
   let recover_one i =
     try Exec.recover t.ctxs.(i)
     with Nvram.Crash.Thread_killed -> recover_worker t i
   in
-  match parallel_workers t recover_one with
+  match parallel_workers ?spawn t recover_one with
   | `Crashed -> `Crashed
   | `Completed ->
       (match reclaim with

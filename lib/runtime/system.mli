@@ -46,6 +46,16 @@ val default_config : config
 
 type t
 
+type spawn = (int -> unit) -> int -> unit
+(** A worker-execution strategy: [spawn body n] runs [body 0] …
+    [body (n-1)] to completion.  The bodies never raise (crash signals are
+    swallowed and other failures captured before the strategy sees them),
+    so a strategy only decides {e where and in what order} workers run.
+    The default strategy starts one domain per worker behind a start
+    barrier; the systematic model checker (lib/mc) substitutes a
+    cooperative single-threaded scheduler that steps workers as effect
+    fibers, one persistence operation at a time. *)
+
 exception Worker_failures of (int * exn) list
 (** Raised by {!run} and {!recover} when {e several} worker domains failed
     with an exception other than the crash signal, carrying every
@@ -78,8 +88,9 @@ val ctx : t -> int -> Exec.t
 val submit : t -> func_id:int -> args:bytes -> int
 (** Persistently appends a task; returns its index. *)
 
-val run : t -> [ `Completed | `Crashed ]
-(** [run t] executes every pending task on the worker domains and returns
+val run : ?spawn:spawn -> t -> [ `Completed | `Crashed ]
+(** [run t] executes every pending task on the worker domains (or on the
+    strategy given as [spawn]) and returns
     [`Completed] when all are done, or [`Crashed] as soon as a simulated
     crash stopped the workers (the caller then goes through
     [Pmem.crash]/[Pmem.restart]/{!attach}/{!recover}).
@@ -98,9 +109,14 @@ val recover_worker : t -> int -> unit
     [Nvram.Crash.Thread_killed] from an armed individual-crash plan, so a
     killed worker restarts and resumes in place. *)
 
-val recover : ?reclaim:(unit -> Nvram.Offset.t list) -> t -> [ `Completed | `Crashed ]
+val recover :
+  ?spawn:spawn ->
+  ?reclaim:(unit -> Nvram.Offset.t list) ->
+  t ->
+  [ `Completed | `Crashed ]
 (** [recover t] runs one recovery domain per worker stack (parallel
-    recovery, Section 4.3) and returns [`Completed] when every interrupted
+    recovery, Section 4.3; [spawn] substitutes the execution strategy as in
+    {!run}) and returns [`Completed] when every interrupted
     operation has been completed and popped.
 
     If [reclaim] is given, a successful recovery then frees every heap

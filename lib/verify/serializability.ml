@@ -17,7 +17,16 @@ let ops_along_path successes states =
           | Some op ->
               Hashtbl.remove pool (a, b);
               op
-          | None -> assert false (* the path uses exactly the edge multiset *)
+          | None ->
+              (* [check] always passes a path over exactly the edge
+                 multiset of [successes], so this is unreachable from
+                 [check]; a direct caller handing in a mismatched path
+                 gets a diagnostic instead of a blind [assert]. *)
+              invalid_arg
+                (Printf.sprintf
+                   "Serializability.ops_along_path: path step %d -> %d \
+                    matches no remaining successful operation"
+                   a b)
         in
         op :: pair rest
     | [ _ ] | [] -> []

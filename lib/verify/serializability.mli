@@ -32,6 +32,15 @@ type verdict =
 val check : History.t -> verdict
 (** Polynomial in the number of operations. *)
 
+val ops_along_path : History.op list -> int list -> History.op list
+(** [ops_along_path successes states] maps the consecutive state pairs of
+    an Eulerian path back to concrete operation instances, consuming one
+    matching success per step.  Exposed for testing.
+
+    @raise Invalid_argument if a step of [states] matches no remaining
+    success — impossible when the path was computed from the successes'
+    own edge multiset, as {!check} does. *)
+
 val is_serializable : History.t -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit

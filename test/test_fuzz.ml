@@ -29,7 +29,7 @@ let known_bad_workload =
   }
 
 let known_bad_schedule =
-  { Schedule.eras = [ Crash.At_op 40 ]; kill = None }
+  { Schedule.none with Schedule.eras = [ Crash.At_op 40 ] }
 
 let fail_message = function
   | { Harness.verdict = Harness.Fail msg; _ } -> msg
@@ -59,6 +59,54 @@ let test_schedule_rejects_out_of_order () =
   match Schedule.of_lines [ "era 2 at-op 5" ] with
   | Ok _ -> Alcotest.fail "expected out-of-order era to be rejected"
   | Error msg -> Alcotest.(check bool) "message" true (contains msg "era 2")
+
+(* Property: of_lines ∘ to_lines is the identity on ~1k schedules covering
+   the whole format — era/kill plans from the generator, plus interleaving
+   prefixes (long enough to split across several [interleave] lines) and
+   preemption bounds drawn here, since the random campaign never emits
+   them. *)
+let test_schedule_round_trip_property () =
+  for seed = 0 to 999 do
+    let rng = Random.State.make [| 77; seed |] in
+    let base = Schedule.generate ~rng ~max_eras:4 in
+    let interleave =
+      let n = Random.State.int rng 40 in
+      List.init n (fun _ -> Random.State.int rng 4)
+    in
+    let preempt =
+      if Random.State.bool rng then Some (Random.State.int rng 4) else None
+    in
+    let s = { base with Schedule.interleave; preempt } in
+    match Schedule.of_lines (Schedule.to_lines s) with
+    | Ok s' ->
+        if s <> s' then
+          Alcotest.failf "seed %d: schedule did not round-trip: %a vs %a"
+            seed Schedule.pp s Schedule.pp s'
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+(* Malformed entries are rejected with the 1-based line number of the
+   offending line, whatever came before it. *)
+let test_schedule_malformed_line_numbers () =
+  let expect_error lines fragment =
+    match Schedule.of_lines lines with
+    | Ok _ ->
+        Alcotest.failf "expected %S to be rejected" (String.concat "|" lines)
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg fragment)
+          true (contains msg fragment)
+  in
+  expect_error [ "era 1 at-op 5"; "bogus entry" ] "line 2";
+  expect_error [ "era 1 at-op 5"; "bogus entry" ] "unknown schedule entry";
+  expect_error [ "era 1 at-op 0" ] "line 1";
+  expect_error
+    [ "era 1 at-op 5"; "kill at-op 3"; "interleave 0 x 1" ]
+    "line 3";
+  expect_error [ "interleave 0 -2" ] "negative worker id";
+  expect_error [ "era 1 at-op 5"; "preempt two" ] "line 2";
+  expect_error [ "preempt 1 2" ] "malformed preempt";
+  expect_error [ "preempt -1" ] "must be >= 0"
 
 let test_correct_kinds_pass () =
   let config =
@@ -161,6 +209,10 @@ let () =
             test_schedule_round_trip;
           Alcotest.test_case "schedule era ordering" `Quick
             test_schedule_rejects_out_of_order;
+          Alcotest.test_case "schedule round trip x1000" `Quick
+            test_schedule_round_trip_property;
+          Alcotest.test_case "schedule malformed line numbers" `Quick
+            test_schedule_malformed_line_numbers;
         ] );
       ( "campaign",
         [

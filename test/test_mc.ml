@@ -1,0 +1,181 @@
+(* Tier-1 tests for the systematic model checker (lib/mc).
+
+   The headline property is the deterministic, exhaustive E3: the paper's
+   buggy recoverable CAS loses a success under a specific
+   interleaving+crash combination, and the explorer must find it — and
+   certify the correct CAS — with zero randomness.  Tests run at
+   preemption bound 1 (the bug needs only one preemption) to keep the
+   tier-1 suite fast; the CLI smoke in CI runs the acceptance bound 2. *)
+
+module Crash = Nvram.Crash
+module Pmem = Nvram.Pmem
+module Workload = Fuzz.Workload
+module Schedule = Fuzz.Schedule
+module Harness = Fuzz.Harness
+module Reproducer = Fuzz.Reproducer
+module Coop = Mc.Coop
+module Explore = Mc.Explore
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* The E3 workload: one CAS per worker, chained over distinct values, so a
+   lost success leaves no Eulerian path. *)
+let e3_workload kind =
+  {
+    Workload.kind;
+    workers = 2;
+    init = 0;
+    ops = [ Workload.Cas (0, 1); Workload.Cas (1, 2) ];
+  }
+
+let config = { Explore.default_config with Explore.preempt_bound = 1 }
+
+let explore workload = Explore.explore ~config workload
+
+let violation_exn = function
+  | Explore.Violation (v, stats) -> (v, stats)
+  | Explore.Certified stats ->
+      Alcotest.failf "expected a violation, certified after %a"
+        Explore.pp_stats stats
+  | Explore.Budget_exhausted _ -> Alcotest.fail "search budget exhausted"
+
+let test_buggy_cas_found () =
+  let v, stats = violation_exn (explore (e3_workload Workload.Rcas_buggy)) in
+  Alcotest.(check bool)
+    "non-serializable" true
+    (contains v.Explore.reason "NOT serializable");
+  Alcotest.(check bool) "some search happened" true (stats.Explore.executions > 0);
+  (* The adversary is replayable: a crash point and an interleaving. *)
+  Alcotest.(check bool)
+    "has a crash era" true
+    (v.Explore.schedule.Schedule.eras <> []);
+  Alcotest.(check bool)
+    "has an interleaving" true
+    (v.Explore.schedule.Schedule.interleave <> [])
+
+let test_correct_cas_certified () =
+  match explore (e3_workload Workload.Rcas) with
+  | Explore.Certified stats ->
+      (* The certificate must quantify real coverage: thousands of
+         executions, most of them crash placements. *)
+      Alcotest.(check bool)
+        "explored many interleavings" true
+        (stats.Explore.executions > 1_000);
+      Alcotest.(check bool)
+        "explored crash placements" true
+        (stats.Explore.crash_placements > 1_000)
+  | Explore.Violation (v, _) ->
+      Alcotest.failf "correct CAS flagged: %s" v.Explore.reason
+  | Explore.Budget_exhausted _ -> Alcotest.fail "search budget exhausted"
+
+let test_exploration_deterministic () =
+  let run () =
+    let v, stats = violation_exn (explore (e3_workload Workload.Rcas_buggy)) in
+    ( v.Explore.reason,
+      Schedule.to_lines v.Explore.schedule,
+      stats.Explore.executions,
+      stats.Explore.points )
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "identical runs" true (r1 = r2)
+
+let test_reproducer_round_trips_and_replays () =
+  let workload = e3_workload Workload.Rcas_buggy in
+  let v, _ = violation_exn (explore workload) in
+  let repro = Explore.reproducer ~workload v in
+  match Reproducer.of_lines (Reproducer.to_lines repro) with
+  | Error msg -> Alcotest.fail msg
+  | Ok repro' -> (
+      Alcotest.(check bool) "round trip" true (repro = repro');
+      match Explore.replay repro' with
+      | { Harness.verdict = Harness.Fail msg; _ } ->
+          Alcotest.(check string)
+            "replay reproduces the violation" v.Explore.reason msg
+      | { Harness.verdict = Harness.Pass; _ } ->
+          Alcotest.fail "replay did not reproduce the violation")
+
+let test_user_check_runs_at_terminal_states () =
+  let seen = ref 0 in
+  let check (_ : Harness.outcome) =
+    incr seen;
+    if !seen >= 3 then Error "user assertion tripped" else Ok ()
+  in
+  match Explore.explore ~config ~check (e3_workload Workload.Rcas) with
+  | Explore.Violation (v, stats) ->
+      Alcotest.(check string)
+        "user reason surfaces" "user assertion tripped" v.Explore.reason;
+      Alcotest.(check int) "stopped at the third state" 3
+        stats.Explore.executions
+  | _ -> Alcotest.fail "expected the user assertion to stop the search"
+
+(* The cooperative scheduler alone: a scripted decide sequence drives two
+   fibers deterministically, decision points expose the crash-op counter,
+   and a Crash_here decision stops the run with the crashed flag set. *)
+let test_coop_points_and_crash () =
+  let pmem = Pmem.create ~size:4096 () in
+  let ctl = Pmem.crash_ctl pmem in
+  Crash.arm ctl Crash.Never;
+  let points = ref [] in
+  let decide (p : Coop.point) =
+    points := p :: !points;
+    if p.Coop.index = 4 then Coop.Crash_here
+    else Coop.default_decision p
+  in
+  let spawn = Coop.spawn ~crash_ctl:ctl ~decide in
+  let writes = Array.make 2 0 in
+  let body i =
+    for k = 0 to 9 do
+      try
+        Pmem.write_int pmem (Nvram.Offset.of_int (((i * 10) + k) * 8)) k;
+        writes.(i) <- writes.(i) + 1
+      with Crash.Crash_now -> raise Crash.Crash_now
+    done
+  in
+  let swallow i = try body i with Crash.Crash_now -> () in
+  spawn swallow 2;
+  Alcotest.(check bool) "crashed" true (Crash.crashed ctl);
+  let points = List.rev !points in
+  Alcotest.(check int) "five decisions" 5 (List.length points);
+  List.iteri
+    (fun i (p : Coop.point) ->
+      Alcotest.(check int) "indices in order" i p.Coop.index;
+      Alcotest.(check bool) "both workers enabled" true
+        (p.Coop.enabled = [ 0; 1 ]))
+    points;
+  (* Decisions 0-3 ran worker 0 (default policy).  A fiber's first step
+     only reaches the entry of its first persistence op (it yields before
+     executing it), so 4 steps complete 3 writes; the 4th, pending at the
+     crash, never takes effect — and none from worker 1. *)
+  Alcotest.(check int) "worker 0 completed three writes" 3 writes.(0);
+  Alcotest.(check int) "worker 1 never ran" 0 writes.(1);
+  (* The op counter at each point equals the writes completed so far. *)
+  List.iteri
+    (fun i (p : Coop.point) ->
+      Alcotest.(check int) "op counter" (max 0 (i - 1)) p.Coop.op)
+    points
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "coop",
+        [
+          Alcotest.test_case "points, default policy, crash" `Quick
+            test_coop_points_and_crash;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "buggy CAS violation found" `Quick
+            test_buggy_cas_found;
+          Alcotest.test_case "correct CAS certified" `Quick
+            test_correct_cas_certified;
+          Alcotest.test_case "exploration deterministic" `Quick
+            test_exploration_deterministic;
+          Alcotest.test_case "reproducer round-trips and replays" `Quick
+            test_reproducer_round_trips_and_replays;
+          Alcotest.test_case "user check at terminal states" `Quick
+            test_user_check_runs_at_terminal_states;
+        ] );
+    ]

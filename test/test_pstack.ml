@@ -231,6 +231,125 @@ let test_crash_point_sweep (Harness h) () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Differential property: one seed, three implementations              *)
+
+(* One seeded op sequence drives all three stacks.  The generator tracks
+   depth so pops never underflow, and every push carries a distinct
+   func_id plus random-length args. *)
+let gen_script ~seed ~n =
+  let rng = Random.State.make [| 0x9e37; seed |] in
+  let depth = ref 0 in
+  List.init n (fun i ->
+      if !depth > 0 && Random.State.int rng 3 = 0 then begin
+        decr depth;
+        `Pop
+      end
+      else begin
+        incr depth;
+        `Push (i + 2, Random.State.int rng 48)
+      end)
+
+(* The pure model: contents ((func_id, args) bottom to top) after each
+   prefix of the script; index k = state after k completed operations. *)
+let model_states script =
+  let step st = function
+    | `Push (id, len) -> (id, String.make len 'p') :: st
+    | `Pop -> List.tl st
+  in
+  let _, rev_states =
+    List.fold_left
+      (fun (st, acc) op ->
+        let st' = step st op in
+        (st', st' :: acc))
+      ([], [ [] ]) script
+  in
+  List.rev_map List.rev rev_states
+
+let pp_contents st =
+  String.concat ";"
+    (List.map (fun (id, args) -> Printf.sprintf "%d/%d" id (String.length args)) st)
+
+(* Run the first [prefix] ops of [script] on a fresh instance — with an
+   optional armed crash point, counted from arming — then power-cycle,
+   reattach and read the surviving contents back. *)
+let run_and_recover (Harness h) script ~prefix ~crash_at =
+  let module S = (val h.stack) in
+  let pmem, s = h.make () in
+  (match crash_at with
+  | Some point -> Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point)
+  | None -> ());
+  (try
+     List.iteri
+       (fun i op ->
+         if i < prefix then
+           match op with
+           | `Push (id, len) -> S.push s ~func_id:id ~args:(Bytes.make len 'p')
+           | `Pop -> S.pop s)
+       script
+   with Crash.Crash_now -> ());
+  Pmem.crash_and_restart pmem;
+  let s' = h.reattach pmem in
+  List.map
+    (fun (_, f) -> (f.Frame.func_id, Bytes.to_string f.Frame.args))
+    (S.frames s')
+
+(* At every operation boundary the three implementations must recover to
+   the same contents — the model's prefix state.  Each push/pop protocol
+   flushes before returning, so a power cycle between operations loses
+   nothing and any divergence here is an implementation bug, not a legal
+   linearization difference. *)
+let test_differential_boundary_recovery () =
+  let n = 30 in
+  let script = gen_script ~seed:1 ~n in
+  let states = Array.of_list (model_states script) in
+  for k = 0 to n do
+    let expected = states.(k) in
+    List.iter
+      (fun (Harness h as harness) ->
+        let got = run_and_recover harness script ~prefix:k ~crash_at:None in
+        if got <> expected then
+          Alcotest.failf "%s after %d ops recovered [%s], model says [%s]"
+            h.name k (pp_contents got) (pp_contents expected))
+      harnesses
+  done
+
+(* Mid-operation crashes: sweep every persistence point of the whole
+   seeded script on each implementation.  Wherever the crash lands, the
+   recovered contents must be one of the model's prefix states — the
+   linearization points of push and pop make each operation atomic
+   across a power cycle, whatever the internal layout (contiguous
+   region, resizable segment, linked blocks). *)
+let test_differential_crash_sweep () =
+  let n = 18 in
+  let script = gen_script ~seed:2 ~n in
+  let states = model_states script in
+  List.iter
+    (fun (Harness h as harness) ->
+      let total =
+        let pmem, s = h.make () in
+        let module S = (val h.stack) in
+        let before = Crash.ops (Pmem.crash_ctl pmem) in
+        List.iter
+          (function
+            | `Push (id, len) -> S.push s ~func_id:id ~args:(Bytes.make len 'p')
+            | `Pop -> S.pop s)
+          script;
+        Crash.ops (Pmem.crash_ctl pmem) - before
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s script persists" h.name)
+        true (total > n);
+      for point = 1 to total do
+        let got =
+          run_and_recover harness script ~prefix:n ~crash_at:(Some point)
+        in
+        if not (List.mem got states) then
+          Alcotest.failf "%s crash at op %d/%d recovered [%s], not a prefix state"
+            h.name point total (pp_contents got)
+      done)
+    harnesses
+
+(* ------------------------------------------------------------------ *)
 (* Implementation-specific behaviour                                   *)
 
 let test_bounded_overflow () =
@@ -411,6 +530,13 @@ let () =
       ("answers", per_impl "answer via interface" test_answer_via_interface);
       ("depth", per_impl "deep stack" test_deep_stack);
       ("crash sweep", per_impl "crash-point sweep" test_crash_point_sweep);
+      ( "differential",
+        [
+          Alcotest.test_case "boundary recovery identical" `Quick
+            test_differential_boundary_recovery;
+          Alcotest.test_case "seeded crash sweep legal" `Quick
+            test_differential_crash_sweep;
+        ] );
       ("bounded", [ Alcotest.test_case "overflow" `Quick test_bounded_overflow ]);
       ( "resizable",
         [

@@ -185,6 +185,17 @@ let test_ser_duplicate_success_detected () =
   let h = history ~init:0 ~final:1 [ op 0 1 true; op 0 1 true ] in
   Alcotest.(check bool) "duplicate rejected" false (is_serializable h)
 
+let test_ser_mismatched_path_diagnostic () =
+  (* [ops_along_path] is only reachable from [check] with a path over
+     exactly the success edge multiset; a direct caller handing in a
+     mismatched path must get the descriptive diagnostic, not a blind
+     assertion failure. *)
+  Alcotest.check_raises "diagnostic"
+    (Invalid_argument
+       "Serializability.ops_along_path: path step 1 -> 7 matches no \
+        remaining successful operation") (fun () ->
+      ignore (S.ops_along_path [ op 0 1 true ] [ 0; 1; 7 ]))
+
 let test_ser_value_collisions () =
   (* two interchangeable successes over the same edge *)
   let h =
@@ -348,6 +359,8 @@ let () =
             test_ser_lost_success_detected;
           Alcotest.test_case "duplicate success detected" `Quick
             test_ser_duplicate_success_detected;
+          Alcotest.test_case "mismatched path diagnostic" `Quick
+            test_ser_mismatched_path_diagnostic;
           Alcotest.test_case "value collisions" `Quick test_ser_value_collisions;
           Alcotest.test_case "matches brute force" `Slow test_ser_matches_brute;
           Alcotest.test_case "sequential histories" `Quick
