@@ -339,6 +339,47 @@ let instrument_pass ~workers ~iters setup =
     s.Obs.Histogram.p99,
     float_of_int totals.Obs.Counters.flushes /. float_of_int ops )
 
+(* Each row's throughput is the best of [timing_repeats] fresh runs: the
+   host's frequency scaling and scheduling noise swamp single-shot numbers,
+   and the minimum is the standard robust estimator for "how fast can this
+   go" (the slowdowns are all noise, never the workload).  Five repeats,
+   not three: at 4-8 domains on few-core hosts the distribution is
+   heavy-tailed enough that min-of-3 still flakes the regression gate. *)
+let timing_repeats = 5
+
+let best_elapsed ~workers ~iters setup =
+  let best = ref infinity in
+  for _ = 1 to timing_repeats do
+    let body = setup () in
+    let elapsed =
+      time_workers workers (fun i ->
+          for _ = 1 to iters do
+            body i
+          done)
+    in
+    if elapsed < !best then best := elapsed
+  done;
+  !best
+
+let scale_bench ~name ~workers ~iters setup =
+  let elapsed = best_elapsed ~workers ~iters setup in
+  let total_ops = workers * iters in
+  let p50_ns, p95_ns, p99_ns, flush_per_op =
+    instrument_pass ~workers ~iters setup
+  in
+  {
+    bench = name;
+    workers;
+    iters_per_worker = iters;
+    total_ops;
+    elapsed_s = elapsed;
+    ops_per_sec = float_of_int total_ops /. elapsed;
+    p50_ns;
+    p95_ns;
+    p99_ns;
+    flush_per_op;
+  }
+
 let push_pop_setup ~workers () =
   let stride = 8192 in
   let pmem = Pmem.create ~size:(workers * stride) () in
@@ -352,32 +393,10 @@ let push_pop_setup ~workers () =
     Pstack.Bounded.push s ~func_id:2 ~args;
     Pstack.Bounded.pop s
 
+(* one shared device; each worker owns a bounded stack in its own
+   line-aligned region, so no two workers ever touch the same line *)
 let scale_push_pop ~workers ~iters =
-  (* one shared device; each worker owns a bounded stack in its own
-     line-aligned region, so no two workers ever touch the same line *)
-  let body = push_pop_setup ~workers () in
-  let elapsed =
-    time_workers workers (fun i ->
-        for _ = 1 to iters do
-          body i
-        done)
-  in
-  let total_ops = workers * iters in
-  let p50_ns, p95_ns, p99_ns, flush_per_op =
-    instrument_pass ~workers ~iters (push_pop_setup ~workers)
-  in
-  {
-    bench = "push_pop";
-    workers;
-    iters_per_worker = iters;
-    total_ops;
-    elapsed_s = elapsed;
-    ops_per_sec = float_of_int total_ops /. elapsed;
-    p50_ns;
-    p95_ns;
-    p99_ns;
-    flush_per_op;
-  }
+  scale_bench ~name:"push_pop" ~workers ~iters (push_pop_setup ~workers)
 
 let rcas_setup ~workers () =
   let region = Rcas.region_size ~nprocs:1 in
@@ -395,37 +414,34 @@ let rcas_setup ~workers () =
     ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
     values.(i) <- next
 
+(* per-worker single-process recoverable CAS registers at disjoint
+   line-aligned offsets of one auto-flush device *)
 let scale_rcas ~workers ~iters =
-  (* per-worker single-process recoverable CAS registers at disjoint
-     line-aligned offsets of one auto-flush device *)
-  let body = rcas_setup ~workers () in
-  let elapsed =
-    time_workers workers (fun i ->
-        for _ = 1 to iters do
-          body i
-        done)
-  in
-  let total_ops = workers * iters in
-  let p50_ns, p95_ns, p99_ns, flush_per_op =
-    instrument_pass ~workers ~iters (rcas_setup ~workers)
-  in
-  {
-    bench = "rcas";
-    workers;
-    iters_per_worker = iters;
-    total_ops;
-    elapsed_s = elapsed;
-    ops_per_sec = float_of_int total_ops /. elapsed;
-    p50_ns;
-    p95_ns;
-    p99_ns;
-    flush_per_op;
-  }
+  scale_bench ~name:"rcas" ~workers ~iters (rcas_setup ~workers)
+
+let heap_alloc_setup ~workers () =
+  let pmem = Pmem.create ~size:(1 lsl 22) () in
+  let heap = Heap.format ~arenas:workers pmem ~base:(off 64) ~len:(1 lsl 21) in
+  let views = Array.init workers (fun i -> Heap.with_arena heap i) in
+  fun i ->
+    let h = views.(i) in
+    let a = Heap.alloc h 64 in
+    Heap.free h a
+
+(* one shared heap split into one arena per worker (the runtime's layout);
+   each worker allocates through its own arena view, so this row measures
+   exactly the contention the sharding removed *)
+let scale_heap_alloc ~workers ~iters =
+  scale_bench ~name:"heap_alloc" ~workers ~iters (heap_alloc_setup ~workers)
 
 let scaling_rows ~iters =
   List.concat_map
     (fun workers ->
-      [ scale_push_pop ~workers ~iters; scale_rcas ~workers ~iters ])
+      [
+        scale_push_pop ~workers ~iters;
+        scale_rcas ~workers ~iters;
+        scale_heap_alloc ~workers ~iters;
+      ])
     [ 1; 2; 4; 8 ]
 
 let print_scaling rows =

@@ -12,6 +12,19 @@
    relative to the pack fails.  [--absolute] compares raw ratios against
    [1 - tolerance] instead, for same-machine use.
 
+   Every baseline row must have a matching (bench, workers) candidate row:
+   a row that silently disappears from the bench output is itself a
+   regression (historically these were dropped by the pairing filter and
+   the gate passed vacuously).  [--allow-missing] restores the old
+   behaviour for intentional bench removals.
+
+   [--min-scaling R] additionally asserts the candidate's worker-scaling
+   curve: for every bench with rows at 1 worker and at N > 1 workers, the
+   ratio ops_per_sec(max N) / ops_per_sec(1) must be at least R.  This is
+   what catches multicore anti-scaling collapses (a shared-lock or
+   per-operation-allocation regression makes 8 workers *slower* than 1),
+   which median-normalised per-row comparison cannot see.
+
    Exit codes: 0 pass, 1 regression, 2 usage/parse error. *)
 
 type row = { bench : string; workers : int; ops_per_sec : float }
@@ -98,8 +111,51 @@ let median = function
       let sorted = List.sort compare values in
       List.nth sorted (List.length sorted / 2)
 
-let run baseline candidate tolerance absolute =
+(* Worker-scaling assertion on the candidate alone: for each bench with a
+   1-worker row and rows at higher worker counts, check
+   ops(max workers) / ops(1 worker) >= floor. *)
+let scaling_failures cand ~floor =
+  let benches =
+    List.sort_uniq compare (List.map (fun c -> c.bench) cand)
+  in
+  List.filter_map
+    (fun bench ->
+      let rows = List.filter (fun c -> c.bench = bench) cand in
+      let at n = List.find_opt (fun c -> c.workers = n) rows in
+      let max_w =
+        List.fold_left (fun acc c -> max acc c.workers) 1 rows
+      in
+      match at 1 with
+      | Some one when max_w > 1 -> (
+          match at max_w with
+          | Some top when one.ops_per_sec > 0. ->
+              let ratio = top.ops_per_sec /. one.ops_per_sec in
+              let bad = ratio < floor in
+              Printf.printf "scaling %-12s %dw/1w = %.3f (floor %.3f) %s\n"
+                bench max_w ratio floor
+                (if bad then "FAIL" else "ok");
+              if bad then Some (bench, max_w, ratio) else None
+          | _ -> None)
+      | _ -> None)
+    benches
+
+let run baseline candidate tolerance absolute allow_missing min_scaling =
   let base = read_rows baseline and cand = read_rows candidate in
+  let missing =
+    List.filter
+      (fun b ->
+        not
+          (List.exists
+             (fun c -> c.bench = b.bench && c.workers = b.workers)
+             cand))
+      base
+  in
+  List.iter
+    (fun b ->
+      Printf.printf "%s candidate row for %s/%dw missing from %s\n"
+        (if allow_missing then "note:" else "FAIL:")
+        b.bench b.workers candidate)
+    missing;
   let pairs =
     List.filter_map
       (fun b ->
@@ -136,25 +192,46 @@ let run baseline candidate tolerance absolute =
   Printf.printf "reference ratio %.3f, floor %.3f (tolerance %.0f%%, %s)\n"
     reference floor (tolerance *. 100.)
     (if absolute then "absolute" else "median-normalised");
-  if failures = [] then begin
+  let scaling_failed =
+    match min_scaling with
+    | None -> []
+    | Some r -> scaling_failures cand ~floor:r
+  in
+  let verdicts =
+    [
+      (failures <> [],
+       Printf.sprintf "%d row(s) regressed more than %.0f%%"
+         (List.length failures) (tolerance *. 100.));
+      (missing <> [] && not allow_missing,
+       Printf.sprintf
+         "%d baseline row(s) have no candidate row (pass --allow-missing \
+          to waive)"
+         (List.length missing));
+      (scaling_failed <> [],
+       Printf.sprintf "%d bench(es) scale below the floor"
+         (List.length scaling_failed));
+    ]
+    |> List.filter_map (fun (bad, msg) -> if bad then Some msg else None)
+  in
+  if verdicts = [] then begin
     Printf.printf "bench gate: pass (%d rows compared)\n" (List.length ratios);
     0
   end
   else begin
-    Printf.printf "bench gate: %d row(s) regressed more than %.0f%%\n"
-      (List.length failures) (tolerance *. 100.);
+    List.iter (Printf.printf "bench gate: %s\n") verdicts;
     1
   end
 
 let usage () =
   prerr_endline
     "usage: bench_gate --baseline PATH --candidate PATH [--tolerance T] \
-     [--absolute]";
+     [--absolute] [--allow-missing] [--min-scaling R]";
   exit 2
 
 let () =
   let baseline = ref None and candidate = ref None in
   let tolerance = ref 0.30 and absolute = ref false in
+  let allow_missing = ref false and min_scaling = ref None in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: path :: rest ->
@@ -172,12 +249,21 @@ let () =
     | "--absolute" :: rest ->
         absolute := true;
         parse rest
+    | "--allow-missing" :: rest ->
+        allow_missing := true;
+        parse rest
+    | "--min-scaling" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some r when r > 0. ->
+            min_scaling := Some r;
+            parse rest
+        | _ -> usage ())
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   match (!baseline, !candidate) with
   | Some b, Some c -> (
-      try exit (run b c !tolerance !absolute) with
+      try exit (run b c !tolerance !absolute !allow_missing !min_scaling) with
       | Parse_error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 2)

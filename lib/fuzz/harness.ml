@@ -519,9 +519,20 @@ let run_once ?spawn ?(device_size = default_device_size)
       history;
     }
   in
+  (* Every restart re-checks the heap's structural invariants (block
+     tiling, acyclic free lists, free-list containment within each arena)
+     before the workload resumes — a crash schedule that corrupts the
+     sharded allocator fails here even if the structure's own answers
+     happen to stay consistent. *)
+  let reattach_checked sys =
+    (match Heap.check (System.heap sys) with
+    | Ok () -> ()
+    | Error msg -> failwith ("heap invariant after recovery: " ^ msg));
+    case.reattach sys
+  in
   match
     Runtime.Driver.run_to_completion pmem ~registry:case.registry ~config
-      ~submit ~init:case.init ~reattach:case.reattach ~reclaim:case.reclaim
+      ~submit ~init:case.init ~reattach:reattach_checked ~reclaim:case.reclaim
       ~plan:(fun ~era -> Schedule.plan_for schedule ~era)
       ~observer ~max_crashes:1000 ?spawn ()
   with

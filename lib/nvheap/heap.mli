@@ -1,4 +1,4 @@
-(** Crash-consistent persistent heap allocator.
+(** Crash-consistent persistent heap allocator, sharded into arenas.
 
     Section 4.2 of the paper stores big function results in the "NVRAM heap"
     and Section 4.3 initialises "the memory allocator" at system start;
@@ -8,11 +8,28 @@
     coalesce only offline at {!recover}: exact-size reuse keeps repetitive
     workloads at a fragmentation steady state.)
 
+    {2 Arenas}
+
+    The paper's runtime assumes one worker per core, so the heap is sharded
+    to match: a superblock at [base] fans out to N independent {e arena}
+    regions, each with its own free list and its own lock.  A handle bound
+    with {!with_arena} allocates from its arena without ever crossing
+    another worker's lock; an unbound handle routes by the calling domain.
+    When the bound arena is exhausted, allocation steals round-robin from
+    the other arenas and raises {!Out_of_heap_memory} only when every arena
+    is full.  {!free} routes a payload back to its {e owning} arena by
+    address range, whichever worker performs it, so cross-worker frees stay
+    correct.  [arenas = 1] (the default) degenerates to the old
+    single-free-list behaviour.
+
     {2 Crash-consistency protocol}
 
     Every state change is committed by a single 8-byte flush (atomic in the
     device model):
 
+    - {e formatting} writes every arena header first and commits with the
+      superblock flush, so a crash mid-split leaves a region that fails the
+      magic check rather than a half-formatted heap;
     - {e allocation without splitting} commits by unlinking the block
       (one pointer write);
     - {e allocation with splitting} carves the new block from the {e tail}
@@ -23,49 +40,59 @@
     A crash between an allocation's commit and the moment the client
     persists the block offset can leak the block — the same window real
     persistent allocators close with logging (Makalu, ref. [11] of the
-    paper).  We close it offline: {!recover} walks the block sequence,
-    rebuilds the free list from scratch, reclaims unreachable untagged
-    blocks and coalesces adjacent free blocks.  The rebuild is idempotent,
-    so repeated failures during recovery are harmless (Section 4.3).
+    paper).  We close it offline: {!recover} walks each arena's block
+    sequence in turn, rebuilds its free list from scratch, reclaims
+    unreachable untagged blocks and coalesces adjacent free blocks.  Every
+    rebuild is idempotent, so repeated failures during recovery are
+    harmless (Section 4.3).
 
     {2 Domain safety}
 
-    Every mutating or scanning entry point serialises on the heap's own
-    mutex (a free-list walk spans many device lines, so the striped device
-    lock alone would not make the walk atomic).  Worker domains therefore
-    share one heap safely; allocation throughput is serialised, which bench
-    row [heap/*] measures. *)
+    Every mutating or scanning entry point serialises on the lock of the
+    single arena it touches (a free-list walk spans many device lines, so
+    the striped device lock alone would not make the walk atomic).  Worker
+    domains bound to distinct arenas proceed in parallel; aggregate scans
+    ({!free_bytes}, {!check}, …) lock one arena at a time. *)
 
 type t
 
 exception Out_of_heap_memory of { requested : int; largest_free : int }
 
-val format : Nvram.Pmem.t -> base:Nvram.Offset.t -> len:int -> t
-(** [format pmem ~base ~len] initialises a fresh heap occupying [len] bytes
-    of the device starting at [base], erasing whatever was there.  [len]
-    must fit the header and one minimal block.  The header and initial free
-    list are flushed before the function returns. *)
+val format : ?arenas:int -> Nvram.Pmem.t -> base:Nvram.Offset.t -> len:int -> t
+(** [format ?arenas pmem ~base ~len] initialises a fresh heap occupying
+    [len] bytes of the device starting at [base], erasing whatever was
+    there, split into [arenas] independent regions (default [1]).  [len]
+    must fit the superblock plus one header and one minimal block per
+    arena.  All headers and initial free lists are flushed before the
+    function returns; the superblock flush is the commit. *)
 
 val open_existing : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
 (** [open_existing pmem ~base] attaches to a heap previously created by
-    {!format}, without modifying it.
+    {!format}, without modifying it.  The arena split is recomputed from
+    the superblock, so no configuration needs to be remembered.
 
-    @raise Invalid_argument if the header magic does not match. *)
+    @raise Invalid_argument if the superblock or an arena header does not
+    match. *)
 
 val recover : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
-(** [recover pmem ~base] attaches to an existing heap and rebuilds its free
-    list: every block not marked allocated becomes free (reclaiming blocks
-    leaked by a crash inside an allocation), and adjacent free blocks are
-    coalesced.  Safe to re-run after repeated failures. *)
+(** [recover pmem ~base] attaches to an existing heap and rebuilds every
+    arena's free list in address order: every block not marked allocated
+    becomes free (reclaiming blocks leaked by a crash inside an
+    allocation), and adjacent free blocks are coalesced.  Safe to re-run
+    after repeated failures. *)
 
 val alloc : t -> int -> Nvram.Offset.t
 (** [alloc t n] allocates at least [n] bytes ([n >= 1]) and returns the
-    offset of the payload.  The payload is {e not} zeroed.
+    offset of the payload.  The payload is {e not} zeroed.  Allocation is
+    served from the handle's arena (see {!with_arena}); on exhaustion it
+    steals from the other arenas round-robin.
 
-    @raise Out_of_heap_memory if no free block fits. *)
+    @raise Out_of_heap_memory if no free block in any arena fits. *)
 
 val free : t -> Nvram.Offset.t -> unit
-(** [free t payload] returns the block to the free list.
+(** [free t payload] returns the block to the free list of its {e owning}
+    arena, found by address range — correct from any worker, not just the
+    allocating one.
 
     @raise Invalid_argument if [payload] is not the payload offset of a
     currently-allocated block. *)
@@ -76,17 +103,35 @@ type reclaimed = { blocks : int; bytes : int }
 
 val retain : t -> live:Nvram.Offset.t list -> reclaimed
 (** [retain t ~live] frees every allocated block whose payload offset is not
-    listed in [live] and reports what was reclaimed.  This is the root-based
-    offline reclamation a system recovery runs after rebuilding its data
-    structures: any block that a crash window left allocated but
-    unreferenced (e.g. an abandoned stack block mid-resize) is returned to
-    the free list.  Liveness membership is a hash set keyed on the payload
-    offset, so the pass costs O(blocks + length live) rather than their
-    product. *)
+    listed in [live] and reports what was reclaimed, arena by arena.  This
+    is the root-based offline reclamation a system recovery runs after
+    rebuilding its data structures: any block that a crash window left
+    allocated but unreferenced (e.g. an abandoned stack block mid-resize)
+    is returned to its arena's free list.  Liveness membership is a hash
+    set keyed on the payload offset, so the pass costs
+    O(blocks + length live) rather than their product. *)
 
 val payload_size : t -> Nvram.Offset.t -> int
 (** [payload_size t payload] is the usable size of an allocated block, which
     may exceed the requested size due to rounding. *)
+
+(** {1 Arena routing} *)
+
+val arena_count : t -> int
+(** Number of arenas the region was formatted with. *)
+
+val with_arena : t -> int -> t
+(** [with_arena t i] is a cheap view of the same heap whose allocations are
+    served from arena [i mod arena_count t] first.  Views share the
+    underlying arena locks and free lists; any view can free or size any
+    payload.  The runtime binds worker [i] to arena [i] so worker-local
+    allocation never contends. *)
+
+val arena_index : t -> Nvram.Offset.t -> int
+(** [arena_index t payload] is the arena that owns [payload], as {!free}
+    would route it.
+
+    @raise Invalid_argument if [payload] lies outside the heap region. *)
 
 (** {1 Introspection} *)
 
@@ -94,31 +139,37 @@ val base : t -> Nvram.Offset.t
 val length : t -> int
 
 val free_bytes : t -> int
-(** Total payload bytes available across all free blocks. *)
+(** Total payload bytes available across all free blocks of all arenas. *)
 
 val largest_free : t -> int
-(** Largest single allocatable payload. *)
+(** Largest single allocatable payload in any arena. *)
 
 val block_count : t -> allocated:bool -> int
-(** Number of blocks with the given allocation status. *)
+(** Number of blocks with the given allocation status, over all arenas. *)
 
 val iter_blocks :
   t -> (off:Nvram.Offset.t -> size:int -> allocated:bool -> unit) -> unit
-(** Iterates over all blocks in address order.  [off] is the block header
-    offset and [size] the whole block size including the header. *)
+(** Iterates over all blocks in address order (arena order is address
+    order).  [off] is the block header offset and [size] the whole block
+    size including the header. *)
 
 val check : t -> (unit, string) result
-(** [check t] validates the heap invariants: blocks tile the region exactly,
-    the free list is acyclic, and every free-list entry is an untagged
-    block.  Used by tests after simulated crashes. *)
+(** [check t] validates the heap invariants: the arenas tile the region
+    exactly, each arena's blocks tile the arena exactly, each free list is
+    acyclic, every free-list entry is an untagged block, and every
+    free-list entry lies inside its owning arena.  Used by tests after
+    simulated crashes. *)
 
 val pp : Format.formatter -> t -> unit
-(** One block per line, for debugging. *)
+(** One arena and one block per line, for debugging. *)
 
 (** {1 Constants} *)
 
+val superblock_size : int
+(** Bytes reserved at [base] for the superblock. *)
+
 val header_size : int
-(** Bytes reserved at [base] for the heap header. *)
+(** Bytes reserved at the start of each arena for its header. *)
 
 val block_header_size : int
 (** Bytes of overhead per block. *)

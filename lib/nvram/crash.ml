@@ -9,7 +9,7 @@ type plan =
 type t = {
   mutable plan : plan;
   mutable rng : Random.State.t;
-  mutable counter : int;
+  counter : int Atomic.t;
   crashed : bool Atomic.t;
   (* individual-crash plan: its own counter and PRNG; one-shot *)
   mutable kill_plan : plan;
@@ -31,7 +31,7 @@ let create ?(plan = Never) () =
   {
     plan;
     rng = rng_of_plan plan;
-    counter = 0;
+    counter = Atomic.make 0;
     crashed = Atomic.make false;
     kill_plan = Never;
     kill_rng = rng_of_plan Never;
@@ -50,7 +50,7 @@ let arm t plan =
   Mutex.protect t.mu (fun () ->
       t.plan <- plan;
       t.rng <- rng_of_plan plan;
-      t.counter <- 0)
+      Atomic.set t.counter 0)
 
 let crashed t = Atomic.get t.crashed
 let check t = if crashed t then raise Crash_now
@@ -65,48 +65,61 @@ let fires_now ~counter ~rng = function
   | At_op n -> counter >= n
   | Random { probability; _ } -> Random.State.float rng 1.0 < probability
 
+let is_never = function Never -> true | At_op _ | Random _ -> false
+
 let step t =
   check t;
-  (* The mutex serialises the counters and the PRNGs; the crashed flag stays
-     an atomic so that [check] on the hot path of other threads is
-     lock-free. *)
-  let verdict =
-    Mutex.protect t.mu (fun () ->
-        if crashed t then `System
-        else begin
-          t.counter <- t.counter + 1;
-          if fires_now ~counter:t.counter ~rng:t.rng t.plan then `System
+  if is_never t.plan && is_never t.kill_plan then
+    (* Fast path: nothing is armed, so the only bookkeeping is the exact op
+       count.  The lock-free increment matters: every worker consults this
+       one shared controller on every persistence operation, so a mutex
+       here is a global serialisation point — it alone anti-scaled the
+       multicore benchmarks.  Arming a plan happens-before the workers
+       start (domain spawn), so a racy [Never] read is never stale during a
+       planned run. *)
+    ignore (Atomic.fetch_and_add t.counter 1 : int)
+  else begin
+    (* The mutex serialises the plan state and the PRNGs; the crashed flag
+       stays an atomic so that [check] on the hot path of other threads is
+       lock-free. *)
+    let verdict =
+      Mutex.protect t.mu (fun () ->
+          if crashed t then `System
           else begin
-            t.kill_counter <- t.kill_counter + 1;
-            if
-              fires_now ~counter:t.kill_counter ~rng:t.kill_rng t.kill_plan
-            then begin
-              (* one-shot: exactly one thread dies per arming *)
-              t.kill_plan <- Never;
-              t.kill_count <- t.kill_count + 1;
-              `Thread
+            let counter = Atomic.fetch_and_add t.counter 1 + 1 in
+            if fires_now ~counter ~rng:t.rng t.plan then `System
+            else begin
+              t.kill_counter <- t.kill_counter + 1;
+              if
+                fires_now ~counter:t.kill_counter ~rng:t.kill_rng t.kill_plan
+              then begin
+                (* one-shot: exactly one thread dies per arming *)
+                t.kill_plan <- Never;
+                t.kill_count <- t.kill_count + 1;
+                `Thread
+              end
+              else `None
             end
-            else `None
-          end
-        end)
-  in
-  match verdict with
-  | `None -> ()
-  | `System -> fire t
-  | `Thread -> raise Thread_killed
+          end)
+    in
+    match verdict with
+    | `None -> ()
+    | `System -> fire t
+    | `Thread -> raise Thread_killed
+  end
 
 let reset t =
   Mutex.protect t.mu (fun () ->
       t.plan <- Never;
       t.rng <- rng_of_plan Never;
-      t.counter <- 0;
+      Atomic.set t.counter 0;
       t.kill_plan <- Never;
       t.kill_rng <- rng_of_plan Never;
       t.kill_counter <- 0;
       t.kill_count <- 0;
       Atomic.set t.crashed false)
 
-let ops t = Mutex.protect t.mu (fun () -> t.counter)
+let ops t = Atomic.get t.counter
 let plan t = Mutex.protect t.mu (fun () -> t.plan)
 
 let pp_plan fmt = function

@@ -24,7 +24,7 @@ type t = {
          linearizability of the old single-mutex device. *)
 }
 
-let default_stripes = 64
+let default_stripes = 256
 
 let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
     ?(yield_probability = 0.) ?(stripes = default_stripes) ?backend ~size () =
@@ -101,7 +101,14 @@ let maybe_yield t =
     if u < t.yield_probability then Unix.sleepf 1e-6
   end
 
-let stripe_of t line = line land (Array.length t.stripes - 1)
+(* Fibonacci-hash the line index onto a stripe.  The naive [line mod
+   stripes] map aliases badly in practice: worker-private regions are
+   usually a round number of lines apart (a power-of-two stride), so every
+   worker's hot line 0 lands on the *same* stripe and the "striped" lock
+   degenerates to a single shared mutex.  Mixing the bits first spreads
+   any stride pattern across all stripes. *)
+let stripe_of t line =
+  (line * 0x2545F4914F6CDD1D) lsr 40 land (Array.length t.stripes - 1)
 
 (* Write-amplification accounting: payload bytes requested vs cache-line
    bytes dirtied.  Only called when recording is enabled. *)
@@ -161,7 +168,9 @@ let persist_line t index =
    crash scheduler once per line so a crash can land between lines.  Caller
    holds the covering stripes.  Returns the number of lines persisted. *)
 let flush_lines_locked t ~off ~len =
-  let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+  (* inline [Layout.lines_covering]: returning the pair would allocate *)
+  let first = Offset.to_int off / t.line_size in
+  let last = (Offset.to_int off + len - 1) / t.line_size in
   let persisted = ref 0 in
   for index = first to last do
     Crash.step t.crash_ctl;
@@ -179,7 +188,9 @@ let flush_lines_locked t ~off ~len =
 let write_locked t ~off ~src ~src_off ~len =
   if len > 0 then begin
     let base = Offset.to_int off in
-    let first, last = Layout.lines_covering ~line_size:t.line_size off ~len in
+    (* inline [Layout.lines_covering]: returning the pair would allocate *)
+    let first = base / t.line_size in
+    let last = (base + len - 1) / t.line_size in
     let written = ref 0 in
     for index = first to last do
       Crash.step t.crash_ctl;
@@ -226,10 +237,27 @@ let read_bytes_raw t ~off ~len =
   end
   else begin
     let first, last = covering t off ~len in
-    with_lines t ~first ~last (fun () ->
+    if first = last then begin
+      let mu = t.stripes.(stripe_of t first) in
+      Mutex.lock mu;
+      match
         Crash.check t.crash_ctl;
         Stats.incr_reads t.stats;
-        Bytes.sub t.volatile (Offset.to_int off) len)
+        Bytes.sub t.volatile (Offset.to_int off) len
+      with
+      | result ->
+          Mutex.unlock mu;
+          maybe_yield t;
+          result
+      | exception e ->
+          Mutex.unlock mu;
+          raise e
+    end
+    else
+      with_lines t ~first ~last (fun () ->
+          Crash.check t.crash_ctl;
+          Stats.incr_reads t.stats;
+          Bytes.sub t.volatile (Offset.to_int off) len)
   end
 
 let read_bytes t ~off ~len =
@@ -254,10 +282,35 @@ let write_bytes_raw t ~off ~src ~len =
     (* Scheduling point for the cooperative model checker: before any
        stripe lock is taken, so a suspended fiber holds no device mutex. *)
     Crash.sched_point t.crash_ctl;
-    let first, last = covering t off ~len in
-    with_lines t ~first ~last (fun () ->
+    (* inline [covering]: returning the pair would allocate per write *)
+    let first = Offset.to_int off / t.line_size in
+    let last = (Offset.to_int off + len - 1) / t.line_size in
+    if last - first <= 1 then begin
+      (* One- or two-line fast path (frame-sized writes): lock the covering
+         stripes by hand in ascending order — no occupancy array, no
+         closures (see the fast-path note above). *)
+      let sa = stripe_of t first in
+      let sb = if last = first then sa else stripe_of t last in
+      let lo = min sa sb and hi = max sa sb in
+      Mutex.lock t.stripes.(lo);
+      if hi <> lo then Mutex.lock t.stripes.(hi);
+      match
         Stats.incr_writes t.stats;
-        write_locked t ~off ~src ~src_off:0 ~len)
+        write_locked t ~off ~src ~src_off:0 ~len
+      with
+      | () ->
+          if hi <> lo then Mutex.unlock t.stripes.(hi);
+          Mutex.unlock t.stripes.(lo);
+          maybe_yield t
+      | exception e ->
+          if hi <> lo then Mutex.unlock t.stripes.(hi);
+          Mutex.unlock t.stripes.(lo);
+          raise e
+    end
+    else
+      with_lines t ~first ~last (fun () ->
+          Stats.incr_writes t.stats;
+          write_locked t ~off ~src ~src_off:0 ~len)
   end
 
 let write_bytes t ~off src =
@@ -271,12 +324,35 @@ let write_bytes t ~off src =
     record_write_counters t ~off ~len
   end
 
+(* Single-line fast paths.
+
+   The byte/word operations below lock their one stripe by hand instead of
+   going through [with_lines], and write into [volatile] directly instead
+   of staging through a temporary buffer.  The point is allocation: a
+   closure for [Mutex.protect] plus a [Bytes.create 8] per operation feeds
+   OCaml's minor heap on every simulated device access, and minor
+   collections are stop-the-world across *all* domains in OCaml 5 — on the
+   measured host they, not the locks, dominated the multicore anti-scaling.
+   Each fast path preserves the exact operation order of the general path
+   (stats, [Crash.step], mutation, dirty bit, auto-flush), so crash-point
+   numbering is unchanged, and unlocks before re-raising a crash signal. *)
+
 let read_byte_raw t off =
-  let first, last = covering t off ~len:1 in
-  with_lines t ~first ~last (fun () ->
-      Crash.check t.crash_ctl;
-      Stats.incr_reads t.stats;
-      Char.code (Bytes.get t.volatile (Offset.to_int off)))
+  let base = Offset.to_int off in
+  let mu = t.stripes.(stripe_of t (base / t.line_size)) in
+  Mutex.lock mu;
+  match
+    Crash.check t.crash_ctl;
+    Stats.incr_reads t.stats;
+    Char.code (Bytes.get t.volatile base)
+  with
+  | result ->
+      Mutex.unlock mu;
+      maybe_yield t;
+      result
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let read_byte t off =
   check_range t off 1;
@@ -291,11 +367,26 @@ let read_byte t off =
 
 let write_byte_raw t off b =
   Crash.sched_point t.crash_ctl;
-  let first, last = covering t off ~len:1 in
-  with_lines t ~first ~last (fun () ->
-      Stats.incr_writes t.stats;
-      let src = Bytes.make 1 (Char.chr b) in
-      write_locked t ~off ~src ~src_off:0 ~len:1)
+  let base = Offset.to_int off in
+  let index = base / t.line_size in
+  let mu = t.stripes.(stripe_of t index) in
+  Mutex.lock mu;
+  match
+    Stats.incr_writes t.stats;
+    Crash.step t.crash_ctl;
+    Bytes.set t.volatile base (Char.chr b);
+    t.dirty.(index) <- true;
+    if t.auto_flush then begin
+      persist_line t index;
+      Stats.incr_lines_flushed t.stats 1
+    end
+  with
+  | () ->
+      Mutex.unlock mu;
+      maybe_yield t
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let write_byte t off b =
   if b < 0 || b > 255 then invalid_arg "Pmem.write_byte: not a byte";
@@ -309,11 +400,30 @@ let write_byte t off b =
   end
 
 let read_int64_raw t off =
-  let first, last = covering t off ~len:8 in
-  with_lines t ~first ~last (fun () ->
+  let base = Offset.to_int off in
+  let index = base / t.line_size in
+  if (base + 7) / t.line_size = index then begin
+    let mu = t.stripes.(stripe_of t index) in
+    Mutex.lock mu;
+    match
       Crash.check t.crash_ctl;
       Stats.incr_reads t.stats;
-      Bytes.get_int64_le t.volatile (Offset.to_int off))
+      Bytes.get_int64_le t.volatile base
+    with
+    | result ->
+        Mutex.unlock mu;
+        maybe_yield t;
+        result
+    | exception e ->
+        Mutex.unlock mu;
+        raise e
+  end
+  else
+    let first, last = covering t off ~len:8 in
+    with_lines t ~first ~last (fun () ->
+        Crash.check t.crash_ctl;
+        Stats.incr_reads t.stats;
+        Bytes.get_int64_le t.volatile base)
 
 let read_int64 t off =
   check_range t off 8;
@@ -328,12 +438,35 @@ let read_int64 t off =
 
 let write_int64_raw t off v =
   Crash.sched_point t.crash_ctl;
-  let first, last = covering t off ~len:8 in
-  with_lines t ~first ~last (fun () ->
+  let base = Offset.to_int off in
+  let index = base / t.line_size in
+  if (base + 7) / t.line_size = index then begin
+    let mu = t.stripes.(stripe_of t index) in
+    Mutex.lock mu;
+    match
       Stats.incr_writes t.stats;
-      let src = Bytes.create 8 in
-      Bytes.set_int64_le src 0 v;
-      write_locked t ~off ~src ~src_off:0 ~len:8)
+      Crash.step t.crash_ctl;
+      Bytes.set_int64_le t.volatile base v;
+      t.dirty.(index) <- true;
+      if t.auto_flush then begin
+        persist_line t index;
+        Stats.incr_lines_flushed t.stats 1
+      end
+    with
+    | () ->
+        Mutex.unlock mu;
+        maybe_yield t
+    | exception e ->
+        Mutex.unlock mu;
+        raise e
+  end
+  else
+    let first, last = covering t off ~len:8 in
+    with_lines t ~first ~last (fun () ->
+        Stats.incr_writes t.stats;
+        let src = Bytes.create 8 in
+        Bytes.set_int64_le src 0 v;
+        write_locked t ~off ~src ~src_off:0 ~len:8)
 
 let write_int64 t off v =
   check_range t off 8;
@@ -345,30 +478,98 @@ let write_int64 t off v =
     record_write_counters t ~off ~len:8
   end
 
-let read_int t off = Int64.to_int (read_int64 t off)
-let write_int t off v = write_int64 t off (Int64.of_int v)
+(* Native-[int] accessors with the [Int64] conversion fused into the
+   locked fast path.  [Int64.to_int (read_int64 t off)] boxes the value
+   across the function boundary — one minor-heap allocation per device
+   word read.  The heap allocator touches several device words per
+   [alloc]/[free]; fusing the conversion into the same body as
+   [Bytes.get_int64_le] lets the compiler keep the intermediate unboxed
+   (see the stop-the-world note above [read_byte_raw]). *)
+let read_int t off =
+  check_range t off 8;
+  if Obs.Config.enabled () then Int64.to_int (read_int64 t off)
+  else begin
+    let base = Offset.to_int off in
+    let index = base / t.line_size in
+    if (base + 7) / t.line_size = index then begin
+      let mu = t.stripes.(stripe_of t index) in
+      Mutex.lock mu;
+      match
+        Crash.check t.crash_ctl;
+        Stats.incr_reads t.stats;
+        Int64.to_int (Bytes.get_int64_le t.volatile base)
+      with
+      | result ->
+          Mutex.unlock mu;
+          maybe_yield t;
+          result
+      | exception e ->
+          Mutex.unlock mu;
+          raise e
+    end
+    else Int64.to_int (read_int64_raw t off)
+  end
 
-let cas_int64_raw t off ~expected ~desired ~index =
-  Crash.sched_point t.crash_ctl;
-  with_lines t ~first:index ~last:index (fun () ->
-      Crash.step t.crash_ctl;
-      Stats.incr_reads t.stats;
-      let current = Bytes.get_int64_le t.volatile (Offset.to_int off) in
-      if Int64.equal current expected then begin
+let write_int t off v =
+  check_range t off 8;
+  if Obs.Config.enabled () then write_int64 t off (Int64.of_int v)
+  else begin
+    let base = Offset.to_int off in
+    let index = base / t.line_size in
+    if (base + 7) / t.line_size = index then begin
+      Crash.sched_point t.crash_ctl;
+      let mu = t.stripes.(stripe_of t index) in
+      Mutex.lock mu;
+      match
         Stats.incr_writes t.stats;
-        let src = Bytes.create 8 in
-        Bytes.set_int64_le src 0 desired;
-        (* A single-line write: no extra crash point between the read and
-           the write, which models a hardware CAS instruction. *)
-        Bytes.blit src 0 t.volatile (Offset.to_int off) 8;
+        Crash.step t.crash_ctl;
+        Bytes.set_int64_le t.volatile base (Int64.of_int v);
         t.dirty.(index) <- true;
         if t.auto_flush then begin
           persist_line t index;
           Stats.incr_lines_flushed t.stats 1
-        end;
-        true
-      end
-      else false)
+        end
+      with
+      | () ->
+          Mutex.unlock mu;
+          maybe_yield t
+      | exception e ->
+          Mutex.unlock mu;
+          raise e
+    end
+    else write_int64_raw t off (Int64.of_int v)
+  end
+
+let cas_int64_raw t off ~expected ~desired ~index =
+  Crash.sched_point t.crash_ctl;
+  let base = Offset.to_int off in
+  let mu = t.stripes.(stripe_of t index) in
+  Mutex.lock mu;
+  match
+    Crash.step t.crash_ctl;
+    Stats.incr_reads t.stats;
+    let current = Bytes.get_int64_le t.volatile base in
+    if Int64.equal current expected then begin
+      Stats.incr_writes t.stats;
+      (* A single-line write: no extra crash point between the read and
+         the write, which models a hardware CAS instruction. *)
+      Bytes.set_int64_le t.volatile base desired;
+      t.dirty.(index) <- true;
+      if t.auto_flush then begin
+        persist_line t index;
+        Stats.incr_lines_flushed t.stats 1
+      end;
+      true
+    end
+    else false
+  with
+  | result ->
+      Mutex.unlock mu;
+      maybe_yield t;
+      result
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let cas_int64 t off ~expected ~desired =
   check_range t off 8;
@@ -393,10 +594,33 @@ let flush_raw t ~off ~len =
   end
   else begin
     Crash.sched_point t.crash_ctl;
-    let first, last = covering t off ~len in
-    with_lines t ~first ~last (fun () ->
+    (* inline [covering]: returning the pair would allocate per flush *)
+    let first = Offset.to_int off / t.line_size in
+    let last = (Offset.to_int off + len - 1) / t.line_size in
+    if last - first <= 1 then begin
+      let sa = stripe_of t first in
+      let sb = if last = first then sa else stripe_of t last in
+      let lo = min sa sb and hi = max sa sb in
+      Mutex.lock t.stripes.(lo);
+      if hi <> lo then Mutex.lock t.stripes.(hi);
+      match
         Stats.incr_flushes t.stats;
-        flush_lines_locked t ~off ~len)
+        flush_lines_locked t ~off ~len
+      with
+      | persisted ->
+          if hi <> lo then Mutex.unlock t.stripes.(hi);
+          Mutex.unlock t.stripes.(lo);
+          maybe_yield t;
+          persisted
+      | exception e ->
+          if hi <> lo then Mutex.unlock t.stripes.(hi);
+          Mutex.unlock t.stripes.(lo);
+          raise e
+    end
+    else
+      with_lines t ~first ~last (fun () ->
+          Stats.incr_flushes t.stats;
+          flush_lines_locked t ~off ~len)
   end
 
 let flush t ~off ~len =

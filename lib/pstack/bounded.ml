@@ -3,39 +3,58 @@ module Offset = Nvram.Offset
 
 exception Overflow
 
-type entry = { off : Offset.t; size : int; frame : Frame.t }
+(* One in-memory index slot per frame on the device.  Slots are mutable and
+   reused across push/pop cycles: the hot path of a workload that pushes and
+   pops at a steady depth allocates nothing, which matters because
+   per-operation allocations feed the minor GC, whose collections stop the
+   world across all domains. *)
+type entry = {
+  mutable off : Offset.t;
+  mutable size : int;
+  mutable func_id : int;
+  mutable args : bytes;
+}
 
 type t = {
   pmem : Pmem.t;
   base : Offset.t;
   capacity : int;
-  mutable entries : entry list;  (* top first; the dummy frame is last *)
+  mutable entries : entry array;
+      (* slots [0, depth); slot 0 is the dummy frame, slot [depth-1] the top *)
+  mutable depth : int;
+  mutable scratch : bytes;
+      (* frame staging buffer, reused whenever consecutive pushes encode
+         the same frame size (the common case) *)
 }
 
 let pmem t = t.pmem
 let base t = t.base
 let capacity t = t.capacity
-
-let top_entry t =
-  match t.entries with
-  | e :: _ -> e
-  | [] -> assert false (* the dummy frame is always present *)
+let top_entry t = t.entries.(t.depth - 1)
 
 let used_bytes t =
   let e = top_entry t in
   Offset.diff e.off t.base + e.size
 
-let depth t = List.length t.entries - 1
+let depth t = t.depth - 1
 
-let dummy_frame = { Frame.func_id = Frame.dummy_func_id; args = Bytes.empty }
+let fresh_slot base =
+  { off = base; size = 0; func_id = 0; args = Bytes.empty }
 
 let create pmem ~base ~capacity =
-  let image = Frame.encode_ordinary dummy_frame ~marker:Frame.marker_stack_end in
+  let image =
+    Frame.encode_ordinary
+      { Frame.func_id = Frame.dummy_func_id; args = Bytes.empty }
+      ~marker:Frame.marker_stack_end
+  in
   let size = Bytes.length image in
   if capacity < size then invalid_arg "Bounded.create: capacity too small";
   Pmem.write_bytes pmem ~off:base image;
   Pmem.flush pmem ~off:base ~len:size;
-  { pmem; base; capacity; entries = [ { off = base; size; frame = dummy_frame } ] }
+  let entries = Array.init 8 (fun _ -> fresh_slot base) in
+  entries.(0) <-
+    { off = base; size; func_id = Frame.dummy_func_id; args = Bytes.empty };
+  { pmem; base; capacity; entries; depth = 1; scratch = Bytes.empty }
 
 let attach pmem ~base ~capacity =
   let rec scan off acc =
@@ -43,20 +62,35 @@ let attach pmem ~base ~capacity =
     | Frame.Pointer _ ->
         invalid_arg "Bounded.attach: pointer frame in a bounded stack"
     | Frame.Ordinary { frame; size; last } ->
-        let acc = { off; size; frame } :: acc in
+        let acc =
+          { off; size; func_id = frame.Frame.func_id; args = frame.Frame.args }
+          :: acc
+        in
         if last then acc else scan (Offset.add off size) acc
   in
-  let entries = scan base [] in
-  { pmem; base; capacity; entries }
+  let entries = Array.of_list (List.rev (scan base [])) in
+  {
+    pmem;
+    base;
+    capacity;
+    entries;
+    depth = Array.length entries;
+    scratch = Bytes.empty;
+  }
+
+let grow t =
+  let n = Array.length t.entries in
+  t.entries <-
+    Array.init (2 * n) (fun i ->
+        if i < n then t.entries.(i) else fresh_slot t.base)
 
 let write_frame_image t ~flush ~off ~func_id ~args =
-  let image =
-    Frame.encode_ordinary { Frame.func_id; args }
-      ~marker:Frame.marker_stack_end
-  in
-  let size = Bytes.length image in
+  let size = Frame.ordinary_size ~args_len:(Bytes.length args) in
   if Offset.diff off t.base + size > t.capacity then raise Overflow;
-  Pmem.write_bytes t.pmem ~off image;
+  if Bytes.length t.scratch <> size then t.scratch <- Bytes.create size;
+  Frame.encode_ordinary_into t.scratch ~func_id ~args
+    ~marker:Frame.marker_stack_end;
+  Pmem.write_bytes t.pmem ~off t.scratch;
   if flush then Pmem.flush t.pmem ~off ~len:size;
   size
 
@@ -72,36 +106,40 @@ let unsafe_push ?(flush_frame = true) ?(flush_marker = true) t ~func_id ~args =
   (* Moving the stack end forward: flip the previous top's marker.  The
      single-byte flush is the linearization point of the invocation. *)
   move_end t ~entry:prev_top ~marker:Frame.marker_frame_end ~flush:flush_marker;
-  t.entries <- { off; size; frame = { Frame.func_id; args } } :: t.entries
+  if t.depth = Array.length t.entries then grow t;
+  let e = t.entries.(t.depth) in
+  e.off <- off;
+  e.size <- size;
+  e.func_id <- func_id;
+  e.args <- args;
+  t.depth <- t.depth + 1
 
 let push t ~func_id ~args = unsafe_push t ~func_id ~args
 
 let pop t =
-  match t.entries with
-  | _top :: (penultimate :: _ as rest) ->
-      (* Moving the stack end backward: one atomic byte flush; the popped
-         frame's bytes become invalid data. *)
-      move_end t ~entry:penultimate ~marker:Frame.marker_stack_end ~flush:true;
-      t.entries <- rest
-  | [ _ ] | [] -> invalid_arg "Bounded.pop: stack is empty"
+  if t.depth < 2 then invalid_arg "Bounded.pop: stack is empty";
+  (* Moving the stack end backward: one atomic byte flush; the popped
+     frame's bytes become invalid data. *)
+  move_end t
+    ~entry:t.entries.(t.depth - 2)
+    ~marker:Frame.marker_stack_end ~flush:true;
+  t.depth <- t.depth - 1
 
 let top t =
-  match t.entries with
-  | { frame; off; _ } :: _ :: _ -> Some (off, frame)
-  | [ _ ] | [] -> None
+  if t.depth < 2 then None
+  else
+    let e = top_entry t in
+    Some (e.off, { Frame.func_id = e.func_id; args = e.args })
 
 let top_offset t = (top_entry t).off
 
 let under_top_offset t =
-  match t.entries with
-  | _top :: under :: _ -> under.off
-  | [ _ ] | [] -> invalid_arg "Bounded.under_top_offset: stack is empty"
+  if t.depth < 2 then invalid_arg "Bounded.under_top_offset: stack is empty"
+  else t.entries.(t.depth - 2).off
 
 let live_blocks _t = []
 
 let frames t =
-  let rec collect = function
-    | [ _ ] | [] -> []
-    | { off; frame; _ } :: rest -> (off, frame) :: collect rest
-  in
-  List.rev (collect t.entries)
+  List.init (t.depth - 1) (fun i ->
+      let e = t.entries.(i + 1) in
+      (e.off, { Frame.func_id = e.func_id; args = e.args }))

@@ -19,16 +19,24 @@ let check_marker m =
   if m <> marker_frame_end && m <> marker_stack_end then
     invalid_arg (Printf.sprintf "Frame: invalid end marker 0x%X" m)
 
-let encode_ordinary { func_id; args } ~marker =
+let encode_ordinary_into buf ~func_id ~args ~marker =
   check_marker marker;
   let args_len = Bytes.length args in
-  let buf = Bytes.make (ordinary_size ~args_len) '\000' in
+  if Bytes.length buf <> ordinary_size ~args_len then
+    invalid_arg "Frame.encode_ordinary_into: buffer size mismatch";
   Bytes.set buf 0 (Char.chr preamble_ordinary);
   Bytes.set_int64_le buf 1 (Int64.of_int func_id);
-  (* answer flag and value stay zero: empty slot *)
+  (* the answer slot is zeroed explicitly: the buffer may be reused *)
+  Bytes.fill buf answer_flag_rel 9 '\000';
   Bytes.set_int64_le buf 18 (Int64.of_int args_len);
   Bytes.blit args 0 buf ordinary_header_size args_len;
-  Bytes.set buf (ordinary_header_size + args_len) (Char.chr marker);
+  Bytes.set buf (ordinary_header_size + args_len) (Char.chr marker)
+
+let encode_ordinary frame ~marker =
+  let buf =
+    Bytes.create (ordinary_size ~args_len:(Bytes.length frame.args))
+  in
+  encode_ordinary_into buf ~func_id:frame.func_id ~args:frame.args ~marker;
   buf
 
 let encode_pointer ~next ~marker =

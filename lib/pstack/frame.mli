@@ -105,3 +105,14 @@ val write_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> int64 -> unit
 
 val clear_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> unit
 (** Clears the flag and flushes it. *)
+
+val encode_ordinary_into :
+  bytes -> func_id:int -> args:bytes -> marker:int -> unit
+(** [encode_ordinary_into buf ~func_id ~args ~marker] encodes like
+    {!encode_ordinary} into a caller-supplied buffer of exactly
+    [ordinary_size] bytes, clearing the answer slot.  Takes the fields
+    directly (no {!t} record) and lets hot paths reuse one staging buffer
+    instead of allocating per push — per-operation allocations feed the
+    minor GC, whose collections are stop-the-world across all domains.
+
+    @raise Invalid_argument if [buf] has the wrong size. *)

@@ -113,6 +113,10 @@ let bounded_region config i =
       invalid_arg "System: not a bounded-stack configuration"
 
 let make_stack ~fresh pmem config heap i =
+  (* Worker [i]'s stack allocates from arena [i]: stack growth never
+     contends with another worker's allocator lock.  Frees route by address
+     range, so cross-worker reclamation still lands in the owning arena. *)
+  let heap = Heap.with_arena heap i in
   match config.stack_kind with
   | Bounded_stack _ ->
       let base, capacity = bounded_region config i in
@@ -184,7 +188,10 @@ let heap_region pmem config =
 let build pmem config registry heap stacks tasks =
   let ctxs =
     Array.mapi
-      (fun i stack -> Exec.make ~pmem ~heap ~stack ~registry ~worker_id:i)
+      (fun i stack ->
+        Exec.make ~pmem
+          ~heap:(Heap.with_arena heap i)
+          ~stack ~registry ~worker_id:i)
       stacks
   in
   install_task_runner registry tasks;
@@ -197,7 +204,7 @@ let create pmem ~registry ~config =
       ~max_args:config.task_max_args
   in
   let base, len = heap_region pmem config in
-  let heap = Heap.format pmem ~base ~len in
+  let heap = Heap.format ~arenas:config.workers pmem ~base ~len in
   let stacks = make_stacks ~fresh:true pmem config heap in
   build pmem config registry heap stacks tasks
 
@@ -304,7 +311,8 @@ let parallel_workers ?(spawn = domain_spawn) t f =
 let rec recover_worker t i =
   Log.info (fun m -> m "individual recovery of worker %d" i);
   t.ctxs.(i) <-
-    Exec.make ~pmem:t.pmem ~heap:t.heap
+    Exec.make ~pmem:t.pmem
+      ~heap:(Heap.with_arena t.heap i)
       ~stack:(make_stack ~fresh:false t.pmem t.config t.heap i)
       ~registry:t.registry ~worker_id:i;
   try Exec.recover t.ctxs.(i) with Nvram.Crash.Thread_killed -> recover_worker t i
@@ -417,9 +425,9 @@ let pp_image fmt pmem =
   let heap_base_off, _ = heap_region pmem config in
   let heap = Heap.open_existing pmem ~base:heap_base_off in
   Format.fprintf fmt
-    "  heap: %d bytes at %a; %d allocated / %d free blocks; %d free bytes \
-     (largest %d)@,"
-    (Heap.length heap) Offset.pp (Heap.base heap)
+    "  heap: %d bytes at %a (%d arenas); %d allocated / %d free blocks; %d \
+     free bytes (largest %d)@,"
+    (Heap.length heap) Offset.pp (Heap.base heap) (Heap.arena_count heap)
     (Heap.block_count heap ~allocated:true)
     (Heap.block_count heap ~allocated:false)
     (Heap.free_bytes heap) (Heap.largest_free heap);

@@ -190,6 +190,248 @@ let test_open_existing_validates_magic () =
     (Invalid_argument "Heap.open_existing: bad magic (not a heap region)")
     (fun () -> ignore (Heap.open_existing pmem ~base:(off 0)))
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain arenas *)
+
+let fresh_arena_heap ?(arenas = 4) ?(size = 64 * 1024) ?(len = 32 * 1024) ()
+    =
+  let pmem = Pmem.create ~size () in
+  let heap = Heap.format ~arenas pmem ~base:(off 64) ~len in
+  (pmem, heap)
+
+let test_arena_format_and_attach () =
+  let pmem, heap = fresh_arena_heap () in
+  check_ok heap;
+  Alcotest.(check int) "four arenas" 4 (Heap.arena_count heap);
+  Alcotest.(check int) "four free blocks (one per arena)" 4
+    (Heap.block_count heap ~allocated:false);
+  let reopened = Heap.open_existing pmem ~base:(off 64) in
+  Alcotest.(check int) "attach rebuilds the same split" 4
+    (Heap.arena_count reopened);
+  check_ok reopened
+
+let test_arena_binding_routes_allocations () =
+  let _, heap = fresh_arena_heap () in
+  for i = 0 to 3 do
+    let view = Heap.with_arena heap i in
+    let p = Heap.alloc view 64 in
+    Alcotest.(check int)
+      (Printf.sprintf "view %d allocates in arena %d" i i)
+      i (Heap.arena_index heap p);
+    Heap.free heap p
+  done;
+  check_ok heap;
+  Alcotest.check_raises "negative arena index"
+    (Invalid_argument "Heap.with_arena: negative arena index") (fun () ->
+      ignore (Heap.with_arena heap (-1)))
+
+let test_cross_arena_free_routes_home () =
+  let _, heap = fresh_arena_heap ~arenas:2 () in
+  let v0 = Heap.with_arena heap 0 and v1 = Heap.with_arena heap 1 in
+  let p = Heap.alloc v0 64 in
+  (* freeing through the *other* view must return the block to arena 0 *)
+  Heap.free v1 p;
+  check_ok heap;
+  let p' = Heap.alloc v0 64 in
+  Alcotest.(check int) "block went back to arena 0" 0
+    (Heap.arena_index heap p');
+  Heap.free heap p'
+
+let test_arena_stealing_and_oom () =
+  let _, heap = fresh_arena_heap ~arenas:2 ~size:16384 ~len:8192 () in
+  let v0 = Heap.with_arena heap 0 in
+  (* Exhaust arena 0: allocation from the bound view must steal from
+     arena 1 rather than fail. *)
+  let rec grab acc =
+    match Heap.alloc v0 64 with
+    | p -> grab (p :: acc)
+    | exception Heap.Out_of_heap_memory _ -> acc
+  in
+  let blocks = grab [] in
+  let stolen =
+    List.filter (fun p -> Heap.arena_index heap p = 1) blocks
+  in
+  Alcotest.(check bool) "bound view stole from the other arena" true
+    (List.length stolen > 0);
+  Alcotest.(check bool) "home arena used too" true
+    (List.exists (fun p -> Heap.arena_index heap p = 0) blocks);
+  List.iter (Heap.free heap) blocks;
+  check_ok heap
+
+let test_check_rejects_escaped_free_list () =
+  let pmem, heap = fresh_arena_heap ~arenas:2 () in
+  (* Corrupt arena 0's free-list head to point into arena 1's range: the
+     containment invariant must name the escape. *)
+  let a1_block =
+    let v1 = Heap.with_arena heap 1 in
+    let p = Heap.alloc v1 64 in
+    Heap.free heap p;
+    Offset.add p (-Heap.block_header_size)
+  in
+  (* arena 0's header sits just past the superblock; its free-list head is
+     at +16 within the header *)
+  Pmem.write_int pmem
+    (off (64 + Heap.superblock_size + 16))
+    (Offset.to_int a1_block);
+  match Heap.check heap with
+  | Ok () -> Alcotest.fail "escaped free-list entry not detected"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the escape: %s" msg)
+        true
+        (String.length msg > 0
+        && String.sub msg 0 7 = "arena 0"
+        &&
+        let has_sub needle =
+          let n = String.length needle and h = String.length msg in
+          let rec go i =
+            i + n <= h && (String.sub msg i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        has_sub "escapes its owning arena")
+
+(* Differential check: the same seeded alloc/write/free trace on a 1-arena
+   and a 4-arena heap must end, after crash-free shutdown and recovery,
+   with identical live payload contents (addresses differ — the split
+   moves blocks — but every surviving payload's bytes must match). *)
+let test_differential_one_vs_many_arenas () =
+  let trace =
+    let rng = Random.State.make [| 0xA5EA |] in
+    List.init 120 (fun i ->
+        let sz = 24 + Random.State.int rng 200 in
+        (i, sz, Random.State.int rng 4))
+  in
+  let run ~arenas =
+    let pmem, heap = fresh_arena_heap ~arenas ~size:(1 lsl 17) ~len:(1 lsl 16) () in
+    let live = Hashtbl.create 64 in
+    List.iter
+      (fun (i, sz, route) ->
+        let view = Heap.with_arena heap (route mod Heap.arena_count heap) in
+        match Heap.alloc view sz with
+        | p ->
+            let fill = Char.chr (Char.code 'a' + (i mod 26)) in
+            Pmem.write_bytes pmem ~off:p (Bytes.make sz fill);
+            Pmem.flush pmem ~off:p ~len:sz;
+            Hashtbl.replace live i (p, sz, fill);
+            (* drop roughly a third of the allocations as we go *)
+            if i mod 3 = 0 then begin
+              Hashtbl.remove live i;
+              Heap.free heap p
+            end
+        | exception Heap.Out_of_heap_memory _ -> ())
+      trace;
+    Pmem.crash_and_restart pmem;
+    let recovered = Heap.recover pmem ~base:(off 64) in
+    (match Heap.check recovered with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%d-arena heap broken: %s" arenas msg);
+    Hashtbl.fold
+      (fun i (p, sz, fill) acc ->
+        let got = Bytes.to_string (Pmem.read_bytes pmem ~off:p ~len:sz) in
+        Alcotest.(check string)
+          (Printf.sprintf "%d-arena: payload %d intact" arenas i)
+          (String.make sz fill) got;
+        (i, sz, fill) :: acc)
+      live []
+    |> List.sort compare
+  in
+  let one = run ~arenas:1 and many = run ~arenas:4 in
+  Alcotest.(check int) "same number of survivors" (List.length one)
+    (List.length many);
+  List.iter2
+    (fun (i1, s1, f1) (i2, s2, f2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "survivor %d matches" i1)
+        true
+        (i1 = i2 && s1 = s2 && f1 = f2))
+    one many
+
+(* Crash sweep over the arena commit protocols: formatting a multi-arena
+   heap (the superblock flush is the commit of the split), a cross-arena
+   free, and arena stealing.  Crash before every persistence op in turn;
+   after recovery the invariants must hold — or, if the crash predates the
+   format's commit, attach must fail the magic test cleanly. *)
+let test_arena_crash_point_sweep () =
+  let workload pmem =
+    let heap = Heap.format ~arenas:2 pmem ~base:(off 64) ~len:4096 in
+    let v0 = Heap.with_arena heap 0 and v1 = Heap.with_arena heap 1 in
+    let a = Heap.alloc v0 64 in
+    let b = Heap.alloc v1 64 in
+    Heap.free v1 a;
+    (* cross-arena free *)
+    let rec exhaust acc =
+      match Heap.alloc v0 300 with
+      | p -> exhaust (p :: acc)
+      | exception Heap.Out_of_heap_memory _ -> acc
+    in
+    let stolen = exhaust [] in
+    (* stealing path *)
+    List.iter (Heap.free heap) stolen;
+    Heap.free heap b
+  in
+  let total =
+    let pmem = Pmem.create ~size:8192 () in
+    workload pmem;
+    Crash.ops (Pmem.crash_ctl pmem)
+  in
+  Alcotest.(check bool) "workload persists something" true (total > 20);
+  for point = 1 to total do
+    let pmem = Pmem.create ~size:8192 () in
+    Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point);
+    (try workload pmem with Crash.Crash_now -> ());
+    Pmem.crash_and_restart pmem;
+    match Heap.recover pmem ~base:(off 64) with
+    | recovered -> (
+        (match Heap.check recovered with
+        | Ok () -> ()
+        | Error msg ->
+            Alcotest.failf "crash at op %d/%d broke the heap: %s" point total
+              msg);
+        let x = Heap.alloc recovered 64 in
+        Heap.free recovered x)
+    | exception Invalid_argument _ ->
+        (* pre-commit crash: the region must be re-formattable *)
+        let heap = Heap.format ~arenas:2 pmem ~base:(off 64) ~len:4096 in
+        check_ok heap
+  done
+
+(* Crash during multi-arena recovery itself: arenas are rebuilt one after
+   another; a crash between arena rebuilds must leave a state a repeated
+   recovery handles. *)
+let test_arena_crash_during_recovery () =
+  let build () =
+    let pmem = Pmem.create ~size:(64 * 1024) () in
+    let heap = Heap.format ~arenas:4 pmem ~base:(off 64) ~len:(32 * 1024) in
+    Array.iteri
+      (fun i view ->
+        let blocks = List.init 5 (fun _ -> Heap.alloc view 64) in
+        List.iteri
+          (fun j b -> if (i + j) mod 2 = 0 then Heap.free heap b)
+          blocks)
+      (Array.init 4 (Heap.with_arena heap));
+    pmem
+  in
+  let total =
+    let pmem = build () in
+    Crash.arm (Pmem.crash_ctl pmem) Crash.Never;
+    let before = Crash.ops (Pmem.crash_ctl pmem) in
+    ignore (Heap.recover pmem ~base:(off 64));
+    Crash.ops (Pmem.crash_ctl pmem) - before
+  in
+  for point = 1 to total do
+    let pmem = build () in
+    Crash.arm (Pmem.crash_ctl pmem) (Crash.At_op point);
+    (try ignore (Heap.recover pmem ~base:(off 64))
+     with Crash.Crash_now -> ());
+    Pmem.crash_and_restart pmem;
+    let recovered = Heap.recover pmem ~base:(off 64) in
+    match Heap.check recovered with
+    | Ok () -> ()
+    | Error msg ->
+        Alcotest.failf "re-recovery after crash at op %d failed: %s" point msg
+  done
+
 let test_concurrent_alloc_free () =
   let _, heap = fresh_heap ~size:(1 lsl 20) ~len:(1 lsl 19) () in
   let domains =
@@ -203,6 +445,22 @@ let test_concurrent_alloc_free () =
   List.iter Domain.join domains;
   check_ok heap;
   Alcotest.(check int) "nothing leaked" 0 (Heap.block_count heap ~allocated:true)
+
+let test_concurrent_arena_bound () =
+  let _, heap = fresh_arena_heap ~arenas:4 ~size:(1 lsl 20) ~len:(1 lsl 19) () in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let view = Heap.with_arena heap i in
+            for _ = 1 to 200 do
+              let a = Heap.alloc view 48 in
+              Heap.free view a
+            done))
+  in
+  List.iter Domain.join domains;
+  check_ok heap;
+  Alcotest.(check int) "nothing leaked" 0
+    (Heap.block_count heap ~allocated:true)
 
 let () =
   Alcotest.run "nvheap"
@@ -231,9 +489,30 @@ let () =
           Alcotest.test_case "crash during recovery" `Slow
             test_crash_during_recovery;
         ] );
+      ( "arenas",
+        [
+          Alcotest.test_case "format and attach" `Quick
+            test_arena_format_and_attach;
+          Alcotest.test_case "binding routes allocations" `Quick
+            test_arena_binding_routes_allocations;
+          Alcotest.test_case "cross-arena free routes home" `Quick
+            test_cross_arena_free_routes_home;
+          Alcotest.test_case "stealing and OOM" `Quick
+            test_arena_stealing_and_oom;
+          Alcotest.test_case "containment invariant" `Quick
+            test_check_rejects_escaped_free_list;
+          Alcotest.test_case "differential 1 vs 4 arenas" `Quick
+            test_differential_one_vs_many_arenas;
+          Alcotest.test_case "arena crash-point sweep" `Slow
+            test_arena_crash_point_sweep;
+          Alcotest.test_case "arena crash during recovery" `Slow
+            test_arena_crash_during_recovery;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "parallel alloc/free" `Quick
             test_concurrent_alloc_free;
+          Alcotest.test_case "parallel arena-bound alloc/free" `Quick
+            test_concurrent_arena_bound;
         ] );
     ]

@@ -232,11 +232,11 @@ let new_row ~bench ~workers ~ops =
      \"flush_per_op\": 3.0005 }"
     bench workers ops
 
-let run_gate baseline candidate =
+let run_gate ?(flags = "") baseline candidate =
   Sys.command
-    (Printf.sprintf "%s --baseline %s --candidate %s > /dev/null"
+    (Printf.sprintf "%s --baseline %s --candidate %s %s > /dev/null"
        (Filename.quote bench_gate_exe) (Filename.quote baseline)
-       (Filename.quote candidate))
+       (Filename.quote candidate) flags)
 
 let in_temp name rows =
   let path = Filename.temp_file name ".json" in
@@ -270,6 +270,72 @@ let test_bench_gate_tolerates_new_columns () =
   Alcotest.(check int) "regression still detected through new columns" 1
     (run_gate baseline regressed);
   List.iter Sys.remove [ baseline; candidate; regressed ]
+
+let test_bench_gate_missing_row_fails () =
+  (* a baseline row with no candidate counterpart used to be dropped by the
+     pairing filter, letting the gate pass vacuously when a bench silently
+     vanished from the output *)
+  let baseline =
+    in_temp "gate_base3"
+      [
+        old_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+        old_row ~bench:"push_pop" ~workers:8 ~ops:900.;
+      ]
+  in
+  let cand_missing =
+    in_temp "gate_cand3" [ new_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  Alcotest.(check int) "vanished row fails the gate" 1
+    (run_gate baseline cand_missing);
+  Alcotest.(check int) "--allow-missing waives it" 0
+    (run_gate ~flags:"--allow-missing" baseline cand_missing);
+  (* the failure output must name the missing bench and worker count *)
+  let out = Filename.temp_file "gate_out" ".txt" in
+  ignore
+    (Sys.command
+       (Printf.sprintf "%s --baseline %s --candidate %s > %s"
+          (Filename.quote bench_gate_exe) (Filename.quote baseline)
+          (Filename.quote cand_missing) (Filename.quote out)));
+  let ic = open_in out in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length content in
+    let rec go i =
+      i + n <= h && (String.sub content i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "names the missing row" true
+    (contains "push_pop/8w");
+  List.iter Sys.remove [ baseline; cand_missing; out ]
+
+let test_bench_gate_min_scaling () =
+  let baseline =
+    in_temp "gate_base4"
+      [
+        old_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+        old_row ~bench:"push_pop" ~workers:8 ~ops:800.;
+      ]
+  in
+  (* candidate scales at 0.8: below a 1.0 floor, above a 0.5 floor *)
+  let candidate =
+    in_temp "gate_cand4"
+      [
+        new_row ~bench:"push_pop" ~workers:1 ~ops:1000.;
+        new_row ~bench:"push_pop" ~workers:8 ~ops:800.;
+      ]
+  in
+  Alcotest.(check int) "scaling 0.8 passes a 0.5 floor" 0
+    (run_gate ~flags:"--min-scaling 0.5" baseline candidate);
+  Alcotest.(check int) "scaling 0.8 fails a 1.0 floor" 1
+    (run_gate ~flags:"--min-scaling 1.0" baseline candidate);
+  Alcotest.(check int) "no floor: plain row comparison still passes" 0
+    (run_gate baseline candidate);
+  List.iter Sys.remove [ baseline; candidate ]
 
 let test_bench_gate_missing_field_is_an_error () =
   (* row-bounded parsing: a row without its own throughput must be a parse
@@ -325,5 +391,9 @@ let () =
             test_bench_gate_tolerates_new_columns;
           Alcotest.test_case "missing field is an error" `Quick
             test_bench_gate_missing_field_is_an_error;
+          Alcotest.test_case "missing row fails" `Quick
+            test_bench_gate_missing_row_fails;
+          Alcotest.test_case "min scaling floor" `Quick
+            test_bench_gate_min_scaling;
         ] );
     ]
