@@ -334,10 +334,15 @@ let instrument_pass ~workers ~iters setup =
   let s = Obs.Histogram.summary hist in
   let totals = Obs.Counters.totals Obs.Probe.counters in
   let ops = workers * probe_iters in
+  (* Persistence cost per op: eager flush calls plus coalesced drain
+     events (an elided flush is bookkeeping, not a write-back — the drain
+     is where the cost lands).  On an eager device [drains] is 0 and this
+     is the old flushes/ops metric, bit for bit. *)
   ( s.Obs.Histogram.p50,
     s.Obs.Histogram.p95,
     s.Obs.Histogram.p99,
-    float_of_int totals.Obs.Counters.flushes /. float_of_int ops )
+    float_of_int (totals.Obs.Counters.flushes + totals.Obs.Counters.drains)
+    /. float_of_int ops )
 
 (* Each row's throughput is the best of [timing_repeats] fresh runs: the
    host's frequency scaling and scheduling noise swamp single-shot numbers,
@@ -380,53 +385,97 @@ let scale_bench ~name ~workers ~iters setup =
     flush_per_op;
   }
 
-let push_pop_setup ~workers () =
+(* Each scaling workload also runs in a [_coalesced] variant: the same
+   loop body on a [Flush_mode.Coalesced] device, with one
+   [Pmem.persist_barrier] per iteration standing in for the runtime's
+   per-call completion barrier.  The eager variants call nothing extra —
+   their closures never even test the mode — so their rows stay directly
+   comparable with the pre-coalescing baseline. *)
+
+let push_pop_setup ?(flush_mode = Pmem.Eager) ~workers () =
   let stride = 8192 in
-  let pmem = Pmem.create ~size:(workers * stride) () in
+  let pmem = Pmem.create ~flush_mode ~size:(workers * stride) () in
   let stacks =
     Array.init workers (fun i ->
         Pstack.Bounded.create pmem ~base:(off (i * stride)) ~capacity:stride)
   in
   let args = Bytes.make 16 's' in
-  fun i ->
-    let s = stacks.(i) in
-    Pstack.Bounded.push s ~func_id:2 ~args;
-    Pstack.Bounded.pop s
+  match flush_mode with
+  | Pmem.Eager ->
+      fun i ->
+        let s = stacks.(i) in
+        Pstack.Bounded.push s ~func_id:2 ~args;
+        Pstack.Bounded.pop s
+  | Pmem.Coalesced ->
+      fun i ->
+        let s = stacks.(i) in
+        Pstack.Bounded.push s ~func_id:2 ~args;
+        Pstack.Bounded.pop s;
+        Pmem.persist_barrier pmem
 
 (* one shared device; each worker owns a bounded stack in its own
    line-aligned region, so no two workers ever touch the same line *)
 let scale_push_pop ~workers ~iters =
   scale_bench ~name:"push_pop" ~workers ~iters (push_pop_setup ~workers)
 
-let rcas_setup ~workers () =
+let scale_push_pop_coalesced ~workers ~iters =
+  scale_bench ~name:"push_pop_coalesced" ~workers ~iters
+    (push_pop_setup ~flush_mode:Pmem.Coalesced ~workers)
+
+let rcas_setup ?(flush_mode = Pmem.Eager) ~workers () =
   let region = Rcas.region_size ~nprocs:1 in
   let stride = (region + 63) / 64 * 64 in
-  let pmem = Pmem.create ~auto_flush:true ~size:(workers * stride) () in
+  let pmem =
+    Pmem.create ~auto_flush:true ~flush_mode ~size:(workers * stride) ()
+  in
   let regs =
     Array.init workers (fun i ->
         Rcas.create pmem ~base:(off (i * stride)) ~nprocs:1 ~init:0
           ~variant:Rcas.Correct)
   in
   let values = Array.make workers 0 in
-  fun i ->
-    let t = regs.(i) in
-    let cur = values.(i) and next = (values.(i) + 1) land 0xFFFF in
-    ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
-    values.(i) <- next
+  match flush_mode with
+  | Pmem.Eager ->
+      fun i ->
+        let t = regs.(i) in
+        let cur = values.(i) and next = (values.(i) + 1) land 0xFFFF in
+        ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
+        values.(i) <- next
+  | Pmem.Coalesced ->
+      fun i ->
+        let t = regs.(i) in
+        let cur = values.(i) and next = (values.(i) + 1) land 0xFFFF in
+        ignore (Rcas.cas t ~pid:0 ~expected:cur ~desired:next);
+        values.(i) <- next;
+        Pmem.persist_barrier pmem
 
 (* per-worker single-process recoverable CAS registers at disjoint
-   line-aligned offsets of one auto-flush device *)
+   line-aligned offsets of one auto-flush device.  The coalesced variant
+   shows the limit case: auto-flush leaves nothing dirty, so every flush
+   call elides and flush/op drops to zero. *)
 let scale_rcas ~workers ~iters =
   scale_bench ~name:"rcas" ~workers ~iters (rcas_setup ~workers)
 
-let heap_alloc_setup ~workers () =
-  let pmem = Pmem.create ~size:(1 lsl 22) () in
+let scale_rcas_coalesced ~workers ~iters =
+  scale_bench ~name:"rcas_coalesced" ~workers ~iters
+    (rcas_setup ~flush_mode:Pmem.Coalesced ~workers)
+
+let heap_alloc_setup ?(flush_mode = Pmem.Eager) ~workers () =
+  let pmem = Pmem.create ~flush_mode ~size:(1 lsl 22) () in
   let heap = Heap.format ~arenas:workers pmem ~base:(off 64) ~len:(1 lsl 21) in
   let views = Array.init workers (fun i -> Heap.with_arena heap i) in
-  fun i ->
-    let h = views.(i) in
-    let a = Heap.alloc h 64 in
-    Heap.free h a
+  match flush_mode with
+  | Pmem.Eager ->
+      fun i ->
+        let h = views.(i) in
+        let a = Heap.alloc h 64 in
+        Heap.free h a
+  | Pmem.Coalesced ->
+      fun i ->
+        let h = views.(i) in
+        let a = Heap.alloc h 64 in
+        Heap.free h a;
+        Pmem.persist_barrier pmem
 
 (* one shared heap split into one arena per worker (the runtime's layout);
    each worker allocates through its own arena view, so this row measures
@@ -434,13 +483,20 @@ let heap_alloc_setup ~workers () =
 let scale_heap_alloc ~workers ~iters =
   scale_bench ~name:"heap_alloc" ~workers ~iters (heap_alloc_setup ~workers)
 
+let scale_heap_alloc_coalesced ~workers ~iters =
+  scale_bench ~name:"heap_alloc_coalesced" ~workers ~iters
+    (heap_alloc_setup ~flush_mode:Pmem.Coalesced ~workers)
+
 let scaling_rows ~iters =
   List.concat_map
     (fun workers ->
       [
         scale_push_pop ~workers ~iters;
+        scale_push_pop_coalesced ~workers ~iters;
         scale_rcas ~workers ~iters;
+        scale_rcas_coalesced ~workers ~iters;
         scale_heap_alloc ~workers ~iters;
+        scale_heap_alloc_coalesced ~workers ~iters;
       ])
     [ 1; 2; 4; 8 ]
 

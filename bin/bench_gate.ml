@@ -25,9 +25,26 @@
    per-operation-allocation regression makes 8 workers *slower* than 1),
    which median-normalised per-row comparison cannot see.
 
+   [--max-flush-per-op BENCH=B] (repeatable) asserts a flush budget on the
+   candidate alone: every candidate row of BENCH must report
+   flush_per_op <= B.  Unlike throughput, flush counts are deterministic
+   and machine-independent, so the budget is absolute — this is the gate
+   that keeps the flush coalescer honest (a protocol change that silently
+   reintroduces eager write-backs fails here, not in a noisy timing
+   column).  A budgeted bench with no candidate rows, or a budgeted row
+   without the flush_per_op field, is a parse error (exit 2): a budget
+   that cannot be evaluated must never pass vacuously.
+
    Exit codes: 0 pass, 1 regression, 2 usage/parse error. *)
 
-type row = { bench : string; workers : int; ops_per_sec : float }
+type row = {
+  bench : string;
+  workers : int;
+  ops_per_sec : float;
+  (* Absent in pre-coalescing bench files; only consulted when a
+     [--max-flush-per-op] budget names the row's bench. *)
+  flush_per_op : float option;
+}
 
 exception Parse_error of string
 
@@ -88,6 +105,9 @@ let parse_rows content =
             bench = string_field row_content at "bench";
             workers = int_of_float (number_field row_content at "workers");
             ops_per_sec = number_field row_content at "ops_per_sec";
+            flush_per_op =
+              (try Some (number_field row_content at "flush_per_op")
+               with Parse_error _ -> None);
           }
         in
         go after (row :: acc)
@@ -139,7 +159,41 @@ let scaling_failures cand ~floor =
       | _ -> None)
     benches
 
-let run baseline candidate tolerance absolute allow_missing min_scaling =
+(* Flush budgets on the candidate alone; deterministic, so absolute.  A
+   budget that cannot be evaluated (unknown bench, or rows without the
+   field) raises rather than passing vacuously. *)
+let flush_budget_failures cand ~budgets =
+  List.concat_map
+    (fun (bench, budget) ->
+      let rows = List.filter (fun c -> c.bench = bench) cand in
+      if rows = [] then
+        raise
+          (Parse_error
+             (Printf.sprintf
+                "--max-flush-per-op %s=%g matches no candidate row" bench
+                budget));
+      List.filter_map
+        (fun c ->
+          match c.flush_per_op with
+          | None ->
+              raise
+                (Parse_error
+                   (Printf.sprintf
+                      "candidate row %s/%dw has no flush_per_op field \
+                       (required by --max-flush-per-op)"
+                      c.bench c.workers))
+          | Some f ->
+              let bad = f > budget in
+              Printf.printf
+                "flush   %-22s %dw  %.4f flush/op (budget %.2f) %s\n" c.bench
+                c.workers f budget
+                (if bad then "FAIL" else "ok");
+              if bad then Some (c.bench, c.workers, f) else None)
+        rows)
+    budgets
+
+let run baseline candidate tolerance absolute allow_missing min_scaling
+    flush_budgets =
   let base = read_rows baseline and cand = read_rows candidate in
   let missing =
     List.filter
@@ -197,6 +251,7 @@ let run baseline candidate tolerance absolute allow_missing min_scaling =
     | None -> []
     | Some r -> scaling_failures cand ~floor:r
   in
+  let flush_failed = flush_budget_failures cand ~budgets:flush_budgets in
   let verdicts =
     [
       (failures <> [],
@@ -208,8 +263,19 @@ let run baseline candidate tolerance absolute allow_missing min_scaling =
           to waive)"
          (List.length missing));
       (scaling_failed <> [],
-       Printf.sprintf "%d bench(es) scale below the floor"
-         (List.length scaling_failed));
+       Printf.sprintf "scaling below the floor: %s"
+         (String.concat ", "
+            (List.map
+               (fun (bench, w, r) ->
+                 Printf.sprintf "%s (%dw/1w=%.3f)" bench w r)
+               scaling_failed)));
+      (flush_failed <> [],
+       Printf.sprintf "flush budget exceeded: %s"
+         (String.concat ", "
+            (List.map
+               (fun (bench, w, f) ->
+                 Printf.sprintf "%s/%dw=%.2f flush/op" bench w f)
+               flush_failed)));
     ]
     |> List.filter_map (fun (bad, msg) -> if bad then Some msg else None)
   in
@@ -225,13 +291,15 @@ let run baseline candidate tolerance absolute allow_missing min_scaling =
 let usage () =
   prerr_endline
     "usage: bench_gate --baseline PATH --candidate PATH [--tolerance T] \
-     [--absolute] [--allow-missing] [--min-scaling R]";
+     [--absolute] [--allow-missing] [--min-scaling R] \
+     [--max-flush-per-op BENCH=B]...";
   exit 2
 
 let () =
   let baseline = ref None and candidate = ref None in
   let tolerance = ref 0.30 and absolute = ref false in
   let allow_missing = ref false and min_scaling = ref None in
+  let flush_budgets = ref [] in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: path :: rest ->
@@ -258,12 +326,29 @@ let () =
             min_scaling := Some r;
             parse rest
         | _ -> usage ())
+    | "--max-flush-per-op" :: spec :: rest -> (
+        match String.index_opt spec '=' with
+        | Some i -> (
+            let bench = String.sub spec 0 i in
+            let budget =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+            in
+            match float_of_string_opt budget with
+            | Some b when bench <> "" && b >= 0. ->
+                flush_budgets := !flush_budgets @ [ (bench, b) ];
+                parse rest
+            | _ -> usage ())
+        | None -> usage ())
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   match (!baseline, !candidate) with
   | Some b, Some c -> (
-      try exit (run b c !tolerance !absolute !allow_missing !min_scaling) with
+      try
+        exit
+          (run b c !tolerance !absolute !allow_missing !min_scaling
+             !flush_budgets)
+      with
       | Parse_error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 2)

@@ -122,10 +122,10 @@ let main_term =
   let kinds =
     Arg.(
       value
-      & opt string "rstack,rqueue,rmap,rcas"
+      & opt string "rstack,rqueue,rmap,rcas,rcounter"
       & info [ "kinds" ] ~docv:"K1,K2"
           ~doc:"Comma-separated workload kinds (rstack, rqueue, rmap, rcas, \
-                faulty).")
+                rcounter, faulty).")
   in
   let max_ops = Arg.(value & opt int 48 & info [ "max-ops" ] ~docv:"N") in
   let max_workers =

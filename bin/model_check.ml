@@ -11,9 +11,15 @@
 
    [--kind K] explores a single workload kind instead (with a short
    deterministic op trace), and [--replay FILE] re-runs a reproducer under
-   the cooperative scheduler.  Exit codes: 0 expected outcome, 1
-   violation-side surprise, 2 usage error. *)
+   the cooperative scheduler.  [--flush-mode coalesced] runs any of the
+   above on coalescing devices.  [--equivalence] runs the two-phase
+   eager/coalesced equivalence check on the correct-CAS pair and the
+   rcounter workload; with [--broken-drain] the coalescer is sabotaged and
+   the check MUST catch the divergence (exit 0 iff it does) — the CI leg
+   that proves the certificate has teeth.  Exit codes: 0 expected outcome,
+   1 violation-side surprise, 2 usage error. *)
 
+module Pmem = Nvram.Pmem
 module Workload = Fuzz.Workload
 module Reproducer = Fuzz.Reproducer
 
@@ -28,11 +34,12 @@ let cas_workload ~kind ~workers =
     ops = List.init workers (fun i -> Workload.Cas (i, i + 1));
   }
 
-let config ~preempt ~max_executions =
+let config ~preempt ~max_executions ~flush_mode =
   {
     Mc.Explore.default_config with
     Mc.Explore.preempt_bound = preempt;
     max_executions;
+    flush_mode;
   }
 
 let explore_one ~label ~config ~out workload =
@@ -62,8 +69,8 @@ let explore_one ~label ~config ~out workload =
 
 (* The headline E3 deliverable: the buggy CAS must be caught, the correct
    one must be certified — both exhaustively and deterministically. *)
-let run_e3 ~workers ~preempt ~max_executions ~out =
-  let config = config ~preempt ~max_executions in
+let run_e3 ~workers ~preempt ~max_executions ~flush_mode ~out =
+  let config = config ~preempt ~max_executions ~flush_mode in
   let buggy =
     explore_one ~label:"buggy-cas" ~config ~out:(Some out)
       (cas_workload ~kind:Workload.Rcas_buggy ~workers)
@@ -82,13 +89,13 @@ let run_e3 ~workers ~preempt ~max_executions ~out =
          correct-CAS certificate)";
       1
 
-let run_kind ~kind ~workers ~preempt ~max_executions ~n_ops ~out =
+let run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops ~out =
   match Workload.kind_of_string kind with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       2
   | Ok kind ->
-      let config = config ~preempt ~max_executions in
+      let config = config ~preempt ~max_executions ~flush_mode in
       let workload =
         match kind with
         | Workload.Rcas | Workload.Rcas_buggy ->
@@ -113,7 +120,73 @@ let run_kind ~kind ~workers ~preempt ~max_executions ~n_ops ~out =
       | Mc.Explore.Violation _, true | Mc.Explore.Certified _, false -> 0
       | _ -> 1)
 
-let run_replay path =
+(* The equivalence deliverable: the coalesced search must reach no recovery
+   state the eager search cannot.  The correct-CAS pair runs on an
+   auto-flush device (coalescing inert — a sanity leg), rcounter on the
+   cached device where coalescing actually defers write-backs.  With
+   [broken_drain] the sabotaged coalescer MUST be caught on the cached
+   workload; exit 0 iff a divergence fired. *)
+let run_equivalence ~workers ~preempt ~max_executions ~n_ops ~broken_drain
+    ~out =
+  let config = config ~preempt ~max_executions ~flush_mode:Pmem.Eager in
+  let rng = Random.State.make [| 1 |] in
+  let workloads =
+    [
+      cas_workload ~kind:Workload.Rcas ~workers;
+      Workload.generate Workload.Rcounter ~rng ~n_ops ~workers;
+    ]
+  in
+  let check workload =
+    Format.printf "[equivalence] %a (preempt bound %d%s)@." Workload.pp
+      workload config.Mc.Explore.preempt_bound
+      (if broken_drain then ", drain sabotaged" else "");
+    match Mc.Explore.check_equivalence ~config ~broken_drain workload with
+    | Mc.Explore.Equivalent { eager; coalesced; distinct_states } ->
+        Format.printf
+          "[equivalence] equivalent: %d distinct recovery states; eager %a; \
+           coalesced %a@."
+          distinct_states Mc.Explore.pp_stats eager Mc.Explore.pp_stats
+          coalesced;
+        `Equivalent
+    | Mc.Explore.Divergent (v, stats) ->
+        Format.printf "[equivalence] DIVERGENCE: %s@." v.Mc.Explore.reason;
+        Format.printf "[equivalence] after %a@." Mc.Explore.pp_stats stats;
+        let repro = Mc.Explore.reproducer ~workload v in
+        print_endline "--- reproducer (replay with --flush-mode coalesced) ---";
+        List.iter print_endline (Reproducer.to_lines repro);
+        print_endline "--- end reproducer ---";
+        Reproducer.write out repro;
+        Printf.printf "wrote %s\n" out;
+        `Divergent
+    | Mc.Explore.Equivalence_inconclusive msg ->
+        Format.printf "[equivalence] inconclusive: %s@." msg;
+        `Inconclusive
+  in
+  let results = List.map check workloads in
+  if broken_drain then
+    if List.mem `Divergent results then begin
+      print_endline
+        "model_check: OK (sabotaged drain caught by the equivalence check)";
+      0
+    end
+    else begin
+      prerr_endline
+        "model_check: FAILED (sabotaged drain was NOT caught — the \
+         equivalence check has no teeth)";
+      1
+    end
+  else if List.for_all (fun r -> r = `Equivalent) results then begin
+    print_endline "model_check: OK (eager and coalesced flushing equivalent)";
+    0
+  end
+  else begin
+    prerr_endline
+      "model_check: FAILED (eager/coalesced divergence or inconclusive \
+       phase)";
+    1
+  end
+
+let run_replay ~flush_mode path =
   match Reproducer.read path with
   | Error msg ->
       Printf.eprintf "error: %s: %s\n" path msg;
@@ -124,7 +197,10 @@ let run_replay path =
       (match repro.Reproducer.expected with
       | Some msg -> Printf.printf "expected failure: %s\n" msg
       | None -> ());
-      match Mc.Explore.replay repro with
+      let config =
+        { Mc.Explore.default_config with Mc.Explore.flush_mode }
+      in
+      match Mc.Explore.replay ~config repro with
       | { Fuzz.Harness.verdict = Fuzz.Harness.Pass; _ } ->
           print_endline "verdict: pass";
           if repro.Reproducer.expected = None then 0 else 1
@@ -161,7 +237,33 @@ let main_term =
       & info [ "kind" ] ~docv:"KIND"
           ~doc:
             "Explore one workload kind (rstack, rqueue, rmap, rcas, \
-             rcas-buggy, faulty) instead of the E3 pair.")
+             rcas-buggy, faulty, rcounter) instead of the E3 pair.")
+  in
+  let flush_mode =
+    Arg.(
+      value
+      & opt (enum [ ("eager", Pmem.Eager); ("coalesced", Pmem.Coalesced) ])
+          Pmem.Eager
+      & info [ "flush-mode" ] ~docv:"MODE"
+          ~doc:
+            "Device flush mode for exploration and replay: $(b,eager) \
+             (default) or $(b,coalesced) (FliT-style write-behind).")
+  in
+  let equivalence =
+    Arg.(
+      value & flag
+      & info [ "equivalence" ]
+          ~doc:
+            "Run the two-phase eager/coalesced equivalence check instead \
+             of the E3 pair.")
+  in
+  let broken_drain =
+    Arg.(
+      value & flag
+      & info [ "broken-drain" ]
+          ~doc:
+            "With $(b,--equivalence): sabotage the coalescer's drain and \
+             demand the check catches it (exit 0 iff a divergence fires).")
   in
   let out =
     Arg.(
@@ -176,17 +278,23 @@ let main_term =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-run a reproducer under the cooperative scheduler.")
   in
-  let run replay kind workers preempt max_executions n_ops out =
+  let run replay kind flush_mode equivalence broken_drain workers preempt
+      max_executions n_ops out =
     Stdlib.exit
-      (match (replay, kind) with
-      | Some path, _ -> run_replay path
-      | None, Some kind ->
-          run_kind ~kind ~workers ~preempt ~max_executions ~n_ops ~out
-      | None, None -> run_e3 ~workers ~preempt ~max_executions ~out)
+      (match (replay, equivalence, kind) with
+      | Some path, _, _ -> run_replay ~flush_mode path
+      | None, true, _ ->
+          run_equivalence ~workers ~preempt ~max_executions ~n_ops
+            ~broken_drain ~out
+      | None, false, Some kind ->
+          run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops
+            ~out
+      | None, false, None ->
+          run_e3 ~workers ~preempt ~max_executions ~flush_mode ~out)
   in
   Term.(
-    const run $ replay $ kind $ workers $ preempt $ max_executions $ n_ops
-    $ out)
+    const run $ replay $ kind $ flush_mode $ equivalence $ broken_drain
+    $ workers $ preempt $ max_executions $ n_ops $ out)
 
 let () =
   let doc =

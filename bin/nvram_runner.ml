@@ -89,6 +89,19 @@ let run_worker w =
         (match System.recover ~reclaim:(fun () -> Option.to_list (System.root sys)) sys with
         | `Completed -> ()
         | `Crashed -> assert false (* no in-process crash plan armed *));
+        (* A kill can land between [System.create] and the last submit of
+           the fresh-image branch below, leaving the image with fewer
+           tasks than the workload.  Submission order is deterministic
+           (same seeded generator), so top up the missing tail — another
+           kill mid-top-up just converges on a later attempt. *)
+        let submitted = List.length (System.results sys) in
+        List.iteri
+          (fun i (old_value, new_value) ->
+            if i >= submitted then
+              ignore
+                (System.submit sys ~func_id:cas_id
+                   ~args:(Value.of_int2 old_value new_value)))
+          pairs;
         sys
     | exception Invalid_argument _ ->
         (* fresh image *)

@@ -17,6 +17,7 @@ type outcome = {
   stats : stats;
   crash_points : (int * int) list;
   history : Verify.History.t option;
+  fingerprint : string;
 }
 
 (* Function identifiers of the fuzz workloads (2 is the first free id). *)
@@ -35,6 +36,7 @@ let rm_attempt_id = 51
 let cas_id = 52
 let cas_attempt_id = 53
 let bump_id = 54
+let rbump_id = 55
 let map_buckets = 16
 
 let ( let* ) r f = match r with Ok v -> f v | Error msg -> Fail msg
@@ -232,9 +234,13 @@ type case = {
   init : System.t -> unit;
   reattach : System.t -> unit;
   reclaim : System.t -> Offset.t list;
-  submit_op : System.t -> Workload.op -> unit;
+  submit_op : System.t -> int -> Workload.op -> unit;
   (* evaluated after completion: per-kind verdict and optional history *)
   conclude : (int * int64) list -> verdict * Verify.History.t option;
+  (* evaluated after completion: a canonical digest of the surviving
+     structure state, combined with the answers into the outcome's
+     recovery fingerprint *)
+  digest : unit -> string;
 }
 
 let root_exn sys =
@@ -282,7 +288,7 @@ let stack_case pmem workload =
     reclaim =
       (fun sys -> root_exn sys :: Rstack.live_nodes (handle ()));
     submit_op =
-      (fun sys -> function
+      (fun sys _index -> function
         | Workload.Push v -> submit sys ~func_id:push_id ~args:(Value.of_int v)
         | Workload.Pop -> submit sys ~func_id:pop_id ~args:Bytes.empty
         | _ -> invalid_arg "Harness: non-stack op in an rstack workload");
@@ -291,6 +297,10 @@ let stack_case pmem workload =
         ( (let* answers = answers_in_order workload results in
            check_stack workload answers (Rstack.to_list (handle ()))),
           None ));
+    digest =
+      (fun () ->
+        Rstack.to_list (handle ())
+        |> List.map string_of_int |> String.concat ";");
   }
 
 let queue_case pmem workload =
@@ -320,7 +330,7 @@ let queue_case pmem workload =
     reclaim =
       (fun sys -> root_exn sys :: Rqueue.live_nodes (handle ()));
     submit_op =
-      (fun sys -> function
+      (fun sys _index -> function
         | Workload.Enqueue v -> submit sys ~func_id:enq_id ~args:(Value.of_int v)
         | Workload.Dequeue -> submit sys ~func_id:deq_id ~args:Bytes.empty
         | _ -> invalid_arg "Harness: non-queue op in an rqueue workload");
@@ -329,6 +339,10 @@ let queue_case pmem workload =
         ( (let* answers = answers_in_order workload results in
            check_queue workload answers (Rqueue.to_list (handle ()))),
           None ));
+    digest =
+      (fun () ->
+        Rqueue.to_list (handle ())
+        |> List.map string_of_int |> String.concat ";");
   }
 
 let map_case pmem workload =
@@ -361,7 +375,7 @@ let map_case pmem workload =
                ~buckets:map_buckets ~nprocs));
     reclaim = (fun sys -> root_exn sys :: Rmap.live_nodes (handle ()));
     submit_op =
-      (fun sys -> function
+      (fun sys _index -> function
         | Workload.Put (k, v) ->
             submit sys ~func_id:put_id ~args:(Value.of_int2 k v)
         | Workload.Remove k -> submit sys ~func_id:rm_id ~args:(Value.of_int k)
@@ -371,6 +385,12 @@ let map_case pmem workload =
         ( (let* answers = answers_in_order workload results in
            check_map workload answers (Rmap.bindings (handle ()))),
           None ));
+    digest =
+      (fun () ->
+        Rmap.bindings (handle ())
+        |> List.sort compare
+        |> List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v)
+        |> String.concat ";");
   }
 
 let cas_case pmem workload =
@@ -404,7 +424,7 @@ let cas_case pmem workload =
           Some (Rcas.attach pmem ~base:(root_exn sys) ~nprocs ~variant));
     reclaim = (fun sys -> [ root_exn sys ]);
     submit_op =
-      (fun sys -> function
+      (fun sys _index -> function
         | Workload.Cas (e, d) ->
             submit sys ~func_id:cas_id ~args:(Value.of_int2 e d)
         | _ -> invalid_arg "Harness: non-CAS op in an rcas workload");
@@ -417,6 +437,7 @@ let cas_case pmem workload =
               cas_history workload answers ~final:(Rcas.read (handle ()))
             in
             (check_cas history, Some history));
+    digest = (fun () -> string_of_int (Rcas.read (handle ())));
   }
 
 (* The planted bug: a recoverable counter whose recover blindly re-runs
@@ -448,7 +469,7 @@ let faulty_case pmem workload =
     reattach = (fun sys -> area := root_exn sys);
     reclaim = (fun sys -> [ root_exn sys ]);
     submit_op =
-      (fun sys -> function
+      (fun sys _index -> function
         | Workload.Bump -> submit sys ~func_id:bump_id ~args:Bytes.empty
         | _ -> invalid_arg "Harness: non-bump op in a faulty workload");
     conclude =
@@ -464,6 +485,82 @@ let faulty_case pmem workload =
                  got)
         in
         (verdict, None));
+    digest = (fun () -> string_of_int (Pmem.read_int pmem !area));
+  }
+
+(* The correct twin of the planted bug: op [i] moves the counter from [i]
+   to [i + 1], and both body and recovery first read the counter — if it
+   already reached [i + 1] the work persisted and only the answer is
+   (re)produced.  On the cached device this read-guard makes recovery
+   crash-safe, and it is what a broken flush coalescer violates: a
+   believed-complete op whose write-back was forgotten leaves a stale
+   counter, the next op's guard misfires, and the sequential oracle
+   reports the divergence. *)
+let rcounter_case pmem workload =
+  let registry = Runtime.Registry.create () in
+  let area = ref Offset.null in
+  let body _ctx args =
+    let i = Value.to_int args in
+    let v = Pmem.read_int pmem !area in
+    if v >= i + 1 then Int64.of_int (i + 1)
+    else begin
+      Pmem.write_int pmem !area (i + 1);
+      Pmem.flush pmem ~off:!area ~len:8;
+      Int64.of_int (i + 1)
+    end
+  in
+  Runtime.Registry.register registry ~id:rbump_id ~name:"fuzz.rcounter_bump"
+    ~body
+    ~recover:(Runtime.Registry.completing body);
+  {
+    registry;
+    init =
+      (fun sys ->
+        let base = Heap.alloc (System.heap sys) 64 in
+        Pmem.write_int pmem base 0;
+        Pmem.flush pmem ~off:base ~len:8;
+        area := base;
+        System.set_root sys base);
+    reattach = (fun sys -> area := root_exn sys);
+    reclaim = (fun sys -> [ root_exn sys ]);
+    submit_op =
+      (fun sys index -> function
+        | Workload.Bump ->
+            submit sys ~func_id:rbump_id ~args:(Value.of_int index)
+        | _ -> invalid_arg "Harness: non-bump op in an rcounter workload");
+    conclude =
+      (fun results ->
+        let expected = List.length workload.Workload.ops in
+        let got = Pmem.read_int pmem !area in
+        let verdict =
+          let* answers = answers_in_order workload results in
+          let rec check i = function
+            | [] ->
+                if got = expected then Pass
+                else
+                  Fail
+                    (Printf.sprintf "rcounter: expected %d, got %d" expected
+                       got)
+            | a :: rest ->
+                if Int64.equal a (Int64.of_int (i + 1)) then check (i + 1) rest
+                else
+                  Fail
+                    (Printf.sprintf
+                       "rcounter: op %d answered %Ld, expected %d" i a (i + 1))
+          in
+          check 0 answers
+        in
+        (verdict, None));
+    digest =
+      (fun () ->
+        (* The digest reads the {e persistent} image, not the cache: the
+           cached value self-heals (every op writes its own ordinal), but a
+           forgotten write-back leaves the persistent counter stale — which
+           is precisely the divergence the equivalence check must see. *)
+        Int64.to_string
+          (Bytes.get_int64_le
+             (Pmem.peek_persistent pmem ~off:!area ~len:8)
+             0));
   }
 
 let case_of pmem (workload : Workload.t) =
@@ -473,21 +570,30 @@ let case_of pmem (workload : Workload.t) =
   | Workload.Rmap -> map_case pmem workload
   | Workload.Rcas | Workload.Rcas_buggy -> cas_case pmem workload
   | Workload.Faulty -> faulty_case pmem workload
+  | Workload.Rcounter -> rcounter_case pmem workload
 
 let default_device_size = 1 lsl 21
 
 let run_once ?spawn ?(device_size = default_device_size)
-    (workload : Workload.t) (schedule : Schedule.t) =
+    ?(flush_mode = Pmem.Eager) ?(break_drain = false) (workload : Workload.t)
+    (schedule : Schedule.t) =
   (* Section 5's cache-less model for the real structures (they are built
-     for auto-flush devices in their own test suites); the planted-bug
-     counter manages its own flushes on a cached device. *)
-  let auto_flush = workload.kind <> Workload.Faulty in
+     for auto-flush devices in their own test suites); the two counters
+     manage their own flushes on a cached device — the only device where
+     flush coalescing has observable persistence effects. *)
+  let auto_flush =
+    match workload.kind with
+    | Workload.Faulty | Workload.Rcounter -> false
+    | _ -> true
+  in
   (* A cooperative spawn strategy controls the interleaving itself: the
      sleep-based yield would only add nondeterministic wall-clock noise. *)
   let yield_probability =
     if workload.workers > 1 && Option.is_none spawn then 0.3 else 0.
   in
-  let pmem = Pmem.create ~auto_flush ~yield_probability ~size:device_size () in
+  let pmem =
+    Pmem.create ~auto_flush ~flush_mode ~yield_probability ~size:device_size ()
+  in
   let spawn = Option.map (fun f -> f pmem) spawn in
   let case = case_of pmem workload in
   let config =
@@ -506,17 +612,23 @@ let run_once ?spawn ?(device_size = default_device_size)
         crash_points := (era, at_op) :: !crash_points
   in
   let submit sys =
+    (* Sabotage arms here — after the heap format and the case's init have
+       drained their own lines — so the forgotten write-back lands on
+       workload-era state, not on setup lines that later drains would
+       silently re-persist. *)
+    if break_drain then Pmem.unsafe_break_drain pmem;
     (match schedule.Schedule.kill with
     | Some plan -> Crash.arm_kill (Pmem.crash_ctl pmem) plan
     | None -> ());
-    List.iter (case.submit_op sys) workload.ops
+    List.iteri (fun index op -> case.submit_op sys index op) workload.ops
   in
-  let finish verdict history =
+  let finish ?(fingerprint = "") verdict history =
     {
       verdict;
       stats = { eras = !eras; crashes = List.length !crash_points };
       crash_points = List.rev !crash_points;
       history;
+      fingerprint;
     }
   in
   (* Every restart re-checks the heap's structural invariants (block
@@ -538,17 +650,33 @@ let run_once ?spawn ?(device_size = default_device_size)
   with
   | report ->
       let verdict, history = case.conclude report.Runtime.Driver.results in
-      finish verdict history
+      (* The fingerprint canonicalises the run's surviving end state: the
+         structure digest plus every per-op answer in submission order.
+         Two runs that end in the same fingerprint are observationally
+         indistinguishable to a client, which is exactly the equality the
+         eager/coalesced equivalence check needs. *)
+      let fingerprint =
+        let answers =
+          report.Runtime.Driver.results
+          |> List.sort (fun (i, _) (j, _) -> compare i j)
+          |> List.map (fun (i, a) -> Printf.sprintf "%d:%Ld" i a)
+          |> String.concat ","
+        in
+        Printf.sprintf "%s|%s" (case.digest ()) answers
+      in
+      finish ~fingerprint verdict history
   | exception Crash.Thread_killed -> finish (Fail "main-thread kill") None
   | exception exn ->
       finish (Fail ("exception: " ^ Printexc.to_string exn)) None
 
-let run ?spawn ?device_size workload schedule =
-  match run_once ?spawn ?device_size workload schedule with
+let run ?spawn ?device_size ?flush_mode ?break_drain workload schedule =
+  match
+    run_once ?spawn ?device_size ?flush_mode ?break_drain workload schedule
+  with
   | { verdict = Fail "main-thread kill"; _ } ->
       (* The one-shot kill landed on the orchestrating thread — an artifact
          of the simulation, not a finding.  The case degenerates to the
          same schedule without the kill plan. *)
-      run_once ?spawn ?device_size workload
+      run_once ?spawn ?device_size ?flush_mode ?break_drain workload
         { schedule with Schedule.kill = None }
   | outcome -> outcome

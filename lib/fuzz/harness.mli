@@ -20,7 +20,12 @@
       linearizability;
     - {b faulty}: the planted-bug counter must equal the number of
       increments (it does not for crash points inside the unprotected
-      recovery window — that is the point).
+      recovery window — that is the point);
+    - {b rcounter}: the correct counter twin — op [i] must answer [i + 1]
+      and the final counter must equal the op count.  Its body re-reads the
+      counter before writing, so a stale (never-written-back) counter after
+      a believed-complete op is observable: this is the workload that gives
+      the flush-coalescing equivalence check its teeth.
 
     A kill plan that happens to land on the orchestrating thread instead of
     a worker is an artifact of the simulation, not a structure bug: the
@@ -39,11 +44,20 @@ type outcome = {
   history : Verify.History.t option;
       (** The CAS history of an rcas run (whatever the verdict), for
           serialisation as a [verify_history]-ingestible artifact. *)
+  fingerprint : string;
+      (** Canonical digest of the run's observable end state: the
+          structure's surviving content plus every per-op answer in
+          submission order ([""] when the run died on an exception).  Two
+          runs with equal fingerprints are indistinguishable to a client;
+          [Mc.Explore.check_equivalence] compares the fingerprint sets
+          reachable under eager and coalesced flushing. *)
 }
 
 val run :
   ?spawn:(Nvram.Pmem.t -> Runtime.System.spawn) ->
   ?device_size:int ->
+  ?flush_mode:Nvram.Pmem.flush_mode ->
+  ?break_drain:bool ->
   Workload.t ->
   Schedule.t ->
   outcome
@@ -54,4 +68,11 @@ val run :
     the strategy's — this is how the systematic model checker (lib/mc)
     reuses the harness's oracles deterministically.  [device_size]
     overrides the 2 MiB default (model-checking runs use a small device:
-    thousands of executions, each with a fresh image). *)
+    thousands of executions, each with a fresh image).
+
+    [flush_mode] (default [Eager]) selects the device's flush behaviour —
+    note that every kind except [Faulty] and [Rcounter] runs on an
+    auto-flush device, where coalescing is inert.  [break_drain] (default
+    [false]) arms {!Nvram.Pmem.unsafe_break_drain} on the fresh device, for
+    tests that must watch the equivalence check catch a sabotaged
+    coalescer. *)

@@ -1,4 +1,4 @@
-type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty
+type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty | Rcounter
 
 type op =
   | Push of int
@@ -12,7 +12,7 @@ type op =
 
 type t = { kind : kind; workers : int; init : int; ops : op list }
 
-let correct_kinds = [ Rstack; Rqueue; Rmap; Rcas ]
+let correct_kinds = [ Rstack; Rqueue; Rmap; Rcas; Rcounter ]
 
 let kind_to_string = function
   | Rstack -> "rstack"
@@ -21,6 +21,7 @@ let kind_to_string = function
   | Rcas -> "rcas"
   | Rcas_buggy -> "rcas-buggy"
   | Faulty -> "faulty"
+  | Rcounter -> "rcounter"
 
 let kind_of_string = function
   | "rstack" -> Ok Rstack
@@ -29,6 +30,7 @@ let kind_of_string = function
   | "rcas" -> Ok Rcas
   | "rcas-buggy" -> Ok Rcas_buggy
   | "faulty" -> Ok Faulty
+  | "rcounter" -> Ok Rcounter
   | other -> Error (Printf.sprintf "unknown workload kind %S" other)
 
 (* Distinct values per mutation make exactly-once violations observable:
@@ -51,12 +53,16 @@ let generate kind ~rng ~n_ops ~workers =
         if Random.State.int rng 3 < 2 then Put (key, value_of_index i)
         else Remove key
     | Rcas | Rcas_buggy -> Cas (Random.State.int rng 4, Random.State.int rng 4)
-    | Faulty -> Bump
+    | Faulty | Rcounter -> Bump
   in
   let init =
     match kind with Rcas | Rcas_buggy -> Random.State.int rng 4 | _ -> 0
   in
-  let workers = match kind with Faulty -> 1 | _ -> max workers 1 in
+  (* Both counters are forced to one worker: the planted bug must reproduce
+     deterministically, and the correct counter's sequential-ordinal
+     protocol (op [i] moves the counter from [i] to [i+1]) is only a valid
+     oracle when tasks execute in submission order. *)
+  let workers = match kind with Faulty | Rcounter -> 1 | _ -> max workers 1 in
   { kind; workers; init; ops = List.init n_ops gen }
 
 let op_to_string = function

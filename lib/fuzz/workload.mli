@@ -8,7 +8,13 @@
     re-runs a completed increment instead of checking evidence) — the
     fuzzer's own planted bug, used to validate that the search finds
     schedule-dependent failures and that shrinking produces minimal
-    reproducers.
+    reproducers.  {!Rcounter} is the {e correct} twin of {!Faulty}: a
+    recoverable counter on a cached (non-auto-flush) device whose body is
+    idempotent per op ordinal (op [i] moves the counter from [i] to [i+1],
+    guarded by a read), so its recovery is crash-safe — it exists because
+    the cached device is the only place flush coalescing has observable
+    persistence effects, making it the natural non-vacuous workload for the
+    eager/coalesced equivalence check of [Mc.Explore].
 
     Workloads serialise to the line-based reproducer format:
 
@@ -20,7 +26,7 @@
     op deq
     v} *)
 
-type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty
+type kind = Rstack | Rqueue | Rmap | Rcas | Rcas_buggy | Faulty | Rcounter
 
 type op =
   | Push of int  (** rstack *)
@@ -30,7 +36,7 @@ type op =
   | Put of int * int  (** rmap: key, value *)
   | Remove of int
   | Cas of int * int  (** rcas: expected, desired *)
-  | Bump  (** faulty counter increment *)
+  | Bump  (** counter increment (faulty and rcounter) *)
 
 type t = {
   kind : kind;
@@ -40,8 +46,9 @@ type t = {
 }
 
 val correct_kinds : kind list
-(** The four real-structure kinds, i.e. everything except the planted-bug
-    kinds {!Rcas_buggy} and {!Faulty}. *)
+(** The kinds whose implementation is correct (fuzz campaigns expect them
+    to pass), i.e. everything except the planted-bug kinds {!Rcas_buggy}
+    and {!Faulty}. *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result
@@ -49,8 +56,10 @@ val kind_of_string : string -> (kind, string) result
 val generate : kind -> rng:Random.State.t -> n_ops:int -> workers:int -> t
 (** Draw an op trace of [n_ops] operations.  Pushed/enqueued values and map
     values are distinct (derived from the op index), so exactly-once
-    violations are observable as duplicates.  [Faulty] workloads are forced
-    to one worker — the planted bug must reproduce deterministically. *)
+    violations are observable as duplicates.  [Faulty] and [Rcounter]
+    workloads are forced to one worker — the planted bug must reproduce
+    deterministically, and the correct counter's ordinal oracle assumes
+    submission-order execution. *)
 
 val op_to_string : op -> string
 val op_of_string : string -> (op, string) result

@@ -10,6 +10,8 @@ type config = {
   max_executions : int;
   max_points : int;
   device_size : int;
+  flush_mode : Pmem.flush_mode;
+  broken_drain : bool;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
        comfortably fits the superblock, a handful of 4 KiB worker stacks,
        the task table and the structures of every workload kind. *)
     device_size = 1 lsl 17;
+    flush_mode = Pmem.Eager;
+    broken_drain = false;
   }
 
 type stats = {
@@ -74,7 +78,9 @@ let run_execution ~config ~workload prefix =
   in
   let spawn pmem = Coop.spawn ~crash_ctl:(Pmem.crash_ctl pmem) ~decide in
   let outcome =
-    Harness.run ~spawn ~device_size:config.device_size workload Schedule.none
+    Harness.run ~spawn ~device_size:config.device_size
+      ~flush_mode:config.flush_mode ~break_drain:config.broken_drain workload
+      Schedule.none
   in
   (Array.of_list (List.rev !trace), outcome)
 
@@ -211,7 +217,8 @@ let replay_spawn (schedule : Schedule.t) pmem =
 let replay ?(config = default_config) (repro : Reproducer.t) =
   Harness.run
     ~spawn:(replay_spawn repro.Reproducer.schedule)
-    ~device_size:config.device_size repro.Reproducer.workload
+    ~device_size:config.device_size ~flush_mode:config.flush_mode
+    ~break_drain:config.broken_drain repro.Reproducer.workload
     repro.Reproducer.schedule
 
 let reproducer ~workload (v : violation) =
@@ -228,3 +235,67 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "%d executions (%d with a crash), %d decision points, deepest trace %d"
     s.executions s.crash_placements s.points s.deepest
+
+(* ------------------------------------------------------------------ *)
+
+type equivalence_verdict =
+  | Equivalent of { eager : stats; coalesced : stats; distinct_states : int }
+  | Divergent of violation * stats
+  | Equivalence_inconclusive of string
+
+(* Two-phase exhaustive equivalence: phase 1 explores the workload on an
+   eager device and collects the set of reachable recovery-outcome
+   fingerprints; phase 2 re-explores on a coalescing device and demands
+   every fingerprint it reaches be a member of phase 1's set.  Soundness
+   note: subset (not equality) is the right relation — coalescing can only
+   {e remove} persistence states (pending lines die at a crash that an
+   eager flush would have persisted), and the removed states collapse onto
+   other eager-reachable states, never onto new ones.  A broken coalescer
+   surfaces either as a phase-2 oracle failure (stale data the workload
+   notices) or as a fingerprint outside the eager set; both become
+   [Divergent]. *)
+let check_equivalence ?(config = default_config) ?(broken_drain = false)
+    workload =
+  let eager_states = Hashtbl.create 64 in
+  let record (o : Harness.outcome) =
+    if o.Harness.fingerprint <> "" then
+      Hashtbl.replace eager_states o.Harness.fingerprint ();
+    Ok ()
+  in
+  let eager_config =
+    { config with flush_mode = Pmem.Eager; broken_drain = false }
+  in
+  match explore ~config:eager_config ~check:record workload with
+  | Violation (v, _) ->
+      Equivalence_inconclusive
+        ("eager phase violates its own oracles: " ^ v.reason)
+  | Budget_exhausted _ ->
+      Equivalence_inconclusive "eager phase exhausted its execution budget"
+  | Certified eager_stats -> (
+      let member (o : Harness.outcome) =
+        if
+          o.Harness.fingerprint = ""
+          || Hashtbl.mem eager_states o.Harness.fingerprint
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "coalesced recovery state %S is not reachable under eager \
+                flushing"
+               o.Harness.fingerprint)
+      in
+      let coalesced_config =
+        { config with flush_mode = Pmem.Coalesced; broken_drain }
+      in
+      match explore ~config:coalesced_config ~check:member workload with
+      | Certified coalesced_stats ->
+          Equivalent
+            {
+              eager = eager_stats;
+              coalesced = coalesced_stats;
+              distinct_states = Hashtbl.length eager_states;
+            }
+      | Violation (v, s) -> Divergent (v, s)
+      | Budget_exhausted _ ->
+          Equivalence_inconclusive
+            "coalesced phase exhausted its execution budget")

@@ -30,10 +30,19 @@ type config = {
       (** Per-execution decision cap — a runaway guard, far above any
           finite workload. *)
   device_size : int;  (** Fresh-device size per execution, bytes. *)
+  flush_mode : Nvram.Pmem.flush_mode;
+      (** Flush behaviour of every fresh device the search creates.
+          Only observable for workload kinds running on a cached device
+          ([Faulty], [Rcounter]); the rest are auto-flush. *)
+  broken_drain : bool;
+      (** Arm [Pmem.unsafe_break_drain] on every fresh device — for tests
+          that must watch {!check_equivalence} catch a sabotaged
+          coalescer. *)
 }
 
 val default_config : config
-(** Preemption bound 2, 200k executions, 128 KiB device. *)
+(** Preemption bound 2, 200k executions, 128 KiB device, eager flushing,
+    drains intact. *)
 
 type stats = {
   executions : int;  (** Complete runs performed. *)
@@ -77,3 +86,36 @@ val reproducer : workload:Fuzz.Workload.t -> violation -> Fuzz.Reproducer.t
     format, [interleave]/[preempt] lines included). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Eager/coalesced equivalence} *)
+
+type equivalence_verdict =
+  | Equivalent of { eager : stats; coalesced : stats; distinct_states : int }
+      (** Every recovery state reachable under coalesced flushing (within
+          the bounds) is also reachable under eager flushing, and both
+          phases passed every oracle.  [distinct_states] is the size of the
+          eager fingerprint set. *)
+  | Divergent of violation * stats
+      (** The coalesced phase reached a recovery state outside the eager
+          set, or failed an oracle outright — either way the coalescer
+          changed observable crash semantics, and the violation carries a
+          replayable schedule. *)
+  | Equivalence_inconclusive of string
+      (** A phase exhausted its budget, or the eager phase failed its own
+          oracles (the workload is broken independently of coalescing). *)
+
+val check_equivalence :
+  ?config:config ->
+  ?broken_drain:bool ->
+  Fuzz.Workload.t ->
+  equivalence_verdict
+(** [check_equivalence workload] runs the exhaustive search twice — once
+    eager collecting the set of reachable recovery-outcome fingerprints
+    (see [Fuzz.Harness.outcome]), once coalesced checking membership — and
+    certifies the subset relation that makes flush coalescing sound:
+    coalescing may only {e remove} reachable persistence states (a pending
+    line dies at a crash where an eager flush had already persisted it),
+    never add one.  [config]'s [flush_mode]/[broken_drain] fields are
+    overridden per phase; [broken_drain] (default [false]) arms the
+    sabotage hook in the {e coalesced} phase only, to demonstrate the check
+    fires.  Deterministic, like {!explore}. *)

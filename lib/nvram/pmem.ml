@@ -1,4 +1,21 @@
 type policy = Lose_all | Lose_none | Lose_random of int
+type flush_mode = Eager | Coalesced
+
+(* Per-domain pending-line log for the coalesced mode: the order in which
+   this domain's flush calls first marked each line pending.  A drain
+   persists a whole log in that (flush) order, so the persisted set at any
+   moment is a prefix of the flush sequence — the property that makes every
+   coalesced persistence state one the eager mode can also reach.  The log
+   mutex is never taken while a stripe is held (flushes append after
+   releasing their stripes; drains take [log_mu] first, then stripes one at
+   a time), so the two lock families cannot deadlock. *)
+type pending_log = {
+  log_mu : Mutex.t;
+  mutable log_lines : int array;
+  mutable log_len : int;
+}
+
+let log_buckets = 16 (* power of two, like Obs.Counters *)
 
 type t = {
   line_size : int;
@@ -6,9 +23,19 @@ type t = {
   lines : int;
   policy : policy;
   auto_flush : bool;
+  flush_mode : flush_mode;
   backend : Backend.t;
   volatile : bytes;  (* visible content: persistent image + unflushed writes *)
   dirty : bool array;  (* per cache line *)
+  pending : bool array;
+      (* per cache line, coalesced mode only: flushed but not yet drained.
+         Invariant: pending implies dirty (guarded by the line's stripe). *)
+  logs : pending_log array;  (* indexed by domain id land (log_buckets-1) *)
+  mutable drain_breakage : int;
+      (* test hook ([unsafe_break_drain]): number of upcoming line drains to
+         silently forget — clear the tags without persisting — so tests can
+         demonstrate that the model checker's equivalence check fires on a
+         broken drain.  0 in real use. *)
   crash_ctl : Crash.t;
   stats : Stats.t;
   crash_rng : Random.State.t;
@@ -27,7 +54,8 @@ type t = {
 let default_stripes = 256
 
 let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
-    ?(yield_probability = 0.) ?(stripes = default_stripes) ?backend ~size () =
+    ?(flush_mode = Eager) ?(yield_probability = 0.)
+    ?(stripes = default_stripes) ?backend ~size () =
   Layout.check_line_size line_size;
   if size <= 0 then invalid_arg "Pmem.create: size must be positive";
   if stripes < 1 then invalid_arg "Pmem.create: stripes must be >= 1";
@@ -59,9 +87,15 @@ let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
     lines;
     policy;
     auto_flush;
+    flush_mode;
     backend;
     volatile;
     dirty = Array.make lines false;
+    pending = Array.make lines false;
+    logs =
+      Array.init log_buckets (fun _ ->
+          { log_mu = Mutex.create (); log_lines = [||]; log_len = 0 });
+    drain_breakage = 0;
     crash_ctl = Crash.create ();
     stats = Stats.create ();
     crash_rng;
@@ -73,6 +107,7 @@ let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
 let size t = t.size
 let line_size t = t.line_size
 let auto_flush t = t.auto_flush
+let flush_mode t = t.flush_mode
 let crash_ctl t = t.crash_ctl
 let stats t = t.stats
 let backend t = t.backend
@@ -157,12 +192,112 @@ let with_lines t ~first ~last f =
    against everything by holding every stripe. *)
 let with_all_lines t f = with_lines t ~first:0 ~last:(t.lines - 1) f
 
-(* Persist one cache line: atomic with respect to crashes. *)
+(* Persist one cache line: atomic with respect to crashes.  Clears both
+   tags — a persisted line is neither dirty nor pending. *)
 let persist_line t index =
   let start = index * t.line_size in
   let len = min t.line_size (t.size - start) in
   Backend.persist t.backend ~off:start ~src:t.volatile ~src_off:start ~len;
-  t.dirty.(index) <- false
+  t.dirty.(index) <- false;
+  t.pending.(index) <- false
+
+(* {2 Coalesced-mode pending logs and drains} *)
+
+let my_log t = t.logs.((Domain.self () :> int) land (log_buckets - 1))
+
+(* Record a newly-pending line in the calling domain's log.  Called with no
+   stripe held (see the lock-order note on [pending_log]); the amortised
+   growth keeps the steady-state append allocation-free. *)
+let log_append t index =
+  let log = my_log t in
+  Mutex.lock log.log_mu;
+  let cap = Array.length log.log_lines in
+  if log.log_len = cap then begin
+    let bigger = Array.make (max 64 (2 * cap)) 0 in
+    Array.blit log.log_lines 0 bigger 0 log.log_len;
+    log.log_lines <- bigger
+  end;
+  log.log_lines.(log.log_len) <- index;
+  log.log_len <- log.log_len + 1;
+  Mutex.unlock log.log_mu
+
+(* Drain one pending log: persist its still-pending lines in first-flush
+   order and empty it.  Entries whose line is no longer pending (persisted
+   meanwhile by an auto-flush write, another drain, or a crash) are
+   skipped.  A drain contains no [Crash.step]: it is atomic with respect to
+   the crash plan of the draining domain, so it only moves the device
+   {e toward} the fully-persisted state — it can remove reachable
+   post-crash states (lines that would have been lost survive) but never
+   create one the eager mode could not reach.  Returns the number of lines
+   drained.  Caller must hold no stripe lock. *)
+let drain_log t log =
+  Mutex.lock log.log_mu;
+  let drained = ref 0 in
+  (match
+     for k = 0 to log.log_len - 1 do
+       let index = log.log_lines.(k) in
+       let mu = t.stripes.(stripe_of t index) in
+       Mutex.lock mu;
+       (match
+          if t.pending.(index) then begin
+            if t.drain_breakage > 0 then begin
+              (* Broken write-back (test hook): drop the tags without
+                 persisting.  The runtime now believes the line is
+                 persistent while the image still holds the old bytes. *)
+              t.drain_breakage <- t.drain_breakage - 1;
+              t.pending.(index) <- false;
+              t.dirty.(index) <- false
+            end
+            else begin
+              persist_line t index;
+              Stats.incr_lines_flushed t.stats 1
+            end;
+            incr drained
+          end
+        with
+       | () -> Mutex.unlock mu
+       | exception e ->
+           Mutex.unlock mu;
+           raise e)
+     done;
+     log.log_len <- 0
+   with
+  | () -> Mutex.unlock log.log_mu
+  | exception e ->
+      Mutex.unlock log.log_mu;
+      raise e);
+  !drained
+
+(* One drain event = one moment the device wrote pending lines back; only
+   events that persisted something count, so an empty barrier is free. *)
+let note_drain t ~lines =
+  if lines > 0 then begin
+    Stats.incr_drains t.stats;
+    if Obs.Config.enabled () then
+      Obs.Counters.record_drain Obs.Probe.counters ~lines
+  end
+
+let drain_own t = note_drain t ~lines:(drain_log t (my_log t))
+
+let drain_every_log t =
+  let lines = ref 0 in
+  Array.iter (fun log -> lines := !lines + drain_log t log) t.logs;
+  note_drain t ~lines:!lines
+
+(* Dependent read: in coalesced mode, reading a pending line is a persist
+   barrier (FliT's flush-on-shared-read rule) — the reader may act on the
+   value, so the value must be persistent before it is returned.  The
+   pre-lock tag check is deliberately racy: missing a concurrent mark only
+   delays the drain to the next barrier, and a stale positive drains early;
+   both are sound because drains only persist.  Drain own log first (the
+   common case — a domain reading its own recent writes), then everyone's
+   if the line is still pending under another domain's log. *)
+let read_drain t ~first ~last =
+  let rec any_pending i = i <= last && (t.pending.(i) || any_pending (i + 1)) in
+  if any_pending first then begin
+    drain_own t;
+    if any_pending first then drain_every_log t
+  end
 
 (* Persist (or auto-flush) the lines covering [off, off+len), consulting the
    crash scheduler once per line so a crash can land between lines.  Caller
@@ -237,6 +372,7 @@ let read_bytes_raw t ~off ~len =
   end
   else begin
     let first, last = covering t off ~len in
+    if t.flush_mode = Coalesced then read_drain t ~first ~last;
     if first = last then begin
       let mu = t.stripes.(stripe_of t first) in
       Mutex.lock mu;
@@ -339,7 +475,9 @@ let write_bytes t ~off src =
 
 let read_byte_raw t off =
   let base = Offset.to_int off in
-  let mu = t.stripes.(stripe_of t (base / t.line_size)) in
+  let index = base / t.line_size in
+  if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
+  let mu = t.stripes.(stripe_of t index) in
   Mutex.lock mu;
   match
     Crash.check t.crash_ctl;
@@ -402,6 +540,8 @@ let write_byte t off b =
 let read_int64_raw t off =
   let base = Offset.to_int off in
   let index = base / t.line_size in
+  if t.flush_mode = Coalesced then
+    read_drain t ~first:index ~last:((base + 7) / t.line_size);
   if (base + 7) / t.line_size = index then begin
     let mu = t.stripes.(stripe_of t index) in
     Mutex.lock mu;
@@ -492,6 +632,7 @@ let read_int t off =
     let base = Offset.to_int off in
     let index = base / t.line_size in
     if (base + 7) / t.line_size = index then begin
+      if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
       let mu = t.stripes.(stripe_of t index) in
       Mutex.lock mu;
       match
@@ -542,6 +683,9 @@ let write_int t off v =
 
 let cas_int64_raw t off ~expected ~desired ~index =
   Crash.sched_point t.crash_ctl;
+  (* The CAS reads the word before deciding: a dependent read like any
+     other, so a pending line is drained first. *)
+  if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
   let base = Offset.to_int off in
   let mu = t.stripes.(stripe_of t index) in
   Mutex.lock mu;
@@ -584,12 +728,64 @@ let cas_int64 t off ~expected ~desired =
     result
   end
 
+(* Coalesced-mode flush body: consult the crash scheduler once per covering
+   line exactly like the eager path — crash-point numbering is identical in
+   both modes, so an [At_op] placement lands at the same operation whether
+   or not coalescing is on — but instead of persisting, mark each dirty
+   line pending and remember the newly-marked ones for the caller to log
+   once the stripes are released.  The two-line fast path mirrors the eager
+   one: no closure, at most two ref cells. *)
+let elide_fast t ~first ~last =
+  let sa = stripe_of t first in
+  let sb = if last = first then sa else stripe_of t last in
+  let lo = min sa sb and hi = max sa sb in
+  let m0 = ref (-1) and m1 = ref (-1) in
+  Mutex.lock t.stripes.(lo);
+  if hi <> lo then Mutex.lock t.stripes.(hi);
+  (match
+     Stats.incr_flushes_elided t.stats;
+     for index = first to last do
+       Crash.step t.crash_ctl;
+       if t.dirty.(index) && not t.pending.(index) then begin
+         t.pending.(index) <- true;
+         if !m0 < 0 then m0 := index else m1 := index
+       end
+     done
+   with
+  | () ->
+      if hi <> lo then Mutex.unlock t.stripes.(hi);
+      Mutex.unlock t.stripes.(lo)
+  | exception e ->
+      if hi <> lo then Mutex.unlock t.stripes.(hi);
+      Mutex.unlock t.stripes.(lo);
+      raise e);
+  if !m0 >= 0 then log_append t !m0;
+  if !m1 >= 0 then log_append t !m1;
+  maybe_yield t;
+  0
+
+let elide_slow t ~first ~last =
+  let marked = ref [] in
+  with_lines t ~first ~last (fun () ->
+      Stats.incr_flushes_elided t.stats;
+      for index = first to last do
+        Crash.step t.crash_ctl;
+        if t.dirty.(index) && not t.pending.(index) then begin
+          t.pending.(index) <- true;
+          marked := index :: !marked
+        end
+      done);
+  List.iter (log_append t) (List.rev !marked);
+  0
+
 let flush_raw t ~off ~len =
   if len = 0 then begin
     (* One [Crash.check], like a zero-length read; the call still
        counts as a flush (see stats.mli). *)
     Crash.check t.crash_ctl;
-    Stats.incr_flushes t.stats;
+    (match t.flush_mode with
+    | Eager -> Stats.incr_flushes t.stats
+    | Coalesced -> Stats.incr_flushes_elided t.stats);
     0
   end
   else begin
@@ -597,6 +793,11 @@ let flush_raw t ~off ~len =
     (* inline [covering]: returning the pair would allocate per flush *)
     let first = Offset.to_int off / t.line_size in
     let last = (Offset.to_int off + len - 1) / t.line_size in
+    match t.flush_mode with
+    | Coalesced ->
+        if last - first <= 1 then elide_fast t ~first ~last
+        else elide_slow t ~first ~last
+    | Eager ->
     if last - first <= 1 then begin
       let sa = stripe_of t first in
       let sb = if last = first then sa else stripe_of t last in
@@ -631,12 +832,43 @@ let flush t ~off ~len =
     let t0_ns = Obs.Config.now_ns () in
     let persisted = flush_raw t ~off ~len in
     Obs.Probe.record_latency Obs.Probe.Pmem_flush ~t0_ns;
-    Obs.Counters.record_flush Obs.Probe.counters ~lines:persisted
+    match t.flush_mode with
+    | Eager -> Obs.Counters.record_flush Obs.Probe.counters ~lines:persisted
+    | Coalesced -> Obs.Counters.record_flush_elided Obs.Probe.counters
   end
 
 let flush_byte t off = flush t ~off ~len:1
 
+(* Persist barriers.  In eager mode both are complete no-ops — not even a
+   [Crash.check] — so sprinkling them through [Exec]/[Driver] leaves the
+   eager crash-point numbering and counter totals byte-identical to the
+   pre-coalescer behaviour. *)
+
+let persist_barrier t =
+  match t.flush_mode with
+  | Eager -> ()
+  | Coalesced ->
+      Crash.check t.crash_ctl;
+      drain_own t
+
+let drain_all t =
+  match t.flush_mode with
+  | Eager -> ()
+  | Coalesced ->
+      Crash.check t.crash_ctl;
+      drain_every_log t
+
 let crash t =
+  (* Reset the pending logs first, without stripes held (lock order: log
+     before stripe).  An entry appended by a racing flush after this reset
+     is neutralised below — clearing every pending bit under the stripes
+     makes any late entry stale, and drains skip stale entries. *)
+  Array.iter
+    (fun log ->
+      Mutex.lock log.log_mu;
+      log.log_len <- 0;
+      Mutex.unlock log.log_mu)
+    t.logs;
   with_all_lines t (fun () ->
       Stats.incr_crashes t.stats;
       Crash.trigger t.crash_ctl;
@@ -655,6 +887,7 @@ let crash t =
             end
             else begin
               t.dirty.(index) <- false;
+              t.pending.(index) <- false;
               Stats.incr_lines_lost t.stats 1
             end
           end)
@@ -690,3 +923,14 @@ let is_dirty t off =
   check_range t off 1;
   let index = Layout.line_index ~line_size:t.line_size off in
   with_lines t ~first:index ~last:index (fun () -> t.dirty.(index))
+
+let pending_line_count t =
+  with_all_lines t (fun () ->
+      Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 t.pending)
+
+let is_pending t off =
+  check_range t off 1;
+  let index = Layout.line_index ~line_size:t.line_size off in
+  with_lines t ~first:index ~last:index (fun () -> t.pending.(index))
+
+let unsafe_break_drain ?(skip = 1) t = t.drain_breakage <- skip

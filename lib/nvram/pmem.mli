@@ -42,10 +42,33 @@ type policy =
           deterministic PRNG seeded with the given seed (adversarial
           testing). *)
 
+(** How {!flush} behaves — FliT-style write-behind elision.
+
+    In {!Eager} mode (the default, and the pre-existing behaviour) a flush
+    persists its dirty lines on the spot.  In {!Coalesced} mode a flush
+    only {e marks} its dirty lines pending; pending lines are written back
+    in first-flush order at the next persist barrier — an explicit
+    {!persist_barrier}, a dependent read of a pending line, an era boundary
+    ({!drain_all}), or implicitly never if a crash intervenes (a pending
+    line is still a dirty line and is lost or kept by the crash {!policy}).
+    Repeated flushes of the same line between barriers coalesce into one
+    write-back, which is where the flush-per-op saving comes from.
+
+    Crash-point numbering is identical in both modes: a coalesced flush
+    consults the crash scheduler once per covering line exactly like an
+    eager one, so an [At_op] crash plan lands at the same operation either
+    way.  Drains are crash-atomic (they contain no crash point), so every
+    persistence state reachable under coalescing — the persisted set is
+    always a prefix of the flush sequence — is also reachable under eager
+    flushing with a crash placed earlier; [Mc.Explore.check_equivalence]
+    verifies the observable consequence of this argument exhaustively. *)
+type flush_mode = Eager | Coalesced
+
 val create :
   ?line_size:int ->
   ?policy:policy ->
   ?auto_flush:bool ->
+  ?flush_mode:flush_mode ->
   ?yield_probability:float ->
   ?stripes:int ->
   ?backend:Backend.t ->
@@ -74,6 +97,11 @@ val create :
 val size : t -> int
 val line_size : t -> int
 val auto_flush : t -> bool
+
+val flush_mode : t -> flush_mode
+(** The device's {!flush_mode}; [Eager] unless {!create} was told
+    otherwise.  [auto_flush = true] makes coalescing inert (writes persist
+    immediately, so a flush never finds a dirty line to mark). *)
 
 val default_stripes : int
 (** Stripe count used when {!create} is not given [?stripes]. *)
@@ -148,6 +176,28 @@ val flush_byte : t -> Offset.t -> unit
 (** [flush_byte t off] persists the single line containing [off] — the
     atomic one-byte flush that linearizes stack-end moves (Section 3.4). *)
 
+val persist_barrier : t -> unit
+(** [persist_barrier t] drains the calling domain's pending lines — the
+    lines its elided flushes marked, written back in first-flush order.
+    Linearization points ([Exec.call] completion) call this so an answer
+    never externalises before its persistence points have taken effect.
+    In {!Eager} mode this is a complete no-op (not even a crash check), so
+    eager crash-point numbering and counters are unchanged by barriers
+    sprinkled through the runtime.  In {!Coalesced} mode it refuses with
+    [Crash.Crash_now] once the system has crashed, like any operation. *)
+
+val drain_all : t -> unit
+(** [drain_all t] drains {e every} domain's pending lines — the era
+    boundary barrier the {!Driver} issues before arming a new crash plan.
+    No-op in {!Eager} mode. *)
+
+val unsafe_break_drain : ?skip:int -> t -> unit
+(** [unsafe_break_drain t] sabotages the coalescer for tests: the next
+    [skip] (default 1) line drains clear the dirty/pending tags {e without}
+    writing the line back, modelling a forgotten write-back.  The
+    equivalence check of [Mc.Explore] must demonstrably catch the resulting
+    divergence — that is this hook's only purpose. *)
+
 (** {1 Crash simulation} *)
 
 val crash : t -> unit
@@ -177,5 +227,12 @@ val peek_volatile : t -> off:Offset.t -> len:int -> bytes
 
 val dirty_line_count : t -> int
 val is_dirty : t -> Offset.t -> bool
+
+val pending_line_count : t -> int
+(** Number of lines marked pending by elided flushes and not yet drained.
+    Always 0 on an eager device; [pending_line_count t <= dirty_line_count
+    t] on any device (pending implies dirty). *)
+
+val is_pending : t -> Offset.t -> bool
 
 val backend : t -> Backend.t

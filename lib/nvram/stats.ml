@@ -2,6 +2,8 @@ type t = {
   reads : int Atomic.t;
   writes : int Atomic.t;
   flushes : int Atomic.t;
+  flushes_elided : int Atomic.t;
+  drains : int Atomic.t;
   lines_flushed : int Atomic.t;
   crashes : int Atomic.t;
   lines_lost : int Atomic.t;
@@ -13,6 +15,8 @@ let create () =
     reads = Atomic.make 0;
     writes = Atomic.make 0;
     flushes = Atomic.make 0;
+    flushes_elided = Atomic.make 0;
+    drains = Atomic.make 0;
     lines_flushed = Atomic.make 0;
     crashes = Atomic.make 0;
     lines_lost = Atomic.make 0;
@@ -22,6 +26,8 @@ let create () =
 let reads t = Atomic.get t.reads
 let writes t = Atomic.get t.writes
 let flushes t = Atomic.get t.flushes
+let flushes_elided t = Atomic.get t.flushes_elided
+let drains t = Atomic.get t.drains
 let lines_flushed t = Atomic.get t.lines_flushed
 let crashes t = Atomic.get t.crashes
 let lines_lost t = Atomic.get t.lines_lost
@@ -31,6 +37,8 @@ let add counter n = ignore (Atomic.fetch_and_add counter n)
 let incr_reads t = add t.reads 1
 let incr_writes t = add t.writes 1
 let incr_flushes t = add t.flushes 1
+let incr_flushes_elided t = add t.flushes_elided 1
+let incr_drains t = add t.drains 1
 let incr_lines_flushed t n = add t.lines_flushed n
 let incr_crashes t = add t.crashes 1
 let incr_lines_lost t n = add t.lines_lost n
@@ -41,6 +49,8 @@ let reset t =
   zero t.reads;
   zero t.writes;
   zero t.flushes;
+  zero t.flushes_elided;
+  zero t.drains;
   zero t.lines_flushed;
   zero t.crashes;
   zero t.lines_lost;
@@ -48,7 +58,7 @@ let reset t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "reads=%d writes=%d flushes=%d lines_flushed=%d crashes=%d lines_lost=%d \
-     lines_survived=%d"
-    (reads t) (writes t) (flushes t) (lines_flushed t) (crashes t)
-    (lines_lost t) (lines_survived t)
+    "reads=%d writes=%d flushes=%d flushes_elided=%d drains=%d \
+     lines_flushed=%d crashes=%d lines_lost=%d lines_survived=%d"
+    (reads t) (writes t) (flushes t) (flushes_elided t) (drains t)
+    (lines_flushed t) (crashes t) (lines_lost t) (lines_survived t)

@@ -22,8 +22,24 @@ val writes : t -> int
     fired) and is never a crash point — [Crash.ops] does not advance. *)
 
 val flushes : t -> int
-(** Number of [flush] calls.  Like {!writes}, every call counts — a
-    zero-length [flush] persists no line but is still one flush call. *)
+(** Number of [flush] calls served {e eagerly}.  Like {!writes}, every call
+    counts — a zero-length [flush] persists no line but is still one flush
+    call.  In coalesced mode (see {!Pmem.flush_mode}) a flush call is
+    counted under {!flushes_elided} instead, never here: the two counters
+    partition the flush calls, so eager-mode accounting is unchanged by the
+    existence of the coalescer. *)
+
+val flushes_elided : t -> int
+(** Number of [flush] calls elided by the coalescer: the call only marked
+    its dirty lines pending instead of persisting them.  Always [0] on an
+    eager device. *)
+
+val drains : t -> int
+(** Number of drain events — persist barriers, dependent reads of a pending
+    line, or era boundaries — that persisted at least one pending line.
+    Always [0] on an eager device.  [flushes + drains] is the number of
+    moments the device actually wrote lines back, which is the fair
+    flush-cost comparison between the two modes. *)
 
 val lines_flushed : t -> int
 (** Number of cache lines persisted by explicit flushes (or by auto-flush
@@ -42,6 +58,8 @@ val lines_survived : t -> int
 val incr_reads : t -> unit
 val incr_writes : t -> unit
 val incr_flushes : t -> unit
+val incr_flushes_elided : t -> unit
+val incr_drains : t -> unit
 val incr_lines_flushed : t -> int -> unit
 val incr_crashes : t -> unit
 val incr_lines_lost : t -> int -> unit

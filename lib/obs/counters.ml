@@ -5,6 +5,8 @@ type stripe = {
   reads : int Atomic.t;
   writes : int Atomic.t;
   flushes : int Atomic.t;
+  flushes_elided : int Atomic.t;
+  drains : int Atomic.t;
   lines_flushed : int Atomic.t;
   crashes_survived : int Atomic.t;
   recovery_passes : int Atomic.t;
@@ -19,6 +21,8 @@ type totals = {
   reads : int;
   writes : int;
   flushes : int;
+  flushes_elided : int;
+  drains : int;
   lines_flushed : int;
   crashes_survived : int;
   recovery_passes : int;
@@ -33,6 +37,8 @@ let create () : t =
         reads = Atomic.make 0;
         writes = Atomic.make 0;
         flushes = Atomic.make 0;
+        flushes_elided = Atomic.make 0;
+        drains = Atomic.make 0;
         lines_flushed = Atomic.make 0;
         crashes_survived = Atomic.make 0;
         recovery_passes = Atomic.make 0;
@@ -58,6 +64,13 @@ let record_flush t ~lines =
   add s.flushes 1;
   add s.lines_flushed lines
 
+let record_flush_elided t = add (mine t).flushes_elided 1
+
+let record_drain t ~lines =
+  let s = mine t in
+  add s.drains 1;
+  add s.lines_flushed lines
+
 let totals (t : t) =
   Array.fold_left
     (fun (acc : totals) (s : stripe) ->
@@ -66,6 +79,8 @@ let totals (t : t) =
         reads = acc.reads + Atomic.get s.reads;
         writes = acc.writes + Atomic.get s.writes;
         flushes = acc.flushes + Atomic.get s.flushes;
+        flushes_elided = acc.flushes_elided + Atomic.get s.flushes_elided;
+        drains = acc.drains + Atomic.get s.drains;
         lines_flushed = acc.lines_flushed + Atomic.get s.lines_flushed;
         crashes_survived = acc.crashes_survived + Atomic.get s.crashes_survived;
         recovery_passes = acc.recovery_passes + Atomic.get s.recovery_passes;
@@ -77,6 +92,8 @@ let totals (t : t) =
       reads = 0;
       writes = 0;
       flushes = 0;
+      flushes_elided = 0;
+      drains = 0;
       lines_flushed = 0;
       crashes_survived = 0;
       recovery_passes = 0;
@@ -92,6 +109,8 @@ let reset (t : t) =
       Atomic.set s.reads 0;
       Atomic.set s.writes 0;
       Atomic.set s.flushes 0;
+      Atomic.set s.flushes_elided 0;
+      Atomic.set s.drains 0;
       Atomic.set s.lines_flushed 0;
       Atomic.set s.crashes_survived 0;
       Atomic.set s.recovery_passes 0;
@@ -103,14 +122,19 @@ let write_amplification totals =
   if totals.payload_bytes = 0 then 0.
   else Float.of_int totals.amplified_bytes /. Float.of_int totals.payload_bytes
 
+(* Fair cost metric across both flush modes: a drain event is a moment the
+   device wrote lines back, exactly like an eager flush call.  An eager
+   device never drains, so the metric reduces to flushes/ops there and the
+   pre-coalescer accounting is unchanged. *)
 let flush_per_op totals =
   if totals.ops = 0 then 0.
-  else Float.of_int totals.flushes /. Float.of_int totals.ops
+  else Float.of_int (totals.flushes + totals.drains) /. Float.of_int totals.ops
 
 let pp fmt t =
   Format.fprintf fmt
-    "ops=%d reads=%d writes=%d flushes=%d lines_flushed=%d \
-     crashes_survived=%d recovery_passes=%d payload_bytes=%d \
-     amplified_bytes=%d"
-    t.ops t.reads t.writes t.flushes t.lines_flushed t.crashes_survived
-    t.recovery_passes t.payload_bytes t.amplified_bytes
+    "ops=%d reads=%d writes=%d flushes=%d flushes_elided=%d drains=%d \
+     lines_flushed=%d crashes_survived=%d recovery_passes=%d \
+     payload_bytes=%d amplified_bytes=%d"
+    t.ops t.reads t.writes t.flushes t.flushes_elided t.drains
+    t.lines_flushed t.crashes_survived t.recovery_passes t.payload_bytes
+    t.amplified_bytes

@@ -18,7 +18,13 @@ type totals = {
   ops : int;  (** completed [Exec.call] invocations *)
   reads : int;
   writes : int;
-  flushes : int;  (** flush calls issued *)
+  flushes : int;  (** flush calls served eagerly *)
+  flushes_elided : int;
+      (** flush calls the coalescer turned into pending marks (coalesced
+          mode only; disjoint from [flushes]) *)
+  drains : int;
+      (** drain events (persist barriers / dependent reads / era
+          boundaries) that persisted at least one pending line *)
   lines_flushed : int;  (** cache lines actually persisted *)
   crashes_survived : int;  (** device crashes followed by a reboot *)
   recovery_passes : int;  (** [Exec.recover] completions *)
@@ -40,6 +46,13 @@ val record_write : t -> payload:int -> amplified:int -> unit
 val record_flush : t -> lines:int -> unit
 (** One flush call that persisted [lines] cache lines. *)
 
+val record_flush_elided : t -> unit
+(** One flush call elided by the coalescer: nothing was persisted, the
+    covered dirty lines were only marked pending. *)
+
+val record_drain : t -> lines:int -> unit
+(** One drain event that persisted [lines] pending cache lines. *)
+
 val totals : t -> totals
 val reset : t -> unit
 
@@ -47,6 +60,9 @@ val write_amplification : totals -> float
 (** [amplified_bytes / payload_bytes]; [0.] when nothing was written. *)
 
 val flush_per_op : totals -> float
-(** [flushes / ops]; [0.] when no op completed. *)
+(** [(flushes + drains) / ops]; [0.] when no op completed.  Counting drain
+    events next to eager flush calls makes the metric comparable across
+    flush modes; on an eager device [drains = 0], so the value is the
+    pre-coalescer [flushes / ops]. *)
 
 val pp : Format.formatter -> totals -> unit

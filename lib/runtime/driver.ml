@@ -19,6 +19,11 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
   let arm () =
     incr eras;
     Log.debug (fun m -> m "era %d armed" !eras);
+    (* Era boundary = persist barrier: on a coalescing device every pending
+       line is written back before the next crash plan arms, so an era
+       starts from a fully-persisted image in both flush modes.  No-op on
+       an eager device. *)
+    Pmem.drain_all pmem;
     let era_plan = plan ~era:!eras in
     Crash.arm (Pmem.crash_ctl pmem) era_plan;
     Obs.Trace.record (Obs.Trace.Era_armed { era = !eras });

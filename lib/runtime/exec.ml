@@ -60,6 +60,11 @@ let call t ~func_id ~args =
     push t ~func_id ~args;
     let answer = entry.Registry.body t args in
     return_and_pop t answer;
+    (* Completion linearization (Section 3.4): the pop's one-byte flush is
+       the linearization point, so on a coalescing device the call's
+       persistence points must take effect before the answer escapes to the
+       caller.  No-op on an eager device. *)
+    Pmem.persist_barrier t.pmem;
     answer
   in
   if Obs.Config.enabled () then begin
@@ -117,7 +122,11 @@ let recover t =
         drain ()
   in
   (match drain () with
-  | () -> finish_span ~completed:true
+  | () ->
+      (* The recovery pass externalises its repairs the same way a call
+         externalises its answer. *)
+      Pmem.persist_barrier t.pmem;
+      finish_span ~completed:true
   | exception e ->
       finish_span ~completed:false;
       raise e)

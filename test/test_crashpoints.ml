@@ -26,10 +26,10 @@ let register_fib registry =
   R.Registry.register registry ~id:fib_id ~name:"fib" ~body
     ~recover:(R.Registry.completing body)
 
-let fib_workload ~stack_kind ~plan =
+let fib_workload ?(flush_mode = Pmem.Eager) ~stack_kind ~plan () =
   let registry = R.Registry.create () in
   register_fib registry;
-  let pmem = Pmem.create ~size:(1 lsl 21) () in
+  let pmem = Pmem.create ~flush_mode ~size:(1 lsl 21) () in
   (* single worker: workers are real domains now, so with several of them
      the interleaving — and therefore which operation the At_op counter
      lands on — would vary between runs.  One worker keeps every sweep
@@ -55,8 +55,12 @@ let fib_workload ~stack_kind ~plan =
 
 let fib_expected = [ (0, 8L); (1, 13L); (2, 21L) ]
 
-let sweep_fib stack_kind name () =
-  let _, baseline = fib_workload ~stack_kind ~plan:(fun ~era:_ -> Crash.Never) in
+let sweep_fib ?flush_mode stack_kind name () =
+  let _, baseline =
+    fib_workload ?flush_mode ~stack_kind
+      ~plan:(fun ~era:_ -> Crash.Never)
+      ()
+  in
   Alcotest.(check (list (pair int int64))) "baseline" fib_expected
     baseline.R.Driver.results;
   let point = ref 1 in
@@ -64,8 +68,9 @@ let sweep_fib stack_kind name () =
   while !point <= 400 do
     let p = !point in
     let _, report =
-      fib_workload ~stack_kind ~plan:(fun ~era ->
-          if era = 1 then Crash.At_op p else Crash.Never)
+      fib_workload ?flush_mode ~stack_kind
+        ~plan:(fun ~era -> if era = 1 then Crash.At_op p else Crash.Never)
+        ()
     in
     if report.R.Driver.results <> fib_expected then
       Alcotest.failf "%s: crash at op %d gave wrong results" name p;
@@ -74,12 +79,14 @@ let sweep_fib stack_kind name () =
 
 (* Crash at a point in EVERY era for a while: repeated failures during
    recovery must still make progress. *)
-let sweep_fib_repeated stack_kind name () =
+let sweep_fib_repeated ?flush_mode stack_kind name () =
   List.iter
     (fun p ->
       let _, report =
-        fib_workload ~stack_kind ~plan:(fun ~era ->
+        fib_workload ?flush_mode ~stack_kind
+          ~plan:(fun ~era ->
             if era <= 20 then Crash.At_op (p + (7 * era)) else Crash.Never)
+          ()
       in
       if report.R.Driver.results <> fib_expected then
         Alcotest.failf "%s: repeated crashes at %d+7*era gave wrong results"
@@ -319,6 +326,77 @@ let test_fib_lose_random () =
         fib_expected report.R.Driver.results)
     [ 1; 2; 3; 4; 5 ]
 
+(* ------------------------------------------------------------------ *)
+(* Flush coalescing at the device level: the dirty-table states a crash
+   can observe.  An elided flush leaves its line pending = dirty, so a
+   crash before any barrier loses it (Lose_all); a drained line is
+   persistent and survives; and a dependent read of a pending line forces
+   the write-back before the value is served. *)
+
+let persistent_int pmem off_ =
+  Bytes.get_int64_le (Pmem.peek_persistent pmem ~off:off_ ~len:8) 0
+
+let test_pending_lost_at_crash () =
+  let pmem = Pmem.create ~flush_mode:Pmem.Coalesced ~size:4096 () in
+  Pmem.write_int64 pmem (Offset.of_int 0) 7L;
+  Pmem.flush pmem ~off:(Offset.of_int 0) ~len:8;
+  Alcotest.(check int) "line is pending" 1 (Pmem.pending_line_count pmem);
+  Alcotest.(check bool) "pending implies dirty" true
+    (Pmem.is_dirty pmem (Offset.of_int 0));
+  Alcotest.(check int64) "nothing persisted yet" 0L
+    (persistent_int pmem (Offset.of_int 0));
+  Pmem.crash_and_restart pmem;
+  Alcotest.(check int64) "pending line lost at the crash" 0L
+    (Pmem.read_int64 pmem (Offset.of_int 0));
+  Alcotest.(check int) "crash clears the pending table" 0
+    (Pmem.pending_line_count pmem)
+
+let test_drained_line_survives_crash () =
+  let pmem = Pmem.create ~flush_mode:Pmem.Coalesced ~size:4096 () in
+  Pmem.write_int64 pmem (Offset.of_int 0) 7L;
+  Pmem.flush pmem ~off:(Offset.of_int 0) ~len:8;
+  Pmem.persist_barrier pmem;
+  Alcotest.(check int) "barrier empties the pending table" 0
+    (Pmem.pending_line_count pmem);
+  Alcotest.(check int64) "write-back reached the persistent image" 7L
+    (persistent_int pmem (Offset.of_int 0));
+  Pmem.crash_and_restart pmem;
+  Alcotest.(check int64) "drained line survives the crash" 7L
+    (Pmem.read_int64 pmem (Offset.of_int 0))
+
+let test_dependent_read_drains () =
+  let pmem = Pmem.create ~flush_mode:Pmem.Coalesced ~size:4096 () in
+  Pmem.write_int64 pmem (Offset.of_int 0) 7L;
+  Pmem.flush pmem ~off:(Offset.of_int 0) ~len:8;
+  (* a read of an unrelated line must NOT force the write-back... *)
+  ignore (Pmem.read_int64 pmem (Offset.of_int 512));
+  Alcotest.(check int) "unrelated read leaves the line pending" 1
+    (Pmem.pending_line_count pmem);
+  (* ...but a read of the pending line itself must. *)
+  Alcotest.(check int64) "read serves the cached value" 7L
+    (Pmem.read_int64 pmem (Offset.of_int 0));
+  Alcotest.(check int) "dependent read drained it" 0
+    (Pmem.pending_line_count pmem);
+  Alcotest.(check int64) "and the write-back is persistent" 7L
+    (persistent_int pmem (Offset.of_int 0))
+
+let test_repeated_flushes_coalesce () =
+  let pmem = Pmem.create ~flush_mode:Pmem.Coalesced ~size:4096 () in
+  let st = Pmem.stats pmem in
+  let elided0 = Nvram.Stats.flushes_elided st in
+  let lines0 = Nvram.Stats.lines_flushed st in
+  for i = 1 to 10 do
+    Pmem.write_int64 pmem (Offset.of_int 0) (Int64.of_int i);
+    Pmem.flush pmem ~off:(Offset.of_int 0) ~len:8
+  done;
+  Pmem.drain_all pmem;
+  Alcotest.(check int) "ten flush calls elided" (elided0 + 10)
+    (Nvram.Stats.flushes_elided st);
+  Alcotest.(check int64) "last value wins" 10L
+    (persistent_int pmem (Offset.of_int 0));
+  Alcotest.(check int) "one line written back once" 1
+    (Nvram.Stats.lines_flushed st - lines0)
+
 let () =
   Alcotest.run "crashpoints"
     [
@@ -334,6 +412,26 @@ let () =
             (sweep_fib_repeated (R.System.Bounded_stack 4096) "bounded");
           Alcotest.test_case "repeated failures (linked)" `Slow
             (sweep_fib_repeated (R.System.Linked_stack 128) "linked");
+          (* The same sweeps on a coalescing device: every crash point must
+             still recover to the same answers, with pending lines dying at
+             the crash like any dirty line. *)
+          Alcotest.test_case "bounded, coalesced flushing" `Slow
+            (sweep_fib ~flush_mode:Pmem.Coalesced (R.System.Bounded_stack 4096)
+               "bounded/coalesced");
+          Alcotest.test_case "repeated failures (bounded, coalesced)" `Slow
+            (sweep_fib_repeated ~flush_mode:Pmem.Coalesced
+               (R.System.Bounded_stack 4096) "bounded/coalesced");
+        ] );
+      ( "flush coalescing (device)",
+        [
+          Alcotest.test_case "pending line lost at crash" `Quick
+            test_pending_lost_at_crash;
+          Alcotest.test_case "drained line survives crash" `Quick
+            test_drained_line_survives_crash;
+          Alcotest.test_case "dependent read drains" `Quick
+            test_dependent_read_drains;
+          Alcotest.test_case "repeated flushes coalesce" `Quick
+            test_repeated_flushes_coalesce;
         ] );
       ( "transactional for-loop (Appendix A)",
         [

@@ -5,6 +5,7 @@
    planted-bug workload. *)
 
 module Crash = Nvram.Crash
+module Pmem = Nvram.Pmem
 module Workload = Fuzz.Workload
 module Schedule = Fuzz.Schedule
 module Harness = Fuzz.Harness
@@ -186,6 +187,49 @@ let test_reproducer_round_trip_and_replay () =
       Alcotest.(check (option string))
         "replays to the captured failure" repro.Reproducer.expected (Some msg)
 
+(* Differential check, fuzz-side: the same seeded workload under the same
+   deterministic schedule must be indistinguishable to a client whether
+   the device flushes eagerly or coalesces write-backs — both runs Pass
+   and the end-state fingerprints match byte for byte.  Single-worker
+   cases with [At_op] crash plans keep every run deterministic; Rcounter
+   is the one kind whose device actually defers write-backs (the others
+   run on auto-flush devices, where coalescing is inert), so it is the
+   row where this comparison has teeth. *)
+let test_differential_eager_vs_coalesced () =
+  let schedules =
+    [
+      ("no crash", Schedule.none);
+      ( "crash at op 12",
+        { Schedule.none with Schedule.eras = [ Crash.At_op 12 ] } );
+    ]
+  in
+  List.iter
+    (fun kind ->
+      let rng = Random.State.make [| 23; 5 |] in
+      let w = Workload.generate kind ~rng ~n_ops:10 ~workers:1 in
+      List.iter
+        (fun (label, schedule) ->
+          let case =
+            Printf.sprintf "%s, %s" (Workload.kind_to_string kind) label
+          in
+          let eager = Harness.run ~flush_mode:Pmem.Eager w schedule in
+          let coalesced = Harness.run ~flush_mode:Pmem.Coalesced w schedule in
+          (match (eager.Harness.verdict, coalesced.Harness.verdict) with
+          | Harness.Pass, Harness.Pass -> ()
+          | Harness.Fail msg, _ ->
+              Alcotest.failf "%s: eager run failed: %s" case msg
+          | _, Harness.Fail msg ->
+              Alcotest.failf "%s: coalesced run failed: %s" case msg);
+          Alcotest.(check bool)
+            (case ^ ": fingerprint is non-empty")
+            true
+            (String.length eager.Harness.fingerprint > 0);
+          Alcotest.(check string)
+            (case ^ ": identical fingerprints")
+            eager.Harness.fingerprint coalesced.Harness.fingerprint)
+        schedules)
+    Workload.correct_kinds
+
 let test_rcas_run_produces_history () =
   let rng = Random.State.make [| 13; 1 |] in
   let w = Workload.generate Workload.Rcas ~rng ~n_ops:8 ~workers:2 in
@@ -222,6 +266,8 @@ let () =
             test_campaign_trace_deterministic;
           Alcotest.test_case "rcas history" `Quick
             test_rcas_run_produces_history;
+          Alcotest.test_case "eager vs coalesced differential" `Quick
+            test_differential_eager_vs_coalesced;
         ] );
       ( "planted bug",
         [

@@ -111,6 +111,53 @@ let test_user_check_runs_at_terminal_states () =
         stats.Explore.executions
   | _ -> Alcotest.fail "expected the user assertion to stop the search"
 
+(* Eager/coalesced equivalence: the two-phase check must certify the
+   correct counter on a cached device (the one workload where coalescing
+   actually defers write-backs), and it must demonstrably FIRE when the
+   coalescer's drain forgets a write-back — a green certificate from a
+   check that cannot fail would be worthless. *)
+let rcounter_workload n =
+  {
+    Workload.kind = Workload.Rcounter;
+    workers = 1;
+    init = 0;
+    ops = List.init n (fun _ -> Workload.Bump);
+  }
+
+let test_equivalence_certified () =
+  match Explore.check_equivalence ~config (rcounter_workload 4) with
+  | Explore.Equivalent { eager; coalesced; distinct_states } ->
+      Alcotest.(check bool) "some states" true (distinct_states >= 1);
+      (* Crash-point numbering parity: a coalesced flush consults the
+         scheduler exactly like an eager one, so both phases must explore
+         the same tree — same execution and decision counts. *)
+      Alcotest.(check int)
+        "same executions in both modes" eager.Explore.executions
+        coalesced.Explore.executions;
+      Alcotest.(check int)
+        "same decision points in both modes" eager.Explore.points
+        coalesced.Explore.points
+  | Explore.Divergent (v, _) ->
+      Alcotest.failf "unexpected divergence: %s" v.Explore.reason
+  | Explore.Equivalence_inconclusive msg -> Alcotest.fail msg
+
+let test_equivalence_catches_broken_drain () =
+  match
+    Explore.check_equivalence ~config ~broken_drain:true (rcounter_workload 4)
+  with
+  | Explore.Divergent (v, _) ->
+      Alcotest.(check bool)
+        "divergence carries a reason" true
+        (String.length v.Explore.reason > 0);
+      Alcotest.(check bool)
+        "divergence carries a replayable schedule" true
+        (v.Explore.schedule.Schedule.eras <> []
+        || v.Explore.schedule.Schedule.interleave <> [])
+  | Explore.Equivalent _ ->
+      Alcotest.fail
+        "sabotaged drain was NOT caught — the equivalence check is vacuous"
+  | Explore.Equivalence_inconclusive msg -> Alcotest.fail msg
+
 (* The cooperative scheduler alone: a scripted decide sequence drives two
    fibers deterministically, decision points expose the crash-op counter,
    and a Crash_here decision stops the run with the crashed flag set. *)
@@ -177,5 +224,12 @@ let () =
             test_reproducer_round_trips_and_replays;
           Alcotest.test_case "user check at terminal states" `Quick
             test_user_check_runs_at_terminal_states;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "eager/coalesced certified on rcounter" `Quick
+            test_equivalence_certified;
+          Alcotest.test_case "sabotaged drain is caught" `Quick
+            test_equivalence_catches_broken_drain;
         ] );
     ]

@@ -101,6 +101,83 @@ let test_counters () =
   Counters.reset c;
   Alcotest.(check int) "reset" 0 (Counters.totals c).Counters.ops
 
+(* The partition rule: a flush call lands in [flushes] (eager) XOR
+   [flushes_elided] (coalesced), never both; a drain event is its own
+   counter; and the flush_per_op metric charges eager flush calls plus
+   drain events — so on an eager device (drains = 0) it degenerates to
+   the historical flushes/ops, bit for bit. *)
+let test_counters_elision_partition () =
+  let c = Counters.create () in
+  Counters.incr_ops c;
+  Counters.incr_ops c;
+  Counters.record_flush c ~lines:1;
+  Counters.record_flush_elided c;
+  Counters.record_flush_elided c;
+  Counters.record_flush_elided c;
+  Counters.record_drain c ~lines:2;
+  let t = Counters.totals c in
+  Alcotest.(check int) "flushes counts only eager calls" 1 t.Counters.flushes;
+  Alcotest.(check int) "elided calls counted apart" 3
+    t.Counters.flushes_elided;
+  Alcotest.(check int) "drain events" 1 t.Counters.drains;
+  Alcotest.(check int) "drained lines land in lines_flushed" 3
+    t.Counters.lines_flushed;
+  Alcotest.(check (float 0.001))
+    "flush_per_op = (flushes + drains) / ops" 1.
+    (Counters.flush_per_op t);
+  Counters.reset c;
+  let t = Counters.totals c in
+  Alcotest.(check int) "reset zeroes elided" 0 t.Counters.flushes_elided;
+  Alcotest.(check int) "reset zeroes drains" 0 t.Counters.drains
+
+(* A fixed op sequence on an eager obs-on device must produce exactly the
+   pre-coalescing counter values — in particular zero elided flushes and
+   zero drains, and [persist_barrier] must contribute nothing at all.
+   This pins the double-counting fix: eager numbers cannot drift because
+   the coalescer exists. *)
+let eager_pin_sequence flush_mode =
+  Obs.Probe.reset ();
+  Config.with_enabled true (fun () ->
+      let pmem = Pmem.create ~flush_mode ~size:4096 () in
+      let data = Bytes.make 100 'x' in
+      Pmem.write_bytes pmem ~off:(off 0) data;
+      Pmem.flush pmem ~off:(off 0) ~len:100;
+      Pmem.write_int64 pmem (off 256) 42L;
+      Pmem.flush pmem ~off:(off 256) ~len:8;
+      Pmem.flush pmem ~off:(off 256) ~len:8;
+      Pmem.persist_barrier pmem;
+      ignore (Pmem.read_bytes pmem ~off:(off 0) ~len:100);
+      Pmem.drain_all pmem);
+  let t = (Obs.Sink.capture ()).Obs.Sink.counters in
+  Obs.Probe.reset ();
+  t
+
+let test_eager_counters_pinned () =
+  let t = eager_pin_sequence Pmem.Eager in
+  Alcotest.(check int) "writes" 2 t.Counters.writes;
+  Alcotest.(check int) "reads" 1 t.Counters.reads;
+  Alcotest.(check int) "flushes" 3 t.Counters.flushes;
+  (* 2 lines from the first flush, 1 from the second; the repeated flush
+     finds its line already clean and writes nothing back. *)
+  Alcotest.(check int) "lines flushed" 3 t.Counters.lines_flushed;
+  Alcotest.(check int) "no elided flushes on an eager device" 0
+    t.Counters.flushes_elided;
+  Alcotest.(check int) "no drains on an eager device" 0 t.Counters.drains
+
+(* The same sequence coalesced: every flush call elides, the repeated
+   flush of one line coalesces, and the write-backs happen at the explicit
+   barrier and at the dependent read — each a single drain event. *)
+let test_coalesced_counters_partition () =
+  let t = eager_pin_sequence Pmem.Coalesced in
+  Alcotest.(check int) "writes" 2 t.Counters.writes;
+  Alcotest.(check int) "no eager flush calls" 0 t.Counters.flushes;
+  Alcotest.(check int) "every flush call elided" 3 t.Counters.flushes_elided;
+  (* barrier drains lines 0-1 and 4; the read finds nothing pending and
+     the final drain_all finds nothing either, so exactly one drain. *)
+  Alcotest.(check int) "one drain event" 1 t.Counters.drains;
+  Alcotest.(check int) "all marked lines written back once" 3
+    t.Counters.lines_flushed
+
 (* ------------------------------------------------------------------ *)
 (* Trace ring                                                           *)
 
@@ -226,7 +303,16 @@ let () =
           Alcotest.test_case "multi-domain recording" `Quick
             test_histogram_multi_domain;
         ] );
-      ("counters", [ Alcotest.test_case "totals" `Quick test_counters ]);
+      ( "counters",
+        [
+          Alcotest.test_case "totals" `Quick test_counters;
+          Alcotest.test_case "elision partition" `Quick
+            test_counters_elision_partition;
+          Alcotest.test_case "eager counters pinned" `Quick
+            test_eager_counters_pinned;
+          Alcotest.test_case "coalesced partition end to end" `Quick
+            test_coalesced_counters_partition;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "disabled is a no-op" `Quick

@@ -337,6 +337,69 @@ let test_bench_gate_min_scaling () =
     (run_gate baseline candidate);
   List.iter Sys.remove [ baseline; candidate ]
 
+(* --max-flush-per-op: deterministic absolute budgets on the flush_per_op
+   column.  Within budget passes, over budget fails with the offending row
+   named in the verdict, and a budget that cannot be checked — no matching
+   candidate row, or matching rows without the column — is a hard parse
+   error (exit 2), never a vacuous pass. *)
+let run_gate_capturing ?(flags = "") baseline candidate =
+  let out = Filename.temp_file "gate_out" ".txt" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s --baseline %s --candidate %s %s > %s"
+         (Filename.quote bench_gate_exe) (Filename.quote baseline)
+         (Filename.quote candidate) flags (Filename.quote out))
+  in
+  let ic = open_in out in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove out;
+  (code, content)
+
+let test_bench_gate_flush_budget () =
+  let baseline =
+    in_temp "gate_base5" [ old_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  (* new_row carries flush_per_op 3.0005 *)
+  let candidate =
+    in_temp "gate_cand5" [ new_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  Alcotest.(check int) "within budget passes" 0
+    (run_gate ~flags:"--max-flush-per-op push_pop=3.5" baseline candidate);
+  let code, out =
+    run_gate_capturing ~flags:"--max-flush-per-op push_pop=2.0" baseline
+      candidate
+  in
+  Alcotest.(check int) "over budget fails" 1 code;
+  Alcotest.(check bool) "verdict names the offending row" true
+    (contains out "push_pop/1w=3.00 flush/op");
+  List.iter Sys.remove [ baseline; candidate ]
+
+let test_bench_gate_flush_budget_unverifiable_is_an_error () =
+  let baseline =
+    in_temp "gate_base6" [ old_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  let candidate =
+    in_temp "gate_cand6" [ new_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  (* a budget naming a bench absent from the candidate must not pass
+     vacuously *)
+  Alcotest.(check int) "budget matching no row is a parse error" 2
+    (run_gate ~flags:"--max-flush-per-op ghost=1.0" baseline candidate);
+  (* matching rows without the flush_per_op column cannot certify a
+     budget *)
+  let bare =
+    in_temp "gate_bare6" [ old_row ~bench:"push_pop" ~workers:1 ~ops:1000. ]
+  in
+  Alcotest.(check int) "missing flush_per_op field is a parse error" 2
+    (run_gate ~flags:"--max-flush-per-op push_pop=3.5" baseline bare);
+  Alcotest.(check int) "without the flag the same files pass" 0
+    (run_gate baseline bare);
+  List.iter Sys.remove [ baseline; candidate; bare ]
+
 let test_bench_gate_missing_field_is_an_error () =
   (* row-bounded parsing: a row without its own throughput must be a parse
      error, not silently borrow the next row's value *)
@@ -395,5 +458,8 @@ let () =
             test_bench_gate_missing_row_fails;
           Alcotest.test_case "min scaling floor" `Quick
             test_bench_gate_min_scaling;
+          Alcotest.test_case "flush budget" `Quick test_bench_gate_flush_budget;
+          Alcotest.test_case "unverifiable flush budget is an error" `Quick
+            test_bench_gate_flush_budget_unverifiable_is_an_error;
         ] );
     ]
