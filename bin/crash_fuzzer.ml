@@ -61,7 +61,7 @@ let write_artifacts config out failures =
   end
 
 let run_campaign seed runs kinds max_ops max_workers max_eras shrink_attempts
-    out quiet =
+    out quiet faults sabotage =
   match parse_kinds kinds with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -76,14 +76,20 @@ let run_campaign seed runs kinds max_ops max_workers max_eras shrink_attempts
           max_workers;
           max_eras;
           shrink_attempts;
+          faults;
+          sabotage;
         }
       in
       let log line = if not quiet then print_endline line in
       let report = Fuzz.Campaign.run ~log config in
       write_artifacts config out report.Fuzz.Campaign.failures;
       let n_failures = List.length report.Fuzz.Campaign.failures in
-      Printf.printf "%d cases, %d failures\n" report.Fuzz.Campaign.cases
-        n_failures;
+      if faults then
+        Printf.printf "%d cases, %d failures, %d loud fatals\n"
+          report.Fuzz.Campaign.cases n_failures report.Fuzz.Campaign.fatals
+      else
+        Printf.printf "%d cases, %d failures\n" report.Fuzz.Campaign.cases
+          n_failures;
       if n_failures = 0 then 0 else 1
 
 let run_replay path =
@@ -110,8 +116,17 @@ let run_replay path =
       | { Fuzz.Harness.verdict = Fuzz.Harness.Pass; _ } ->
           print_endline "verdict: pass";
           0
+      | { Fuzz.Harness.verdict = Fuzz.Harness.Fatal msg; _ }
+        when Fuzz.Schedule.has_faults repro.Fuzz.Reproducer.schedule ->
+          (* Same contract as the campaign: under armed media faults a
+             loud refusal to recover is an acceptable outcome. *)
+          Printf.printf "verdict: fatal (faulted schedule): %s\n" msg;
+          0
       | { Fuzz.Harness.verdict = Fuzz.Harness.Fail msg; _ } ->
           Printf.printf "verdict: FAIL: %s\n" msg;
+          1
+      | { Fuzz.Harness.verdict = Fuzz.Harness.Fatal msg; _ } ->
+          Printf.printf "verdict: FATAL: %s\n" msg;
           1)
 
 open Cmdliner
@@ -142,6 +157,25 @@ let main_term =
           ~doc:"Directory for failing-case reproducer artifacts.")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ]) in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Inject media faults: generated schedules may tear the \
+                crash-interrupted cache line and flip bits in checksummed \
+                metadata between eras.  The oracle becomes \
+                no-silent-corruption: wrong answers still fail, loud \
+                unrecoverable refusals are tolerated and counted.")
+  in
+  let sabotage =
+    Arg.(
+      value & flag
+      & info [ "sabotage" ]
+          ~doc:"Self-check: disable checksum verification for the whole \
+                campaign.  A --faults campaign run this way must produce \
+                failures; exit status inverts accordingly (0 iff the \
+                sabotage was caught).")
+  in
   let replay =
     Arg.(
       value
@@ -150,17 +184,34 @@ let main_term =
           ~doc:"Re-run a reproducer artifact instead of fuzzing.")
   in
   let run replay seed runs kinds max_ops max_workers max_eras shrink_attempts
-      out quiet =
+      out quiet faults sabotage =
     Stdlib.exit
       (match replay with
       | Some path -> run_replay path
       | None ->
-          run_campaign seed runs kinds max_ops max_workers max_eras
-            shrink_attempts out quiet)
+          let status =
+            run_campaign seed runs kinds max_ops max_workers max_eras
+              shrink_attempts out quiet faults sabotage
+          in
+          if sabotage && status <> 2 then begin
+            (* The sabotage leg passes exactly when the campaign caught the
+               disabled checksums. *)
+            if status = 1 then begin
+              print_endline "sabotage caught: checksum oracle has teeth";
+              0
+            end
+            else begin
+              print_endline
+                "SABOTAGE MISSED: campaign stayed green with checksum \
+                 verification disabled";
+              1
+            end
+          end
+          else status)
   in
   Term.(
     const run $ replay $ seed $ runs $ kinds $ max_ops $ max_workers
-    $ max_eras $ shrink_attempts $ out $ quiet)
+    $ max_eras $ shrink_attempts $ out $ quiet $ faults $ sabotage)
 
 let () =
   let doc =

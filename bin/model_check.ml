@@ -206,6 +206,9 @@ let run_replay ~flush_mode path =
           if repro.Reproducer.expected = None then 0 else 1
       | { Fuzz.Harness.verdict = Fuzz.Harness.Fail msg; _ } ->
           Printf.printf "verdict: FAIL: %s\n" msg;
+          if repro.Reproducer.expected = None then 1 else 0
+      | { Fuzz.Harness.verdict = Fuzz.Harness.Fatal msg; _ } ->
+          Printf.printf "verdict: FATAL: %s\n" msg;
           if repro.Reproducer.expected = None then 1 else 0)
 
 open Cmdliner

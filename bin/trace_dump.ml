@@ -51,7 +51,17 @@ let replay_events path =
           (match outcome.Fuzz.Harness.verdict with
           | Fuzz.Harness.Pass -> print_endline "replay verdict: pass"
           | Fuzz.Harness.Fail msg ->
-              Printf.printf "replay verdict: FAIL: %s\n" msg);
+              Printf.printf "replay verdict: FAIL: %s\n" msg
+          | Fuzz.Harness.Fatal msg ->
+              Printf.printf "replay verdict: FATAL: %s\n" msg);
+          (if
+             not
+               (Runtime.Recovery_report.is_clean
+                  outcome.Fuzz.Harness.recovery)
+           then
+             Printf.printf "media repairs during replay: %s\n"
+               (Runtime.Recovery_report.to_string
+                  outcome.Fuzz.Harness.recovery));
           let events = Trace.events () in
           Trace.clear ();
           events)

@@ -19,11 +19,24 @@ type config = {
   max_workers : int;
   max_eras : int;
   shrink_attempts : int;  (** Re-run budget per failing case. *)
+  faults : bool;
+      (** Draw media-fault plans (torn crash writes, restart bit flips)
+          into the generated schedules.  The oracle stays the same — answers
+          must be right, structural checks must pass — plus [Fatal]
+          refusals are tolerated for faulted schedules: the
+          no-silent-corruption contract. *)
+  sabotage : bool;
+      (** Self-check mode: run every case twice — checksum verification
+          on, then disabled — and flag each case whose verdict or
+          fingerprint changes.  A fault campaign under sabotage must
+          produce findings; if it stays green, verification never
+          altered an outcome and the checksums are toothless.  Run with
+          [max_workers = 1]: the comparison needs per-case determinism. *)
 }
 
 val default : config
 (** Seed 1, 50 runs over {!Workload.correct_kinds}, up to 48 ops, 4
-    workers, 4 eras, 150 shrink attempts. *)
+    workers, 4 eras, 150 shrink attempts; no media faults, no sabotage. *)
 
 type failure = {
   case : int;
@@ -37,13 +50,20 @@ type failure = {
           failure, for the reproducer artifact. *)
 }
 
-type report = { cases : int; failures : failure list }
+type report = {
+  cases : int;
+  failures : failure list;
+  fatals : int;
+      (** Cases whose faulted schedule made recovery refuse the image —
+          loud failures, counted but not findings. *)
+}
 
 val case_inputs : config -> int -> Workload.t * Schedule.t
 (** [case_inputs config i] regenerates case [i]'s workload and schedule
     without running it. *)
 
-val trace_of_shrunk : ?tail:int -> Shrink.result -> Obs.Trace.event list
+val trace_of_shrunk :
+  ?tail:int -> ?sabotage:bool -> Shrink.result -> Obs.Trace.event list
 (** [trace_of_shrunk shrunk] replays the shrunk case once with
     observability enabled and returns the last [tail] (default 64) trace
     events.  Deterministic: the same case yields the same event sequence

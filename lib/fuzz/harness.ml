@@ -10,7 +10,7 @@ module Rmap = Recoverable.Rmap
 module Rcas = Recoverable.Rcas
 
 type stats = { eras : int; crashes : int }
-type verdict = Pass | Fail of string
+type verdict = Pass | Fail of string | Fatal of string
 
 type outcome = {
   verdict : verdict;
@@ -18,6 +18,7 @@ type outcome = {
   crash_points : (int * int) list;
   history : Verify.History.t option;
   fingerprint : string;
+  recovery : Runtime.Recovery_report.t;
 }
 
 (* Function identifiers of the fuzz workloads (2 is the first free id). *)
@@ -575,8 +576,8 @@ let case_of pmem (workload : Workload.t) =
 let default_device_size = 1 lsl 21
 
 let run_once ?spawn ?(device_size = default_device_size)
-    ?(flush_mode = Pmem.Eager) ?(break_drain = false) (workload : Workload.t)
-    (schedule : Schedule.t) =
+    ?(flush_mode = Pmem.Eager) ?(break_drain = false) ?(sabotage = false)
+    (workload : Workload.t) (schedule : Schedule.t) =
   (* Section 5's cache-less model for the real structures (they are built
      for auto-flush devices in their own test suites); the two counters
      manage their own flushes on a cached device — the only device where
@@ -610,18 +611,40 @@ let run_once ?spawn ?(device_size = default_device_size)
     | Runtime.Driver.Era_armed { era; _ } -> eras := era
     | Runtime.Driver.Crash_fired { era; at_op } ->
         crash_points := (era, at_op) :: !crash_points
+    | Runtime.Driver.Recovery_repaired _ -> ()
   in
   let submit sys =
-    (* Sabotage arms here — after the heap format and the case's init have
-       drained their own lines — so the forgotten write-back lands on
-       workload-era state, not on setup lines that later drains would
-       silently re-persist. *)
-    if break_drain then Pmem.unsafe_break_drain pmem;
+    (* Sabotage arms here, after persisting every still-pending setup
+       line, so the forgotten write-backs land on workload-era state.
+       Every subsequent drain is forgotten, not just one: losing a single
+       metadata line is a fault the checksummed recovery paths repair by
+       design, and losing a single data line is indistinguishable from an
+       eager crash before its flush — the equivalence check would
+       vacuously certify either.  A drain that never persists anything,
+       though, lets late writes (a task's done marker) reach the image
+       while earlier ones (the value it covers) never do — states eager
+       flushing cannot produce. *)
+    if break_drain then begin
+      Pmem.drain_all pmem;
+      Pmem.unsafe_break_drain ~skip:max_int pmem
+    end;
+    (* Media faults arm here too, for the same reason: aiming tear/bitflip
+       at the formatted image's metadata regions requires the system to
+       exist, and a flip landing mid-format would only test the
+       formatter.  The bitflip targets are the checksummed metadata
+       regions, where detection is guaranteed — the no-silent-corruption
+       oracle is meaningful there. *)
+    if Schedule.has_faults schedule then
+      Pmem.arm_faults
+        ~targets:(System.metadata_regions sys)
+        pmem
+        (Schedule.fault_plan schedule);
     (match schedule.Schedule.kill with
     | Some plan -> Crash.arm_kill (Pmem.crash_ctl pmem) plan
     | None -> ());
     List.iteri (fun index op -> case.submit_op sys index op) workload.ops
   in
+  let recovery = ref Runtime.Recovery_report.empty in
   let finish ?(fingerprint = "") verdict history =
     {
       verdict;
@@ -629,6 +652,7 @@ let run_once ?spawn ?(device_size = default_device_size)
       crash_points = List.rev !crash_points;
       history;
       fingerprint;
+      recovery = !recovery;
     }
   in
   (* Every restart re-checks the heap's structural invariants (block
@@ -642,41 +666,63 @@ let run_once ?spawn ?(device_size = default_device_size)
     | Error msg -> failwith ("heap invariant after recovery: " ^ msg));
     case.reattach sys
   in
-  match
-    Runtime.Driver.run_to_completion pmem ~registry:case.registry ~config
-      ~submit ~init:case.init ~reattach:reattach_checked ~reclaim:case.reclaim
-      ~plan:(fun ~era -> Schedule.plan_for schedule ~era)
-      ~observer ~max_crashes:1000 ?spawn ()
-  with
-  | report ->
-      let verdict, history = case.conclude report.Runtime.Driver.results in
-      (* The fingerprint canonicalises the run's surviving end state: the
-         structure digest plus every per-op answer in submission order.
-         Two runs that end in the same fingerprint are observationally
-         indistinguishable to a client, which is exactly the equality the
-         eager/coalesced equivalence check needs. *)
-      let fingerprint =
-        let answers =
-          report.Runtime.Driver.results
-          |> List.sort (fun (i, _) (j, _) -> compare i j)
-          |> List.map (fun (i, a) -> Printf.sprintf "%d:%Ld" i a)
-          |> String.concat ","
+  let execute () =
+    match
+      Runtime.Driver.run_to_completion pmem ~registry:case.registry ~config
+        ~submit ~init:case.init ~reattach:reattach_checked
+        ~reclaim:case.reclaim
+        ~plan:(fun ~era -> Schedule.plan_for schedule ~era)
+        ~observer ~max_crashes:1000 ?spawn ()
+    with
+    | report ->
+        recovery := report.Runtime.Driver.recovery;
+        let verdict, history = case.conclude report.Runtime.Driver.results in
+        (* The fingerprint canonicalises the run's surviving end state: the
+           structure digest plus every per-op answer in submission order.
+           Two runs that end in the same fingerprint are observationally
+           indistinguishable to a client, which is exactly the equality the
+           eager/coalesced equivalence check needs. *)
+        let fingerprint =
+          let answers =
+            report.Runtime.Driver.results
+            |> List.sort (fun (i, _) (j, _) -> compare i j)
+            |> List.map (fun (i, a) -> Printf.sprintf "%d:%Ld" i a)
+            |> String.concat ","
+          in
+          Printf.sprintf "%s|%s" (case.digest ()) answers
         in
-        Printf.sprintf "%s|%s" (case.digest ()) answers
-      in
-      finish ~fingerprint verdict history
-  | exception Crash.Thread_killed -> finish (Fail "main-thread kill") None
-  | exception exn ->
-      finish (Fail ("exception: " ^ Printexc.to_string exn)) None
+        finish ~fingerprint verdict history
+    | exception Crash.Thread_killed -> finish (Fail "main-thread kill") None
+    | exception Runtime.Driver.Unrecoverable { reason; eras; crashes } ->
+        (* Damage beyond what recovery can degrade around.  Acceptable only
+           for a fault-injecting schedule: the image refused to come back
+           rather than silently computing a wrong answer. *)
+        finish
+          (Fatal (Printf.sprintf "%s (era %d, %d crashes)" reason eras crashes))
+          None
+    | exception exn ->
+        finish (Fail ("exception: " ^ Printexc.to_string exn)) None
+  in
+  if not sabotage then execute ()
+  else begin
+    (* Sabotage self-check: run with checksum verification disabled.  A
+       campaign whose oracle is worth anything must now start failing. *)
+    Nvram.Integrity.unsafe_set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Nvram.Integrity.unsafe_set_enabled true)
+      execute
+  end
 
-let run ?spawn ?device_size ?flush_mode ?break_drain workload schedule =
+let run ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
+    schedule =
   match
-    run_once ?spawn ?device_size ?flush_mode ?break_drain workload schedule
+    run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
+      schedule
   with
   | { verdict = Fail "main-thread kill"; _ } ->
       (* The one-shot kill landed on the orchestrating thread — an artifact
          of the simulation, not a finding.  The case degenerates to the
          same schedule without the kill plan. *)
-      run_once ?spawn ?device_size ?flush_mode ?break_drain workload
+      run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
         { schedule with Schedule.kill = None }
   | outcome -> outcome

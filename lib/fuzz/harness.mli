@@ -29,11 +29,26 @@
 
     A kill plan that happens to land on the orchestrating thread instead of
     a worker is an artifact of the simulation, not a structure bug: the
-    case is re-run once without the kill plan. *)
+    case is re-run once without the kill plan.
+
+    When the schedule carries media-fault plans ({!Schedule.has_faults}),
+    the harness arms them on the device before the workload starts, aimed
+    at the system's checksummed metadata regions
+    ({!Runtime.System.metadata_regions}).  The oracle is {e no silent
+    corruption}: every injected fault must be repaired, quarantined or
+    reported — a wrong answer is a [Fail] finding as always, and damage
+    recovery cannot degrade around surfaces as [Fatal] (acceptable for a
+    faulted schedule, a finding otherwise). *)
 
 type stats = { eras : int; crashes : int }
 
-type verdict = Pass | Fail of string  (** Deterministic failure reason. *)
+type verdict =
+  | Pass
+  | Fail of string  (** Deterministic failure reason. *)
+  | Fatal of string
+      (** Recovery refused the image ({!Runtime.Driver.Unrecoverable}):
+          detected damage beyond repair.  The loud-failure outcome — the
+          opposite of silent corruption. *)
 
 type outcome = {
   verdict : verdict;
@@ -51,6 +66,11 @@ type outcome = {
           runs with equal fingerprints are indistinguishable to a client;
           [Mc.Explore.check_equivalence] compares the fingerprint sets
           reachable under eager and coalesced flushing. *)
+  recovery : Runtime.Recovery_report.t;
+      (** Aggregate of every media repair performed across the run's
+          recoveries (truncated stack tails, rebuilt free lists,
+          quarantined arenas); {!Runtime.Recovery_report.empty} when the
+          run died before the driver reported. *)
 }
 
 val run :
@@ -58,6 +78,7 @@ val run :
   ?device_size:int ->
   ?flush_mode:Nvram.Pmem.flush_mode ->
   ?break_drain:bool ->
+  ?sabotage:bool ->
   Workload.t ->
   Schedule.t ->
   outcome
@@ -75,4 +96,8 @@ val run :
     auto-flush device, where coalescing is inert.  [break_drain] (default
     [false]) arms {!Nvram.Pmem.unsafe_break_drain} on the fresh device, for
     tests that must watch the equivalence check catch a sabotaged
-    coalescer. *)
+    coalescer.  [sabotage] (default [false]) disables checksum
+    {e verification} ({!Nvram.Integrity.unsafe_set_enabled}) for the
+    duration of the run — the self-check that proves a fault campaign's
+    oracle has teeth: with verification off, an injected-fault campaign
+    must start producing findings. *)

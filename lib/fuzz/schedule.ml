@@ -5,16 +5,33 @@ type t = {
   kill : Crash.plan option;
   interleave : int list;
   preempt : int option;
+  tear : Crash.plan;
+  bitflip : Crash.plan;
+  fault_seed : int;
 }
 
-let none = { eras = []; kill = None; interleave = []; preempt = None }
+let none =
+  {
+    eras = [];
+    kill = None;
+    interleave = [];
+    preempt = None;
+    tear = Crash.Never;
+    bitflip = Crash.Never;
+    fault_seed = 0;
+  }
+
+let fault_plan t =
+  { Crash.tear = t.tear; bitflip = t.bitflip; fault_seed = t.fault_seed }
+
+let has_faults t = Crash.has_faults (fault_plan t)
 
 let plan_for t ~era =
   match List.nth_opt t.eras (era - 1) with
   | Some plan -> plan
   | None -> Crash.Never
 
-let generate ~rng ~max_eras =
+let generate ?(faults = false) ~rng ~max_eras () =
   let n = 1 + Random.State.int rng (max max_eras 1) in
   let era_plan () =
     if Random.State.bool rng then Crash.At_op (1 + Random.State.int rng 300)
@@ -34,7 +51,39 @@ let generate ~rng ~max_eras =
       Some (Crash.At_op (1 + Random.State.int rng 200))
     else None
   in
-  { none with eras; kill }
+  (* Fault plans count different events than era plans: [tear] counts crash
+     events (it decides whether the crash tears the in-flight line) and
+     [bitflip] counts restarts — both small numbers within one case, so
+     At_op points are drawn from the first few and Random probabilities are
+     kept high enough to fire within a typical case. *)
+  let tear, bitflip, fault_seed =
+    if not faults then (Crash.Never, Crash.Never, 0)
+    else
+      let fault_plan () =
+        match Random.State.int rng 3 with
+        | 0 -> Crash.Never
+        | 1 -> Crash.At_op (1 + Random.State.int rng 3)
+        | _ ->
+            Crash.Random
+              {
+                seed = 1 + Random.State.int rng 1_000_000;
+                probability =
+                  float_of_int (250_000 + Random.State.int rng 500_000)
+                  /. 1_000_000.;
+              }
+      in
+      let tear = fault_plan () in
+      let bitflip = fault_plan () in
+      let seed = 1 + Random.State.int rng 1_000_000 in
+      (* Both plans can draw Never; the seed is then dead weight that
+         would not serialise (to_lines emits fault lines only for live
+         plans), so zero it to keep generated schedules round-tripping. *)
+      let fault_seed =
+        if tear = Crash.Never && bitflip = Crash.Never then 0 else seed
+      in
+      (tear, bitflip, fault_seed)
+  in
+  { none with eras; kill; tear; bitflip; fault_seed }
 
 let crashing_eras t =
   List.length (List.filter (fun p -> p <> Crash.Never) t.eras)
@@ -64,10 +113,15 @@ let to_lines t =
     | None -> []
     | Some plan -> [ Printf.sprintf "kill %s" (Crash.plan_to_string plan) ])
   @ interleave_lines t
+  @ (match t.preempt with
+    | None -> []
+    | Some n -> [ Printf.sprintf "preempt %d" n ])
+  @ (if t.tear = Crash.Never then []
+     else [ Printf.sprintf "tear %s" (Crash.plan_to_string t.tear) ])
+  @ (if t.bitflip = Crash.Never then []
+     else [ Printf.sprintf "bitflip %s" (Crash.plan_to_string t.bitflip) ])
   @
-  match t.preempt with
-  | None -> []
-  | Some n -> [ Printf.sprintf "preempt %d" n ]
+  if has_faults t then [ Printf.sprintf "fault-seed %d" t.fault_seed ] else []
 
 let of_lines lines =
   let ( let* ) = Result.bind in
@@ -123,6 +177,20 @@ let of_lines lines =
                   Error
                     (Printf.sprintf "preempt bound is not an integer: %S" n))
           | _ -> Error (Printf.sprintf "malformed preempt entry %S" line))
+    | "tear" :: rest ->
+        at lineno
+          (let* plan = Crash.plan_of_string (String.concat " " rest) in
+           Ok { t with tear = plan })
+    | "bitflip" :: rest ->
+        at lineno
+          (let* plan = Crash.plan_of_string (String.concat " " rest) in
+           Ok { t with bitflip = plan })
+    | [ "fault-seed"; n ] ->
+        at lineno
+          (match int_of_string_opt n with
+          | Some n -> Ok { t with fault_seed = n }
+          | None ->
+              Error (Printf.sprintf "fault seed is not an integer: %S" n))
     | _ -> at lineno (Error (Printf.sprintf "unknown schedule entry %S" line))
   in
   let acc = ref (Ok none) in
@@ -140,6 +208,8 @@ let pp fmt t =
   | ws ->
       Format.fprintf fmt " interleave=%s"
         (String.concat "," (List.map string_of_int ws)));
-  match t.preempt with
+  (match t.preempt with
   | None -> ()
-  | Some n -> Format.fprintf fmt " preempt=%d" n
+  | Some n -> Format.fprintf fmt " preempt=%d" n);
+  if has_faults t then
+    Format.fprintf fmt " faults={%a}" Crash.pp_fault_plan (fault_plan t)

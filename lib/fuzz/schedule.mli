@@ -16,6 +16,9 @@
     kill at-op 40
     interleave 0 0 1 0 1
     preempt 2
+    tear at-op 1
+    bitflip random 77 0.500000
+    fault-seed 4242
     v} *)
 
 type t = {
@@ -32,6 +35,15 @@ type t = {
       (** Preemption bound the interleaving was explored under (recorded
           for the reproducer header; replay follows {!interleave} exactly
           and does not need it). *)
+  tear : Nvram.Crash.plan;
+      (** Media-fault plan deciding which {e crash events} tear the
+          in-flight cache line ([Never] = clean crashes). *)
+  bitflip : Nvram.Crash.plan;
+      (** Media-fault plan deciding which {e restarts} are preceded by a
+          bit flip in persisted metadata. *)
+  fault_seed : int;
+      (** Seed for the fault plans' derived randomness (which byte tears,
+          which bit flips); meaningful only when a fault plan is armed. *)
 }
 
 val none : t
@@ -40,11 +52,19 @@ val none : t
 val plan_for : t -> era:int -> Nvram.Crash.plan
 (** Plan of the given era (1-based); [Never] past the end of the list. *)
 
-val generate : rng:Random.State.t -> max_eras:int -> t
+val fault_plan : t -> Nvram.Crash.fault_plan
+(** The schedule's media-fault plan, as armed on the device. *)
+
+val has_faults : t -> bool
+(** Whether either fault plan is armed ([tear] or [bitflip] not [Never]). *)
+
+val generate : ?faults:bool -> rng:Random.State.t -> max_eras:int -> unit -> t
 (** Draw a schedule: 1 to [max_eras] era plans, each either an [At_op]
     point or a seeded [Random] probability, and a kill plan with
-    probability ~1/3.  Deterministic in [rng].  Generated schedules carry
-    no interleaving (free-running workers). *)
+    probability ~1/3.  With [~faults:true] also draws tear and bitflip
+    plans (each [Never] with probability 1/3) and a fault seed.
+    Deterministic in [rng].  Generated schedules carry no interleaving
+    (free-running workers). *)
 
 val crashing_eras : t -> int
 (** Number of listed era plans that are not [Never]. *)

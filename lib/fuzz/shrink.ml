@@ -19,6 +19,8 @@ let measure (w : Workload.t) (s : Schedule.t) =
   (List.length w.ops * 10_000)
   + (w.workers * 100)
   + List.fold_left (fun acc p -> acc + plan_weight p) 0 s.Schedule.eras
+  + plan_weight s.Schedule.tear
+  + plan_weight s.Schedule.bitflip
   + match s.kill with None -> 0 | Some p -> plan_weight p
 
 let rec drop_trailing_never = function
@@ -109,15 +111,26 @@ let schedule_candidates (w : Workload.t) (s : Schedule.t) =
            | _ -> [])
          s.eras)
   in
-  kill_drop @ era_drop @ earlier @ kill_earlier
+  (* Fault plans shrink by dropping: a failure that survives without the
+     tear (or the bit flip) was never about the media fault. *)
+  let fault_drop =
+    (if s.Schedule.tear <> Crash.Never then
+       [ (w, { s with Schedule.tear = Crash.Never }) ]
+     else [])
+    @
+    if s.Schedule.bitflip <> Crash.Never then
+      [ (w, { s with Schedule.bitflip = Crash.Never }) ]
+    else []
+  in
+  kill_drop @ era_drop @ earlier @ kill_earlier @ fault_drop
 
 let candidates w s outcome =
   (match concretize s outcome with Some s' -> [ (w, s') ] | None -> [])
   @ op_candidates w s @ worker_candidates w s @ schedule_candidates w s
 
-let shrink ?(max_attempts = 150) workload schedule outcome =
+let shrink ?(max_attempts = 150) ?sabotage workload schedule outcome =
   (match outcome.Harness.verdict with
-  | Harness.Fail _ -> ()
+  | Harness.Fail _ | Harness.Fatal _ -> ()
   | Harness.Pass -> invalid_arg "Shrink.shrink: outcome is a pass");
   let attempts = ref 0 in
   let budget () = !attempts < max_attempts in
@@ -125,8 +138,13 @@ let shrink ?(max_attempts = 150) workload schedule outcome =
     if (not (budget ())) || measure w s >= current then None
     else begin
       incr attempts;
-      match Harness.run w s with
+      match Harness.run ?sabotage w s with
       | { Harness.verdict = Harness.Fail _; _ } as o -> Some (w, s, o)
+      | { Harness.verdict = Harness.Fatal _; _ } as o
+        when not (Schedule.has_faults s) ->
+          (* A Fatal under armed faults is an acceptable loud failure, not
+             a finding — accepting it would shrink the bug away. *)
+          Some (w, s, o)
       | _ -> None
     end
   in

@@ -10,7 +10,14 @@
       (halves, then quarters, down to single ops);
     - {b fewer workers}: drop to one worker, else one fewer;
     - {b smaller schedule}: drop the kill plan, drop trailing eras, halve
-      [At_op] crash points (earlier crashes).
+      [At_op] crash points (earlier crashes), drop the tear and bitflip
+      fault plans (a failure that survives without them was never about
+      the media fault).
+
+    A candidate whose verdict is [Fatal] validates only if its schedule
+    carries no fault plans: under armed faults a loud refusal to recover
+    is an acceptable outcome, and accepting it would shrink the actual
+    finding away.
 
     Every candidate is strictly smaller under a fixed measure, so the
     fixpoint terminates even without the attempt budget. *)
@@ -18,12 +25,14 @@
 type result = {
   workload : Workload.t;
   schedule : Schedule.t;
-  outcome : Harness.outcome;  (** Outcome of the minimal case — a [Fail]. *)
+  outcome : Harness.outcome;
+      (** Outcome of the minimal case — a [Fail] or [Fatal]. *)
   attempts : int;  (** Harness runs spent shrinking. *)
 }
 
 val shrink :
   ?max_attempts:int ->
+  ?sabotage:bool ->
   Workload.t ->
   Schedule.t ->
   Harness.outcome ->
@@ -31,4 +40,6 @@ val shrink :
 (** [shrink workload schedule outcome] minimises a case whose [outcome]
     was a failure.  [max_attempts] bounds the number of validation re-runs
     (default 150); on exhaustion the best case found so far is returned.
+    [sabotage] is forwarded to every validation re-run, so a failure found
+    under disabled checksum verification shrinks in the same regime.
     Raises [Invalid_argument] if [outcome] is a pass. *)

@@ -106,8 +106,8 @@ let schedule_of_trace ~config trace =
       | Coop.Run _ -> []
   in
   {
+    Schedule.none with
     Schedule.eras;
-    kill = None;
     interleave;
     preempt = Some config.preempt_bound;
   }
@@ -144,6 +144,10 @@ let explore ?(config = default_config) ?(check = fun _ -> Ok ()) workload =
       let failure =
         match outcome.Harness.verdict with
         | Harness.Fail msg -> Some msg
+        | Harness.Fatal msg ->
+            (* The model checker injects no media faults, so an
+               unrecoverable image is always a finding. *)
+            Some ("fatal: " ^ msg)
         | Harness.Pass -> (
             match check outcome with Ok () -> None | Error msg -> Some msg)
       in

@@ -1,14 +1,16 @@
 module Pmem = Nvram.Pmem
 module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
 
 exception Out_of_heap_memory of { requested : int; largest_free : int }
 
 (* Persistent layout: a superblock fanning out to per-domain arenas.
 
    superblock (at [base], [superblock_size] bytes):
-     +0  magic "NVHEAP02"
+     +0  magic "NVHEAP03"
      +8  total region length (superblock + all arenas)
      +16 arena count
+     +24 FNV-64 checksum of the three fields above
 
    arena i (at [base + superblock_size + i*stride]; every arena is [stride]
    bytes except the last, which absorbs the remainder so the arenas tile
@@ -16,24 +18,88 @@ exception Out_of_heap_memory of { requested : int; largest_free : int }
      +0  arena magic "NVHEAP01"
      +8  arena region length (header + blocks)
      +16 free-list head (absolute device offset of a block header; 0 = none)
+     +24 FNV-64 checksum of the magic and the length (NOT the head: the
+         head is the commit word of alloc/free and must stay 8-byte
+         atomic; a rotten head is caught structurally by the budgeted
+         free-list walk instead)
 
    block (16-byte header + payload):
-     +0  size_tag: whole block size in bytes (multiple of 16), with bit 0
-         set iff the block is allocated
+     +0  size_tag: bits 0..47 hold the whole block size in bytes (multiple
+         of 16) with bit 0 set iff the block is allocated; bits 48..62
+         hold a 15-bit integrity code of the low half, so a rotted or torn
+         tag is detected instead of walking the heap off a cliff
      +8  next free block (meaningful only while the block is free)
 
    Blocks tile [abase + header_size, abase + alen) exactly within each
    arena; every mutation preserves the tiling and commits with a single
    8-byte flush.  Formatting commits with the superblock flush, written
    after every arena header: a crash mid-format leaves a region that fails
-   the magic test rather than a half-split heap. *)
+   the magic test rather than a half-split heap.
+
+   Media faults degrade, not crash: a corrupt free-list entry triggers an
+   in-place rebuild of that arena's list from the (checksummed) block
+   tiling; a corrupt block tag makes the tiling itself unwalkable, so the
+   arena is quarantined — allocation routes around it, frees into it are
+   dropped (the block leaks, bounded by the arena size), and aggregate
+   scans skip it. *)
 
 let superblock_size = 64
 let header_size = 32
 let block_header_size = 16
 let min_block = 32
-let magic = 0x4E56484541503032L (* "NVHEAP02" *)
+let magic = 0x4E56484541503033L (* "NVHEAP03" *)
 let arena_magic = 0x4E56484541503031L (* "NVHEAP01" *)
+
+(* 15-bit integrity code of a 48-bit tag payload, stored in the tag's high
+   bits (bit 63 of the device word is the OCaml int tag's home and stays
+   clear).  Computed on every tag write; verified on every tag read unless
+   {!Integrity.enabled} is off. *)
+let tag_payload_mask = (1 lsl 48) - 1
+
+let tag_code payload =
+  let h = Integrity.fnv64_int64 Integrity.fnv64_init (Int64.of_int payload) in
+  let c = Int64.to_int (Int64.logxor h (Int64.shift_right_logical h 32)) in
+  (c lxor (c lsr 15) lxor (c lsr 30)) land 0x7FFF
+
+let mk_tag payload = payload lor (tag_code payload lsl 48)
+
+let tag_ok tag =
+  (not (Integrity.enabled ()))
+  || (tag lsr 48) land 0x7FFF = tag_code (tag land tag_payload_mask)
+
+let superblock_crc ~len ~arenas =
+  let h = Integrity.fnv64_int64 Integrity.fnv64_init magic in
+  let h = Integrity.fnv64_int64 h (Int64.of_int len) in
+  Integrity.fnv64_int64 h (Int64.of_int arenas)
+
+let arena_crc ~alen =
+  let h = Integrity.fnv64_int64 Integrity.fnv64_init arena_magic in
+  Integrity.fnv64_int64 h (Int64.of_int alen)
+
+let note_detected () =
+  if Obs.Config.enabled () then
+    Obs.Counters.incr_faults_detected Obs.Probe.counters
+
+let note_repaired () =
+  if Obs.Config.enabled () then
+    Obs.Counters.incr_faults_repaired Obs.Probe.counters
+
+let note_quarantined () =
+  if Obs.Config.enabled () then
+    Obs.Counters.incr_faults_quarantined Obs.Probe.counters
+
+type repair =
+  | Rebuilt_free_list of { arena : int; reason : string }
+  | Repaired_arena_header of { arena : int }
+  | Quarantined_arena of { arena : int; reason : string }
+
+let pp_repair fmt = function
+  | Rebuilt_free_list { arena; reason } ->
+      Format.fprintf fmt "arena %d: free list rebuilt (%s)" arena reason
+  | Repaired_arena_header { arena } ->
+      Format.fprintf fmt "arena %d: header rewritten from geometry" arena
+  | Quarantined_arena { arena; reason } ->
+      Format.fprintf fmt "arena %d: QUARANTINED (%s)" arena reason
 
 type arena = {
   abase : Offset.t;
@@ -47,6 +113,11 @@ type arena = {
   mutable best_prev : int;
   mutable best_block : int;
   mutable best_size : int;
+  (* Set (under [mu]) when the arena's block tiling is unwalkable — a tag
+     failed its checksum and the rebuild scan could not get past it.
+     Allocation, free and every aggregate scan route around a quarantined
+     arena. *)
+  mutable quarantined : bool;
 }
 
 type t = {
@@ -61,6 +132,7 @@ type t = {
 let base t = t.base
 let length t = t.len
 let arena_count t = Array.length t.arenas
+let arena_base t i = t.arenas.(i).abase
 
 let with_arena t i =
   if i < 0 then invalid_arg "Heap.with_arena: negative arena index";
@@ -83,6 +155,7 @@ let arena_layout ~base ~len ~arenas =
       best_prev = 0;
       best_block = 0;
       best_size = 0;
+      quarantined = false;
     }
   in
   (stride, Array.init arenas mk)
@@ -105,8 +178,10 @@ let block_of_payload payload = Offset.add payload (-block_header_size)
 
 let read_size_tag t block = Pmem.read_int t.pmem (size_tag_off block)
 
+(* [v] is the 48-bit payload (size | allocated bit); the integrity code is
+   stamped here so no caller can write an uncoded tag. *)
 let write_size_tag t block v =
-  Pmem.write_int t.pmem (size_tag_off block) v;
+  Pmem.write_int t.pmem (size_tag_off block) (mk_tag v);
   Pmem.flush t.pmem ~off:(size_tag_off block) ~len:8
 
 let read_next t block = Pmem.read_int t.pmem (next_off block)
@@ -115,20 +190,28 @@ let write_next t block v =
   Pmem.write_int t.pmem (next_off block) v;
   Pmem.flush t.pmem ~off:(next_off block) ~len:8
 
-let block_size tag = tag land lnot 1
+let block_size tag = tag land tag_payload_mask land lnot 1
 let is_allocated tag = tag land 1 = 1
 
 let check_block t a block tag =
   let size = block_size tag in
   let off = Offset.to_int block in
+  if not (tag_ok tag) then begin
+    note_detected ();
+    invalid_arg
+      (Printf.sprintf
+         "Nvheap.Heap: corrupt block header at %d (checksum mismatch)" off)
+  end;
   if
     size < min_block
     || size mod 16 <> 0
     || off + size > Offset.to_int (arena_end a)
-  then
+  then begin
+    note_detected ();
     invalid_arg
       (Printf.sprintf "Nvheap.Heap: corrupt block header at %d (size %d)" off
-         size);
+         size)
+  end;
   ignore t
 
 let format ?(arenas = 1) pmem ~base ~len =
@@ -145,22 +228,45 @@ let format ?(arenas = 1) pmem ~base ~len =
   let t = { pmem; base; len; stride; arenas = arena_arr; preferred = -1 } in
   (* Arena headers and initial blocks first; the superblock flush is the
      commit of the whole split. *)
+  let write_arena_header a =
+    Pmem.write_int64 pmem a.abase arena_magic;
+    Pmem.write_int pmem (Offset.add a.abase 8) a.alen;
+    Pmem.write_int pmem (head_off a) (Offset.to_int (first_block a));
+    Pmem.write_int64 pmem (Offset.add a.abase 24) (arena_crc ~alen:a.alen);
+    Pmem.flush pmem ~off:a.abase ~len:header_size
+  in
   Array.iter
     (fun a ->
-      Pmem.write_int64 pmem a.abase arena_magic;
-      Pmem.write_int pmem (Offset.add a.abase 8) a.alen;
-      Pmem.write_int pmem (head_off a) (Offset.to_int (first_block a));
-      Pmem.flush pmem ~off:a.abase ~len:header_size;
+      write_arena_header a;
       write_size_tag t (first_block a) (a.alen - header_size);
       write_next t (first_block a) 0)
     arena_arr;
   Pmem.write_int64 pmem base magic;
   Pmem.write_int pmem (Offset.add base 8) len;
   Pmem.write_int pmem (Offset.add base 16) arenas;
+  Pmem.write_int64 pmem (Offset.add base 24) (superblock_crc ~len ~arenas);
   Pmem.flush pmem ~off:base ~len:superblock_size;
   t
 
-let attach pmem ~base =
+let arena_header_ok pmem a =
+  Int64.equal (Pmem.read_int64 pmem a.abase) arena_magic
+  && Pmem.read_int pmem (Offset.add a.abase 8) = a.alen
+  && ((not (Integrity.enabled ()))
+     || Int64.equal
+          (Pmem.read_int64 pmem (Offset.add a.abase 24))
+          (arena_crc ~alen:a.alen))
+
+(* An arena header is entirely a function of the (checksummed) superblock
+   geometry except for the free-list head, which [recover]'s pass 2 rewrites
+   anyway — so a rotten header is repairable in place, not fatal. *)
+let repair_arena_header pmem a =
+  Pmem.write_int64 pmem a.abase arena_magic;
+  Pmem.write_int pmem (Offset.add a.abase 8) a.alen;
+  Pmem.write_int pmem (head_off a) 0;
+  Pmem.write_int64 pmem (Offset.add a.abase 24) (arena_crc ~alen:a.alen);
+  Pmem.flush pmem ~off:a.abase ~len:header_size
+
+let attach_internal ?(repair_headers = false) ?(report = ignore) pmem ~base =
   let m = Pmem.read_int64 pmem base in
   if not (Int64.equal m magic) then
     invalid_arg "Heap.open_existing: bad magic (not a heap region)";
@@ -168,14 +274,34 @@ let attach pmem ~base =
   let arenas = Pmem.read_int pmem (Offset.add base 16) in
   if arenas < 1 || len < superblock_size + (arenas * (header_size + min_block))
   then invalid_arg "Heap.open_existing: corrupt superblock";
+  if
+    Integrity.enabled ()
+    && not
+         (Int64.equal
+            (Pmem.read_int64 pmem (Offset.add base 24))
+            (superblock_crc ~len ~arenas))
+  then begin
+    note_detected ();
+    invalid_arg "Heap.open_existing: superblock checksum mismatch"
+  end;
   let stride, arena_arr = arena_layout ~base ~len ~arenas in
-  Array.iter
-    (fun a ->
-      if not (Int64.equal (Pmem.read_int64 pmem a.abase) arena_magic) then
-        invalid_arg "Heap.open_existing: bad arena magic")
+  Array.iteri
+    (fun i a ->
+      if not (arena_header_ok pmem a) then
+        if repair_headers then begin
+          note_detected ();
+          repair_arena_header pmem a;
+          note_repaired ();
+          report (Repaired_arena_header { arena = i })
+        end
+        else begin
+          note_detected ();
+          invalid_arg "Heap.open_existing: bad arena header"
+        end)
     arena_arr;
   { pmem; base; len; stride; arenas = arena_arr; preferred = -1 }
 
+let attach pmem ~base = attach_internal pmem ~base
 let open_existing pmem ~base = attach pmem ~base
 
 (* Walk one arena's block tiling in address order. *)
@@ -194,16 +320,19 @@ let fold_arena_blocks t a f acc =
   in
   go (first_block a) acc
 
-(* Walk every arena in address order (arena order = address order). *)
+(* Walk every arena in address order (arena order = address order);
+   quarantined arenas are skipped — their tiling cannot be walked. *)
 let fold_blocks t f acc =
-  Array.fold_left (fun acc a -> fold_arena_blocks t a f acc) acc t.arenas
+  Array.fold_left
+    (fun acc a -> if a.quarantined then acc else fold_arena_blocks t a f acc)
+    acc t.arenas
 
 let iter_blocks t f =
   fold_blocks t
     (fun () ~block ~size ~allocated -> f ~off:block ~size ~allocated)
     ()
 
-let recover_arena t a =
+let rec recover_arena t a =
   (* Pass 1: coalesce adjacent non-allocated blocks.  Growing the first
      block's size field is the atomic commit of each merge; the absorbed
      block's header becomes dead data, so a repeated failure re-runs the walk
@@ -232,6 +361,15 @@ let recover_arena t a =
   coalesce (first_block a);
   (* Pass 2: rebuild the free list from scratch (reclaims blocks leaked by a
      crash between an allocation's commit and the client's own persist). *)
+  relink_free_list t a
+
+(* Rewrite one arena's free list from its block tiling: the list side of the
+   metadata is wholly redundant with the (checksummed) tags, so any free-list
+   corruption — rotten next pointer, cycle, head into an allocated block —
+   is repaired by this scan.  Raises [Invalid_argument] if the tiling itself
+   is corrupt; callers then quarantine.  Caller holds [a.mu] (or is single-
+   threaded recovery). *)
+and relink_free_list t a =
   let free_blocks =
     List.rev
       (fold_arena_blocks t a
@@ -251,12 +389,48 @@ let recover_arena t a =
   | [] -> write_head t a 0
   | first :: _ -> write_head t a (Offset.to_int first)
 
-let recover pmem ~base =
-  let t = attach pmem ~base in
+(* Online detect-and-degrade: called when an allocation or free trips over
+   corrupt metadata inside arena [i].  Tries the free-list rebuild; if the
+   tiling walk itself cannot complete, the arena is quarantined.  Returns
+   [true] iff the arena was repaired and the caller may retry once.  Caller
+   holds [a.mu]. *)
+let rebuild_or_quarantine t i a ~reason =
+  match relink_free_list t a with
+  | () ->
+      note_repaired ();
+      if Obs.Config.enabled () then
+        Obs.Trace.record
+          (Obs.Trace.Fault_note
+             {
+               what =
+                 Printf.sprintf "heap: arena %d free list rebuilt (%s)" i
+                   reason;
+             });
+      true
+  | exception Invalid_argument why ->
+      a.quarantined <- true;
+      note_quarantined ();
+      if Obs.Config.enabled () then
+        Obs.Trace.record
+          (Obs.Trace.Fault_note
+             { what = Printf.sprintf "heap: arena %d quarantined (%s)" i why });
+      false
+
+let recover ?(report = ignore) pmem ~base =
+  let t = attach_internal ~repair_headers:true ~report pmem ~base in
   (* Arenas are rebuilt one after another from the same crash-consistent
      block tags; each rebuild is idempotent, so repeated failures during
-     recovery simply restart the sequence. *)
-  Array.iter (fun a -> recover_arena t a) t.arenas;
+     recovery simply restart the sequence.  An arena whose tiling fails its
+     checksums is quarantined rather than aborting the whole recovery. *)
+  Array.iteri
+    (fun i a ->
+      match recover_arena t a with
+      | () -> ()
+      | exception Invalid_argument reason ->
+          a.quarantined <- true;
+          note_quarantined ();
+          report (Quarantined_arena { arena = i; reason }))
+    t.arenas;
   t
 
 (* The arena that owns a block offset, by address range.  [stride] divides
@@ -287,14 +461,30 @@ let home_arena t =
    [Mutex.protect]: this path runs once per [alloc], and per-operation
    allocations feed the minor GC, whose collections stop the world across
    all domains (see the note in [Nvram.Pmem]). *)
-let rec find_best t a need prev block best_prev best_block best_size =
+(* [budget] bounds the walk by the largest free list the arena can hold:
+   a corrupt [next] pointer can close a cycle without tripping any
+   checksum, and an unbounded walk would spin forever.  Exhausting the
+   budget is treated exactly like a checksum failure — the list is
+   rebuilt from the tiling. *)
+let rec find_best t a need budget prev block best_prev best_block best_size =
   if block = 0 then begin
     a.best_prev <- best_prev;
     a.best_block <- best_block;
     a.best_size <- best_size
   end
   else begin
+    if budget <= 0 then begin
+      note_detected ();
+      invalid_arg "Nvheap.Heap: free-list walk exceeded arena capacity (cycle?)"
+    end;
     let boff = Offset.of_int block in
+    if block < Offset.to_int (first_block a) || block >= Offset.to_int (arena_end a)
+    then begin
+      note_detected ();
+      invalid_arg
+        (Printf.sprintf "Nvheap.Heap: free-list entry %d escapes its arena"
+           block)
+    end;
     let tag = read_size_tag t boff in
     check_block t a boff tag;
     let size = block_size tag in
@@ -305,38 +495,52 @@ let rec find_best t a need prev block best_prev best_block best_size =
       a.best_size <- size
     end
     else if size > need && (best_block = 0 || size < best_size) then
-      find_best t a need block (read_next t boff) prev block size
+      find_best t a need (budget - 1) block (read_next t boff) prev block size
     else
-      find_best t a need block (read_next t boff) best_prev best_block
-        best_size
+      find_best t a need (budget - 1) block (read_next t boff) best_prev
+        best_block best_size
   end
 
-let arena_alloc t a need =
+let walk_budget a = (a.alen / min_block) + 1
+
+let arena_alloc_locked t a need =
+  find_best t a need (walk_budget a) 0 (read_head t a) 0 0 0;
+  let prev = a.best_prev and block = a.best_block and size = a.best_size in
+  if block = 0 then 0
+  else begin
+    let block = Offset.of_int block in
+    if size - need >= min_block then begin
+      (* Split: carve the allocation from the tail of [block].  The
+         new header is written into what is still free space; the
+         atomic commit is shrinking [block]'s size. *)
+      let carved = Offset.add block (size - need) in
+      write_size_tag t carved (need lor 1);
+      write_size_tag t block (size - need);
+      Offset.to_int (payload_of_block carved)
+    end
+    else begin
+      (* Unlink [block]; the pointer write is the atomic commit. *)
+      let next = read_next t block in
+      if prev = 0 then write_head t a next
+      else write_next t (Offset.of_int prev) next;
+      write_size_tag t block (size lor 1);
+      Offset.to_int (payload_of_block block)
+    end
+  end
+
+(* Corrupt metadata inside the arena degrades instead of raising: the free
+   list is rebuilt from the tiling and the allocation retried once; an
+   unwalkable tiling quarantines the arena and reports "no fit" so the
+   caller steals from a healthy arena. *)
+let arena_alloc t i a need =
   Mutex.lock a.mu;
   match
-    find_best t a need 0 (read_head t a) 0 0 0;
-    let prev = a.best_prev and block = a.best_block and size = a.best_size in
-    if block = 0 then 0
-    else begin
-      let block = Offset.of_int block in
-      if size - need >= min_block then begin
-        (* Split: carve the allocation from the tail of [block].  The
-           new header is written into what is still free space; the
-           atomic commit is shrinking [block]'s size. *)
-        let carved = Offset.add block (size - need) in
-        write_size_tag t carved (need lor 1);
-        write_size_tag t block (size - need);
-        Offset.to_int (payload_of_block carved)
-      end
-      else begin
-        (* Unlink [block]; the pointer write is the atomic commit. *)
-        let next = read_next t block in
-        if prev = 0 then write_head t a next
-        else write_next t (Offset.of_int prev) next;
-        write_size_tag t block (size lor 1);
-        Offset.to_int (payload_of_block block)
-      end
-    end
+    if a.quarantined then 0
+    else
+      try arena_alloc_locked t a need
+      with Invalid_argument reason ->
+        if rebuild_or_quarantine t i a ~reason then arena_alloc_locked t a need
+        else 0
   with
   | payload ->
       Mutex.unlock a.mu;
@@ -347,10 +551,12 @@ let arena_alloc t a need =
 
 let arena_largest_free t a =
   Mutex.protect a.mu (fun () ->
-      fold_arena_blocks t a
-        (fun acc ~block:_ ~size ~allocated ->
-          if allocated then acc else max acc (size - block_header_size))
-        0)
+      if a.quarantined then 0
+      else
+        fold_arena_blocks t a
+          (fun acc ~block:_ ~size ~allocated ->
+            if allocated then acc else max acc (size - block_header_size))
+          0)
 
 (* The home arena is tried first so allocation from a bound view never
    crosses another worker's lock; exhaustion falls through to stealing
@@ -365,8 +571,9 @@ let rec alloc_from t n need home n_arenas i =
     in
     raise (Out_of_heap_memory { requested = n; largest_free = largest })
   else
-    let a = t.arenas.((home + i) mod n_arenas) in
-    let payload = arena_alloc t a need in
+    let idx = (home + i) mod n_arenas in
+    let a = t.arenas.(idx) in
+    let payload = arena_alloc t idx a need in
     if payload = 0 then alloc_from t n need home n_arenas (i + 1)
     else begin
       if Obs.Config.enabled () then
@@ -407,11 +614,26 @@ let free_locked t a payload =
     Obs.Trace.record (Obs.Trace.Heap_free { payload = Offset.to_int payload })
 
 (* [free] routes by address range, not by the view's binding: a payload
-   allocated by worker i and freed by worker j still returns to arena i. *)
+   allocated by worker i and freed by worker j still returns to arena i.
+
+   A free into a quarantined arena is dropped: the arena's metadata is not
+   trustworthy enough to link into, so the block leaks (bounded by the
+   arena) instead of corrupting further.  A corrupt header found under the
+   payload itself triggers the rebuild-and-retry; a double free keeps
+   raising [Invalid_argument] (the rebuild does not change an allocated
+   bit, so the retry fails identically). *)
 let free t payload =
-  let a = t.arenas.(arena_index t payload) in
+  let i = arena_index t payload in
+  let a = t.arenas.(i) in
   Mutex.lock a.mu;
-  match free_locked t a payload with
+  match
+    if a.quarantined then
+      note_detected () (* the drop is visible, never silent *)
+    else
+      try free_locked t a payload
+      with Invalid_argument reason ->
+        if rebuild_or_quarantine t i a ~reason then free_locked t a payload
+  with
   | () -> Mutex.unlock a.mu
   | exception e ->
       Mutex.unlock a.mu;
@@ -433,7 +655,9 @@ let retain t ~live =
      the arena being scanned, so no reclamation crosses a lock. *)
   Array.fold_left
     (fun acc a ->
-      Mutex.protect a.mu (fun () ->
+      if a.quarantined then acc
+      else
+        Mutex.protect a.mu (fun () ->
           let dead, bytes =
             fold_arena_blocks t a
               (fun (dead, bytes) ~block ~size ~allocated ->
@@ -456,7 +680,11 @@ let retain t ~live =
 let payload_size t payload =
   let a = t.arenas.(arena_index t payload) in
   Mutex.lock a.mu;
-  match assert_allocated t a payload with
+  match
+    if a.quarantined then
+      invalid_arg "Nvheap.Heap: block belongs to a quarantined arena"
+    else assert_allocated t a payload
+  with
   | size ->
       Mutex.unlock a.mu;
       size - block_header_size
@@ -467,11 +695,13 @@ let payload_size t payload =
 let free_bytes t =
   Array.fold_left
     (fun acc a ->
-      Mutex.protect a.mu (fun () ->
-          fold_arena_blocks t a
-            (fun acc ~block:_ ~size ~allocated ->
-              if allocated then acc else acc + size - block_header_size)
-            acc))
+      if a.quarantined then acc
+      else
+        Mutex.protect a.mu (fun () ->
+            fold_arena_blocks t a
+              (fun acc ~block:_ ~size ~allocated ->
+                if allocated then acc else acc + size - block_header_size)
+              acc))
     0 t.arenas
 
 let largest_free t =
@@ -480,15 +710,21 @@ let largest_free t =
 let block_count t ~allocated:want =
   Array.fold_left
     (fun acc a ->
-      Mutex.protect a.mu (fun () ->
-          fold_arena_blocks t a
-            (fun acc ~block:_ ~size:_ ~allocated ->
-              if allocated = want then acc + 1 else acc)
-            acc))
+      if a.quarantined then acc
+      else
+        Mutex.protect a.mu (fun () ->
+            fold_arena_blocks t a
+              (fun acc ~block:_ ~size:_ ~allocated ->
+                if allocated = want then acc + 1 else acc)
+              acc))
     0 t.arenas
 
 let check_arena t i a =
   Mutex.protect a.mu (fun () ->
+      if a.quarantined then Ok () (* out of service, by design — not an error *)
+      else if not (arena_header_ok t.pmem a) then
+        Error (Printf.sprintf "arena %d: header checksum mismatch" i)
+      else
       try
         (* The tiling walk itself validates block headers. *)
         let blocks =
@@ -531,6 +767,13 @@ let check_arena t i a =
       with Invalid_argument msg ->
         Error (Printf.sprintf "arena %d: %s" i msg))
 
+let quarantined_arenas t =
+  let acc = ref [] in
+  Array.iteri (fun i a -> if a.quarantined then acc := i :: !acc) t.arenas;
+  List.rev !acc
+
+let quarantined_count t = List.length (quarantined_arenas t)
+
 let check t =
   (* Superblock consistency: the recomputed split must tile the region. *)
   let tiled =
@@ -540,6 +783,13 @@ let check t =
     Error
       (Printf.sprintf "superblock: arenas tile %d bytes of a %d-byte region"
          tiled t.len)
+  else if
+    Integrity.enabled ()
+    && not
+         (Int64.equal
+            (Pmem.read_int64 t.pmem (Offset.add t.base 24))
+            (superblock_crc ~len:t.len ~arenas:(Array.length t.arenas)))
+  then Error "superblock: checksum mismatch"
   else
     let rec go i =
       if i = Array.length t.arenas then Ok ()
@@ -556,12 +806,14 @@ let pp fmt t =
     (Array.length t.arenas);
   Array.iteri
     (fun i a ->
-      Format.fprintf fmt "  arena %d at %a, %d bytes@," i Offset.pp a.abase
-        a.alen;
-      fold_arena_blocks t a
-        (fun () ~block ~size ~allocated ->
-          Format.fprintf fmt "    %a: %6d bytes, %s@," Offset.pp block size
-            (if allocated then "allocated" else "free"))
-        ())
+      Format.fprintf fmt "  arena %d at %a, %d bytes%s@," i Offset.pp a.abase
+        a.alen
+        (if a.quarantined then " [QUARANTINED]" else "");
+      if not a.quarantined then
+        fold_arena_blocks t a
+          (fun () ~block ~size ~allocated ->
+            Format.fprintf fmt "    %a: %6d bytes, %s@," Offset.pp block size
+              (if allocated then "allocated" else "free"))
+          ())
     t.arenas;
   Format.fprintf fmt "@]"

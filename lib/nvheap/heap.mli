@@ -52,7 +52,20 @@
     single arena it touches (a free-list walk spans many device lines, so
     the striped device lock alone would not make the walk atomic).  Worker
     domains bound to distinct arenas proceed in parallel; aggregate scans
-    ({!free_bytes}, {!check}, …) lock one arena at a time. *)
+    ({!free_bytes}, {!check}, …) lock one arena at a time.
+
+    {2 Media faults}
+
+    All heap metadata is checksummed ({!Nvram.Integrity}): the superblock
+    and each arena header carry an FNV-64 field, and every block size tag
+    embeds a 15-bit code in its high bits.  Faults degrade instead of
+    crashing: a corrupt free-list entry (rotten pointer, cycle, checksum
+    mismatch) triggers an in-place rebuild of that arena's free list from
+    the checksummed block tiling; an arena whose tiling is itself
+    unwalkable is {e quarantined} — allocation routes around it, frees
+    into it are dropped (the block leaks, bounded by the arena size), and
+    aggregate scans skip it.  Every detection, repair and quarantine ticks
+    the [faults_*] counters in {!Obs.Counters}. *)
 
 type t
 
@@ -74,12 +87,34 @@ val open_existing : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
     @raise Invalid_argument if the superblock or an arena header does not
     match. *)
 
-val recover : Nvram.Pmem.t -> base:Nvram.Offset.t -> t
+type repair =
+  | Rebuilt_free_list of { arena : int; reason : string }
+      (** the arena's free list was relinked from the block tiling after a
+          corrupt entry was detected *)
+  | Repaired_arena_header of { arena : int }
+      (** the arena header failed its checksum and was rewritten from the
+          superblock geometry (headers are pure functions of it) *)
+  | Quarantined_arena of { arena : int; reason : string }
+      (** the arena's block tiling is unwalkable; the arena is out of
+          service until the next {!format} *)
+
+val pp_repair : Format.formatter -> repair -> unit
+
+val recover :
+  ?report:(repair -> unit) -> Nvram.Pmem.t -> base:Nvram.Offset.t -> t
 (** [recover pmem ~base] attaches to an existing heap and rebuilds every
     arena's free list in address order: every block not marked allocated
     becomes free (reclaiming blocks leaked by a crash inside an
     allocation), and adjacent free blocks are coalesced.  Safe to re-run
-    after repeated failures. *)
+    after repeated failures.
+
+    Media damage is handled per arena: a header failing its checksum is
+    rewritten from the superblock geometry, and an arena whose tiling is
+    unwalkable is quarantined; both are passed to [?report] (default:
+    ignored, counters still tick).
+
+    @raise Invalid_argument if the superblock itself fails its magic or
+    checksum — the geometry is the one thing that cannot be rebuilt. *)
 
 val alloc : t -> int -> Nvram.Offset.t
 (** [alloc t n] allocates at least [n] bytes ([n >= 1]) and returns the
@@ -133,6 +168,15 @@ val arena_index : t -> Nvram.Offset.t -> int
 
     @raise Invalid_argument if [payload] lies outside the heap region. *)
 
+val quarantined_arenas : t -> int list
+(** Indices of arenas currently out of service, in order. *)
+
+val quarantined_count : t -> int
+
+val arena_base : t -> int -> Nvram.Offset.t
+(** Device offset of arena [i]'s header — the fault-injecting fuzzer uses
+    it to aim bitflips at checksummed metadata. *)
+
 (** {1 Introspection} *)
 
 val base : t -> Nvram.Offset.t
@@ -154,11 +198,14 @@ val iter_blocks :
     size including the header. *)
 
 val check : t -> (unit, string) result
-(** [check t] validates the heap invariants: the arenas tile the region
-    exactly, each arena's blocks tile the arena exactly, each free list is
-    acyclic, every free-list entry is an untagged block, and every
-    free-list entry lies inside its owning arena.  Used by tests after
-    simulated crashes. *)
+(** [check t] validates the heap invariants: the superblock and arena
+    header checksums verify, the arenas tile the region exactly, each
+    arena's blocks tile the arena exactly (every tag checksum included),
+    each free list is acyclic, every free-list entry is an untagged block,
+    and every free-list entry lies inside its owning arena.  Quarantined
+    arenas pass vacuously — out of service is a reported state, not an
+    invariant violation (consult {!quarantined_count}).  Used by tests
+    after simulated crashes and media faults. *)
 
 val pp : Format.formatter -> t -> unit
 (** One arena and one block per line, for debugging. *)

@@ -71,6 +71,17 @@ let persist t ~off ~src ~src_off ~len =
       Mutex.protect t.io_mu (fun () ->
           write_through fd ~sync ~off ~data:t.data ~len)
 
+let flip_bit t ~off ~bit =
+  check_range t off 1;
+  if bit < 0 || bit > 7 then invalid_arg "Backend.flip_bit: bit out of range";
+  let v = Char.code (Bytes.get t.data off) lxor (1 lsl bit) in
+  Bytes.set t.data off (Char.chr v);
+  match t.storage with
+  | Memory -> ()
+  | File { fd; sync; _ } ->
+      Mutex.protect t.io_mu (fun () ->
+          write_through fd ~sync ~off ~data:t.data ~len:1)
+
 let close t =
   match t.storage with Memory -> () | File { fd; _ } -> Unix.close fd
 

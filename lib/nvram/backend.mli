@@ -45,6 +45,15 @@ val persist : t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
     offset [off] of the image (write-through to the file for file
     backends). *)
 
+val flip_bit : t -> off:int -> bit:int -> unit
+(** [flip_bit t ~off ~bit] inverts one bit of the persistent image —
+    simulated bit rot.  The flip goes straight to the durable bytes
+    (write-through on file backends), bypassing the volatile cache: rot
+    happens at rest, not in flight.
+
+    @raise Invalid_argument if [off] is outside the image or [bit] is not
+    in [0..7]. *)
+
 val close : t -> unit
 (** [close t] releases the file descriptor of a file backend (no-op for
     memory backends). *)

@@ -147,6 +147,17 @@ let plan_of_string s =
       | _ -> Error (Printf.sprintf "random: bad seed/probability in %S" s))
   | _ -> Error (Printf.sprintf "unknown crash plan %S" s)
 
+type fault_plan = { tear : plan; bitflip : plan; fault_seed : int }
+
+let no_faults = { tear = Never; bitflip = Never; fault_seed = 0 }
+
+let has_faults { tear; bitflip; _ } =
+  (not (is_never tear)) || not (is_never bitflip)
+
+let pp_fault_plan fmt { tear; bitflip; fault_seed } =
+  Format.fprintf fmt "tear %a | bitflip %a | fault-seed %d" pp_plan tear
+    pp_plan bitflip fault_seed
+
 let arm_kill t plan =
   Mutex.protect t.mu (fun () ->
       t.kill_plan <- plan;

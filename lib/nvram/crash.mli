@@ -112,6 +112,36 @@ val plan_of_string : string -> (plan, string) result
 (** Inverse of {!plan_to_string} (tolerates extra whitespace); [Error msg]
     on anything else. *)
 
+(** {1 Media-fault plans}
+
+    Crash plans decide {e when} the machine dies; fault plans decide
+    whether the media misbehaves around those deaths.  Both sub-plans reuse
+    {!plan} but count {e different events} than crash plans count:
+
+    - [tear] counts {e crash events} — when the [n]-th crash fires (or a
+      seeded coin decides for this crash), the cache line whose persist the
+      crash interrupted is torn: a deterministic prefix survives and the
+      rest of the line is shredded with seeded garbage, instead of the
+      all-or-nothing line persistence the device normally guarantees.
+    - [bitflip] counts {e restarts} — after the device reboots, it flips a
+      seeded number of persisted bits inside the configured target regions
+      (bit rot at rest).
+
+    [fault_seed] derives every PRNG involved, so a fault schedule replays
+    exactly, like crash schedules.  Fault plans are armed on the {e device}
+    ({!Pmem.arm_faults}), not on this controller: {!reset} models a machine
+    restart and must not disarm media behaviour. *)
+
+type fault_plan = { tear : plan; bitflip : plan; fault_seed : int }
+
+val no_faults : fault_plan
+(** [{ tear = Never; bitflip = Never; fault_seed = 0 }]. *)
+
+val has_faults : fault_plan -> bool
+(** Whether either sub-plan can ever fire. *)
+
+val pp_fault_plan : Format.formatter -> fault_plan -> unit
+
 (** {1 Individual crashes}
 
     A second, independent plan that kills the single thread whose

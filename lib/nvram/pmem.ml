@@ -17,6 +17,25 @@ type pending_log = {
 
 let log_buckets = 16 (* power of two, like Obs.Counters *)
 
+(* Media-fault state (see [arm_faults]).  Owned by the device, not by
+   [Crash]: [Crash.reset] models a machine restart, and restarting a
+   machine does not repair its media — fault plans must survive every era
+   of a run.  All mutable state is guarded by [fault_mu]; the [armed] flag
+   is read racily on hot paths, which is sound because arming
+   happens-before the workers start (same argument as [Crash.step]'s
+   fast path). *)
+type faults = {
+  fault_mu : Mutex.t;
+  mutable fplan : Crash.fault_plan;
+  mutable armed : bool;
+  mutable tear_rng : Random.State.t;
+  mutable bitflip_rng : Random.State.t;
+  mutable crash_events : int;  (* tear plans count crash events *)
+  mutable restarts : int;  (* bitflip plans count restarts *)
+  mutable targets : (int * int) array;
+      (* bitflip target regions (offset, length); [||] = whole device *)
+}
+
 type t = {
   line_size : int;
   size : int;
@@ -38,6 +57,7 @@ type t = {
          broken drain.  0 in real use. *)
   crash_ctl : Crash.t;
   stats : Stats.t;
+  faults : faults;
   crash_rng : Random.State.t;
   yield_probability : float;
   yield_state : int Atomic.t;  (* lock-free LCG for scheduling jitter *)
@@ -98,6 +118,17 @@ let create ?(line_size = 64) ?(policy = Lose_all) ?(auto_flush = false)
     drain_breakage = 0;
     crash_ctl = Crash.create ();
     stats = Stats.create ();
+    faults =
+      {
+        fault_mu = Mutex.create ();
+        fplan = Crash.no_faults;
+        armed = false;
+        tear_rng = Random.State.make [| 0 |];
+        bitflip_rng = Random.State.make [| 0 |];
+        crash_events = 0;
+        restarts = 0;
+        targets = [||];
+      };
     crash_rng;
     yield_probability;
     yield_state = Atomic.make 0x9E3779B9;
@@ -200,6 +231,150 @@ let persist_line t index =
   Backend.persist t.backend ~off:start ~src:t.volatile ~src_off:start ~len;
   t.dirty.(index) <- false;
   t.pending.(index) <- false
+
+(* {2 Media faults: torn lines and bit rot} *)
+
+let arm_faults ?(targets = [||]) t fplan =
+  let f = t.faults in
+  Mutex.protect f.fault_mu (fun () ->
+      Array.iter
+        (fun (off, len) ->
+          if off < 0 || len <= 0 || off + len > t.size then
+            invalid_arg "Pmem.arm_faults: target region outside device")
+        targets;
+      f.fplan <- fplan;
+      f.tear_rng <- Random.State.make [| fplan.Crash.fault_seed; 1 |];
+      f.bitflip_rng <- Random.State.make [| fplan.Crash.fault_seed; 2 |];
+      f.crash_events <- 0;
+      f.restarts <- 0;
+      f.targets <- targets;
+      f.armed <- Crash.has_faults fplan)
+
+let fault_plan t = Mutex.protect t.faults.fault_mu (fun () -> t.faults.fplan)
+
+let plan_fires ~counter ~rng = function
+  | Crash.Never -> false
+  | Crash.At_op n -> counter >= n
+  | Crash.Random { probability; _ } ->
+      Random.State.float rng 1.0 < probability
+
+let note_fault_injected () =
+  if Obs.Config.enabled () then
+    Obs.Counters.incr_faults_injected Obs.Probe.counters
+
+(* Tear the persist of line [index] that the crash just interrupted.  The
+   in-flight bytes are [seg_len] bytes at device offset [seg_start], with
+   their {e new} content at [src.(src_off ..)]: a seeded prefix of the new
+   content reaches the persistent image, a seeded handful of the following
+   bytes are shredded with garbage, and the rest keep their old persisted
+   value — the three states a byte of an interrupted write-back can land
+   in.  The caller holds the stripe of [index]; the torn image is copied
+   back into the volatile cache and the line marked clean so the crash's
+   lose/survive pass cannot overwrite the tear with intact content. *)
+let tear_line_locked t ~index ~seg_start ~seg_len ~src ~src_off ~rng =
+  let keep = Random.State.int rng (seg_len + 1) in
+  if keep > 0 then
+    Backend.persist t.backend ~off:seg_start ~src ~src_off ~len:keep;
+  let shred = Random.State.int rng (min 8 (seg_len - keep) + 1) in
+  if shred > 0 then begin
+    let garbage = Bytes.init shred (fun _ -> Char.chr (Random.State.int rng 256)) in
+    Backend.persist t.backend ~off:(seg_start + keep) ~src:garbage ~src_off:0
+      ~len:shred
+  end;
+  (* Volatile must agree with the torn image: the machine is dead, and the
+     reboot path re-reads the backend anyway, but a racing op between the
+     tear and [crash t] must not observe pre-tear bytes as clean. *)
+  let line_start = index * t.line_size in
+  let line_len = min t.line_size (t.size - line_start) in
+  Backend.blit_to t.backend ~off:line_start ~dst:t.volatile
+    ~dst_off:line_start ~len:line_len;
+  t.dirty.(index) <- false;
+  t.pending.(index) <- false;
+  Stats.incr_torn_lines t.stats;
+  note_fault_injected ()
+
+(* Crash-scheduler step at a persistence point covering line [index], with
+   tearing: when this step is the one that {e fires} the crash (not a
+   later step observing an already-crashed device) it counts one crash
+   event, and the armed tear plan decides whether the interrupted persist
+   of [index] is torn.  Caller holds the stripe of [index]. *)
+let step_fault t ~index ~seg_start ~seg_len ~src ~src_off =
+  let f = t.faults in
+  if not f.armed then Crash.step t.crash_ctl
+  else begin
+    let was_crashed = Crash.crashed t.crash_ctl in
+    match Crash.step t.crash_ctl with
+    | () -> ()
+    | exception Crash.Crash_now when not was_crashed ->
+        let tear =
+          Mutex.protect f.fault_mu (fun () ->
+              f.crash_events <- f.crash_events + 1;
+              if
+                seg_len > 0
+                && plan_fires ~counter:f.crash_events ~rng:f.tear_rng
+                     f.fplan.Crash.tear
+              then Some f.tear_rng
+              else None)
+        in
+        (match tear with
+        | Some rng ->
+            tear_line_locked t ~index ~seg_start ~seg_len ~src ~src_off ~rng
+        | None -> ());
+        raise Crash.Crash_now
+  end
+
+(* Bit rot between eras: flip seeded persisted bits inside the configured
+   target regions.  Runs on [restart], i.e. with the machine quiescent —
+   every worker died with [Crash_now]; the stripe lock still makes each
+   flip atomic against stragglers. *)
+let apply_bitflips t =
+  let f = t.faults in
+  let flips =
+    Mutex.protect f.fault_mu (fun () ->
+        f.restarts <- f.restarts + 1;
+        if
+          not
+            (plan_fires ~counter:f.restarts ~rng:f.bitflip_rng
+               f.fplan.Crash.bitflip)
+        then [||]
+        else begin
+          let rng = f.bitflip_rng in
+          let n = 1 + Random.State.int rng 3 in
+          Array.init n (fun _ ->
+              let off =
+                if Array.length f.targets = 0 then
+                  Random.State.int rng t.size
+                else begin
+                  let region, len =
+                    f.targets.(Random.State.int rng (Array.length f.targets))
+                  in
+                  region + Random.State.int rng len
+                end
+              in
+              (off, Random.State.int rng 8))
+        end)
+  in
+  Array.iter
+    (fun (off, bit) ->
+      let index = off / t.line_size in
+      with_lines t ~first:index ~last:index (fun () ->
+          Backend.flip_bit t.backend ~off ~bit;
+          Bytes.set t.volatile off
+            (Char.chr
+               (Char.code (Bytes.get t.volatile off) lxor (1 lsl bit))));
+      Stats.incr_bits_flipped t.stats 1;
+      note_fault_injected ())
+    flips
+
+let inject_bitflip t ~off ~bit =
+  check_range t off 1;
+  let off = Offset.to_int off in
+  let index = off / t.line_size in
+  with_lines t ~first:index ~last:index (fun () ->
+      Backend.flip_bit t.backend ~off ~bit;
+      Bytes.set t.volatile off
+        (Char.chr (Char.code (Bytes.get t.volatile off) lxor (1 lsl bit))));
+  Stats.incr_bits_flipped t.stats 1
 
 (* {2 Coalesced-mode pending logs and drains} *)
 
@@ -308,7 +483,17 @@ let flush_lines_locked t ~off ~len =
   let last = (Offset.to_int off + len - 1) / t.line_size in
   let persisted = ref 0 in
   for index = first to last do
-    Crash.step t.crash_ctl;
+    (if t.faults.armed then begin
+       (* In-flight content: the whole dirty line about to be written back
+          (a clean line has nothing in flight and cannot tear). *)
+       let line_start = index * t.line_size in
+       let seg_len =
+         if t.dirty.(index) then min t.line_size (t.size - line_start) else 0
+       in
+       step_fault t ~index ~seg_start:line_start ~seg_len ~src:t.volatile
+         ~src_off:line_start
+     end
+     else Crash.step t.crash_ctl);
     if t.dirty.(index) then begin
       persist_line t index;
       Stats.incr_lines_flushed t.stats 1;
@@ -328,12 +513,17 @@ let write_locked t ~off ~src ~src_off ~len =
     let last = (base + len - 1) / t.line_size in
     let written = ref 0 in
     for index = first to last do
-      Crash.step t.crash_ctl;
       let line_start = index * t.line_size in
       let line_end = min (line_start + t.line_size) t.size in
       let seg_start = max base line_start in
       let seg_end = min (base + len) line_end in
       let seg_len = seg_end - seg_start in
+      (if t.faults.armed then
+         (* In-flight content: this write's segment of the line — the
+            store-plus-writeback the crash interrupts. *)
+         step_fault t ~index ~seg_start ~seg_len ~src
+           ~src_off:(src_off + (seg_start - base))
+       else Crash.step t.crash_ctl);
       Bytes.blit src (src_off + (seg_start - base)) t.volatile seg_start
         seg_len;
       t.dirty.(index) <- true;
@@ -896,7 +1086,9 @@ let crash t =
          there is. *)
       Backend.blit_to t.backend ~off:0 ~dst:t.volatile ~dst_off:0 ~len:t.size)
 
-let restart t = Crash.reset t.crash_ctl
+let restart t =
+  Crash.reset t.crash_ctl;
+  if t.faults.armed then apply_bitflips t
 
 let crash_and_restart t =
   crash t;

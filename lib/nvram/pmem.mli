@@ -5,7 +5,10 @@
     - the device is a byte-addressable region of a fixed size;
     - writes land in a {e volatile} cache organised in lines;
     - {!flush} persists whole cache lines; persisting one line is atomic
-      (never torn by a crash);
+      (never torn by a crash) — {e unless} a torn-write fault plan is armed
+      with {!arm_faults}, in which case the one line whose persist the
+      crash interrupts may be torn into a survived prefix, shredded bytes,
+      and old content;
     - at a crash, every dirty (written but unflushed) line is either lost or
       — modelling spontaneous cache write-back — persisted, according to the
       device's {!policy}; everything previously persisted survives.
@@ -197,6 +200,46 @@ val unsafe_break_drain : ?skip:int -> t -> unit
     writing the line back, modelling a forgotten write-back.  The
     equivalence check of [Mc.Explore] must demonstrably catch the resulting
     divergence — that is this hook's only purpose. *)
+
+(** {1 Media faults}
+
+    Seeded fault injection on top of the crash scheduler — torn lines at
+    crash points and bit rot between eras — with the same replay
+    discipline as crash plans: the whole fault schedule is a deterministic
+    function of {!Crash.fault_plan} (given a deterministic crash
+    schedule), so every fault is a reproducible schedule point.
+
+    Fault plans are device state, not {!Crash} state: {!restart} models a
+    reboot and reboots do not repair media, so fault plans survive
+    [Crash.reset] and stay armed across every era of a run. *)
+
+val arm_faults : ?targets:(int * int) array -> t -> Crash.fault_plan -> unit
+(** [arm_faults t fplan] installs a media-fault plan and resets its
+    counters and PRNGs (seeded from [fplan.fault_seed]).
+
+    - [fplan.tear] counts {e crash events}: when the plan fires on the
+      [n]-th crash, the cache line whose persist the crash interrupted is
+      torn instead of left untouched — a seeded prefix of the in-flight
+      bytes persists, up to 8 following bytes are shredded with seeded
+      garbage, the rest keep their old durable content.  Only multi-byte
+      writes and flushes can tear; the single-word fast paths
+      ({!write_byte}, {!write_int64}, {!cas_int64}) model 8-byte hardware
+      atomicity and are never torn.
+    - [fplan.bitflip] counts {e restarts}: when the plan fires on the
+      [n]-th {!restart}, 1–3 seeded bits flip inside [targets] (an array
+      of [(offset, length)] regions; empty or omitted = the whole
+      device) — bit rot at rest, applied write-through to the persistent
+      image.
+
+    @raise Invalid_argument if a target region lies outside the device. *)
+
+val fault_plan : t -> Crash.fault_plan
+(** The armed fault plan ({!Crash.no_faults} if none). *)
+
+val inject_bitflip : t -> off:Offset.t -> bit:int -> unit
+(** [inject_bitflip t ~off ~bit] deterministically flips one persisted bit
+    right now, bypassing the plans — the byte-surgery hook corruption
+    tests and the scrubber's fixtures are built on. *)
 
 (** {1 Crash simulation} *)
 

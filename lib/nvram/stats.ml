@@ -8,6 +8,8 @@ type t = {
   crashes : int Atomic.t;
   lines_lost : int Atomic.t;
   lines_survived : int Atomic.t;
+  torn_lines : int Atomic.t;
+  bits_flipped : int Atomic.t;
 }
 
 let create () =
@@ -21,6 +23,8 @@ let create () =
     crashes = Atomic.make 0;
     lines_lost = Atomic.make 0;
     lines_survived = Atomic.make 0;
+    torn_lines = Atomic.make 0;
+    bits_flipped = Atomic.make 0;
   }
 
 let reads t = Atomic.get t.reads
@@ -32,6 +36,8 @@ let lines_flushed t = Atomic.get t.lines_flushed
 let crashes t = Atomic.get t.crashes
 let lines_lost t = Atomic.get t.lines_lost
 let lines_survived t = Atomic.get t.lines_survived
+let torn_lines t = Atomic.get t.torn_lines
+let bits_flipped t = Atomic.get t.bits_flipped
 
 let add counter n = ignore (Atomic.fetch_and_add counter n)
 let incr_reads t = add t.reads 1
@@ -43,6 +49,8 @@ let incr_lines_flushed t n = add t.lines_flushed n
 let incr_crashes t = add t.crashes 1
 let incr_lines_lost t n = add t.lines_lost n
 let incr_lines_survived t n = add t.lines_survived n
+let incr_torn_lines t = add t.torn_lines 1
+let incr_bits_flipped t n = add t.bits_flipped n
 
 let reset t =
   let zero counter = Atomic.set counter 0 in
@@ -54,11 +62,15 @@ let reset t =
   zero t.lines_flushed;
   zero t.crashes;
   zero t.lines_lost;
-  zero t.lines_survived
+  zero t.lines_survived;
+  zero t.torn_lines;
+  zero t.bits_flipped
 
 let pp fmt t =
   Format.fprintf fmt
     "reads=%d writes=%d flushes=%d flushes_elided=%d drains=%d \
-     lines_flushed=%d crashes=%d lines_lost=%d lines_survived=%d"
+     lines_flushed=%d crashes=%d lines_lost=%d lines_survived=%d \
+     torn_lines=%d bits_flipped=%d"
     (reads t) (writes t) (flushes t) (flushes_elided t) (drains t)
     (lines_flushed t) (crashes t) (lines_lost t) (lines_survived t)
+    (torn_lines t) (bits_flipped t)

@@ -55,6 +55,15 @@ val lines_survived : t -> int
 (** Number of dirty cache lines that happened to be written back before a
     crash (see {!Pmem.policy}). *)
 
+val torn_lines : t -> int
+(** Number of cache lines torn by an injected media fault: the crash that
+    interrupted their persist wrote back a deterministic prefix/shredded
+    pattern instead of all-or-nothing (see {!Pmem.arm_faults}). *)
+
+val bits_flipped : t -> int
+(** Number of persisted bits flipped by injected bit-rot faults between
+    eras (see {!Pmem.arm_faults}). *)
+
 val incr_reads : t -> unit
 val incr_writes : t -> unit
 val incr_flushes : t -> unit
@@ -64,6 +73,8 @@ val incr_lines_flushed : t -> int -> unit
 val incr_crashes : t -> unit
 val incr_lines_lost : t -> int -> unit
 val incr_lines_survived : t -> int -> unit
+val incr_torn_lines : t -> unit
+val incr_bits_flipped : t -> int -> unit
 
 val reset : t -> unit
 (** [reset t] zeroes every counter. *)

@@ -12,6 +12,10 @@ type stripe = {
   recovery_passes : int Atomic.t;
   payload_bytes : int Atomic.t;
   amplified_bytes : int Atomic.t;
+  faults_injected : int Atomic.t;
+  faults_detected : int Atomic.t;
+  faults_repaired : int Atomic.t;
+  faults_quarantined : int Atomic.t;
 }
 
 type t = stripe array
@@ -28,6 +32,10 @@ type totals = {
   recovery_passes : int;
   payload_bytes : int;
   amplified_bytes : int;
+  faults_injected : int;
+  faults_detected : int;
+  faults_repaired : int;
+  faults_quarantined : int;
 }
 
 let create () : t =
@@ -44,6 +52,10 @@ let create () : t =
         recovery_passes = Atomic.make 0;
         payload_bytes = Atomic.make 0;
         amplified_bytes = Atomic.make 0;
+        faults_injected = Atomic.make 0;
+        faults_detected = Atomic.make 0;
+        faults_repaired = Atomic.make 0;
+        faults_quarantined = Atomic.make 0;
       })
 
 let mine (t : t) = t.((Domain.self () :> int) land (stripes - 1))
@@ -52,6 +64,10 @@ let incr_ops t = add (mine t).ops 1
 let incr_reads t = add (mine t).reads 1
 let incr_crashes_survived t = add (mine t).crashes_survived 1
 let incr_recovery_passes t = add (mine t).recovery_passes 1
+let incr_faults_injected t = add (mine t).faults_injected 1
+let incr_faults_detected t = add (mine t).faults_detected 1
+let incr_faults_repaired t = add (mine t).faults_repaired 1
+let incr_faults_quarantined t = add (mine t).faults_quarantined 1
 
 let record_write t ~payload ~amplified =
   let s = mine t in
@@ -86,6 +102,11 @@ let totals (t : t) =
         recovery_passes = acc.recovery_passes + Atomic.get s.recovery_passes;
         payload_bytes = acc.payload_bytes + Atomic.get s.payload_bytes;
         amplified_bytes = acc.amplified_bytes + Atomic.get s.amplified_bytes;
+        faults_injected = acc.faults_injected + Atomic.get s.faults_injected;
+        faults_detected = acc.faults_detected + Atomic.get s.faults_detected;
+        faults_repaired = acc.faults_repaired + Atomic.get s.faults_repaired;
+        faults_quarantined =
+          acc.faults_quarantined + Atomic.get s.faults_quarantined;
       })
     {
       ops = 0;
@@ -99,6 +120,10 @@ let totals (t : t) =
       recovery_passes = 0;
       payload_bytes = 0;
       amplified_bytes = 0;
+      faults_injected = 0;
+      faults_detected = 0;
+      faults_repaired = 0;
+      faults_quarantined = 0;
     }
     t
 
@@ -115,7 +140,11 @@ let reset (t : t) =
       Atomic.set s.crashes_survived 0;
       Atomic.set s.recovery_passes 0;
       Atomic.set s.payload_bytes 0;
-      Atomic.set s.amplified_bytes 0)
+      Atomic.set s.amplified_bytes 0;
+      Atomic.set s.faults_injected 0;
+      Atomic.set s.faults_detected 0;
+      Atomic.set s.faults_repaired 0;
+      Atomic.set s.faults_quarantined 0)
     t
 
 let write_amplification totals =
@@ -134,7 +163,9 @@ let pp fmt t =
   Format.fprintf fmt
     "ops=%d reads=%d writes=%d flushes=%d flushes_elided=%d drains=%d \
      lines_flushed=%d crashes_survived=%d recovery_passes=%d \
-     payload_bytes=%d amplified_bytes=%d"
+     payload_bytes=%d amplified_bytes=%d faults_injected=%d \
+     faults_detected=%d faults_repaired=%d faults_quarantined=%d"
     t.ops t.reads t.writes t.flushes t.flushes_elided t.drains
     t.lines_flushed t.crashes_survived t.recovery_passes t.payload_bytes
-    t.amplified_bytes
+    t.amplified_bytes t.faults_injected t.faults_detected t.faults_repaired
+    t.faults_quarantined

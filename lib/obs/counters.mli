@@ -30,6 +30,16 @@ type totals = {
   recovery_passes : int;  (** [Exec.recover] completions *)
   payload_bytes : int;  (** bytes the callers asked to write *)
   amplified_bytes : int;  (** cache-line bytes those writes dirtied *)
+  faults_injected : int;
+      (** media faults the device injected: torn lines + bitflip events *)
+  faults_detected : int;
+      (** checksum/shape mismatches recovery or the scrubber noticed *)
+  faults_repaired : int;
+      (** detected faults repaired in place (truncated torn frame, rebuilt
+          free list, re-derived arena header, …) *)
+  faults_quarantined : int;
+      (** detected faults isolated instead of repaired (arena taken out of
+          allocation service) *)
 }
 
 val create : unit -> t
@@ -38,6 +48,10 @@ val incr_ops : t -> unit
 val incr_reads : t -> unit
 val incr_crashes_survived : t -> unit
 val incr_recovery_passes : t -> unit
+val incr_faults_injected : t -> unit
+val incr_faults_detected : t -> unit
+val incr_faults_repaired : t -> unit
+val incr_faults_quarantined : t -> unit
 
 val record_write : t -> payload:int -> amplified:int -> unit
 (** One write call: [payload] bytes requested, [amplified] bytes of cache

@@ -7,6 +7,7 @@ type kind =
   | Recovery_end of { worker : int }
   | Heap_alloc of { payload : int; size : int }
   | Heap_free of { payload : int }
+  | Fault_note of { what : string }
 
 type event = { ts_ns : int; domain : int; kind : kind }
 
@@ -58,6 +59,7 @@ let kind_label = function
   | Heap_alloc { payload; size } ->
       Printf.sprintf "heap alloc @%d size=%d" payload size
   | Heap_free { payload } -> Printf.sprintf "heap free @%d" payload
+  | Fault_note { what } -> Printf.sprintf "fault: %s" what
 
 let pp_event fmt e =
   Format.fprintf fmt "%dns d%d %s" e.ts_ns e.domain (kind_label e.kind)
@@ -109,7 +111,11 @@ let chrome_json_of_events events =
       | Heap_free { payload } ->
           Buffer.add_string buf (common "heap_free" "i");
           Buffer.add_string buf
-            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"payload\":%d}}" payload)))
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"payload\":%d}}" payload)
+      | Fault_note { what } ->
+          Buffer.add_string buf (common "fault" "i");
+          Buffer.add_string buf
+            (Printf.sprintf ",\"s\":\"g\",\"args\":{\"what\":%S}}" what)))
     events;
   Buffer.add_string buf "]\n";
   Buffer.contents buf

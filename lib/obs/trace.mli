@@ -24,6 +24,8 @@ type kind =
   | Recovery_end of { worker : int }
   | Heap_alloc of { payload : int; size : int }
   | Heap_free of { payload : int }
+  | Fault_note of { what : string }
+      (** a media-fault detection, repair or quarantine, free-form *)
 
 type event = { ts_ns : int; domain : int; kind : kind }
 

@@ -56,17 +56,58 @@ let create pmem ~base ~capacity =
     { off = base; size; func_id = Frame.dummy_func_id; args = Bytes.empty };
   { pmem; base; capacity; entries; depth = 1; scratch = Bytes.empty }
 
-let attach pmem ~base ~capacity =
+let attach ?(report = ignore) pmem ~base ~capacity =
+  (* A corrupt tail after at least one good frame is an unfinished push —
+     possibly widened by a torn line or bit rot — and is discarded by
+     re-asserting the stack end on the last good frame.  Corruption at the
+     dummy frame leaves nothing to truncate to: structured fatal. *)
+  let truncate acc (corruption : Frame.corruption) =
+    match acc with
+    | [] ->
+        Repair.corrupt_stack ~stack:"bounded" ~at:corruption.Frame.at
+          corruption.Frame.reason
+    | prev :: _ ->
+        Frame.set_marker pmem ~at:prev.off ~size:prev.size
+          Frame.marker_stack_end;
+        Repair.note_truncation ();
+        report
+          (Repair.Truncated_tail
+             {
+               stack = "bounded";
+               at = corruption.Frame.at;
+               frames_kept = List.length acc;
+               corruption;
+             });
+        acc
+  in
   let rec scan off acc =
-    match Frame.read pmem ~at:off with
-    | Frame.Pointer _ ->
-        invalid_arg "Bounded.attach: pointer frame in a bounded stack"
-    | Frame.Ordinary { frame; size; last } ->
-        let acc =
-          { off; size; func_id = frame.Frame.func_id; args = frame.Frame.args }
-          :: acc
-        in
-        if last then acc else scan (Offset.add off size) acc
+    if Offset.diff off base + Frame.ordinary_size ~args_len:0 > capacity then
+      truncate acc
+        { Frame.at = off; reason = "frame runs past stack capacity";
+          crc_mismatch = false }
+    else
+      match Frame.read pmem ~at:off with
+      | Error corruption -> truncate acc corruption
+      | Ok (Frame.Pointer _) ->
+          truncate acc
+            { Frame.at = off; reason = "pointer frame in a bounded stack";
+              crc_mismatch = false }
+      | Ok (Frame.Ordinary { frame; size; last }) ->
+          if Offset.diff off base + size > capacity then
+            truncate acc
+              { Frame.at = off; reason = "frame runs past stack capacity";
+                crc_mismatch = false }
+          else
+            let acc =
+              {
+                off;
+                size;
+                func_id = frame.Frame.func_id;
+                args = frame.Frame.args;
+              }
+              :: acc
+            in
+            if last then acc else scan (Offset.add off size) acc
   in
   let entries = Array.of_list (List.rev (scan base [])) in
   {

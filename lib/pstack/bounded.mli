@@ -15,12 +15,24 @@ val create : Nvram.Pmem.t -> base:Nvram.Offset.t -> capacity:int -> t
 
     @raise Invalid_argument if [capacity] cannot hold the dummy frame. *)
 
-val attach : Nvram.Pmem.t -> base:Nvram.Offset.t -> capacity:int -> t
+val attach :
+  ?report:(Repair.event -> unit) ->
+  Nvram.Pmem.t ->
+  base:Nvram.Offset.t ->
+  capacity:int ->
+  t
 (** [attach pmem ~base ~capacity] reconstructs the in-memory index of a
     stack previously created at [base] by scanning frames up to the stack
     end marker — the first step of recovery after a restart.
 
-    @raise Invalid_argument if no well-formed stack is found. *)
+    A corrupt tail (torn frame, checksum mismatch, structural damage after
+    at least one good frame) is discarded as an unfinished push: the stack
+    end is re-asserted on the last good frame and a
+    [Repair.Truncated_tail] event is passed to [?report] (default:
+    silently ignored, counters still tick — see {!Repair}).
+
+    @raise Repair.Corrupt_stack if the dummy frame itself is corrupt: no
+    good prefix exists, the stack is unrecoverable. *)
 
 val base : t -> Nvram.Offset.t
 val capacity : t -> int

@@ -1,5 +1,6 @@
 module Pmem = Nvram.Pmem
 module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
 
 type view = Volatile | Persistent
 
@@ -10,8 +11,13 @@ type line =
       args_len : int;
       answer : int64 option;
       last : bool;
+      crc_ok : bool;
     }
-  | Pointer_frame of { off : Nvram.Offset.t; next : Nvram.Offset.t }
+  | Pointer_frame of {
+      off : Nvram.Offset.t;
+      next : Nvram.Offset.t;
+      crc_ok : bool;
+    }
   | Invalid_tail of { off : Nvram.Offset.t; note : string }
 
 let peek pmem view ~off ~len =
@@ -25,7 +31,10 @@ let peek_int64 pmem view off =
   Bytes.get_int64_le (peek pmem view ~off ~len:8) 0
 
 (* Decode one frame without going through [Frame.read], which uses tracked
-   device reads: a dump must not perturb the crash schedule. *)
+   device reads: a dump must not perturb the crash schedule.  Unlike the
+   recovery scan, a checksum mismatch does not stop the dump — triage
+   wants to see the whole damaged image, so the line is decoded as-is and
+   flagged [crc_ok = false]. *)
 let decode pmem view off =
   let size = Pmem.size pmem in
   if Offset.to_int off >= size then
@@ -33,14 +42,38 @@ let decode pmem view off =
   else begin
     let preamble = peek_byte pmem view off in
     if preamble = Frame.preamble_ordinary then begin
-      let args_len = Int64.to_int (peek_int64 pmem view (Offset.add off 18)) in
+      let args_len =
+        Int64.to_int (peek_int64 pmem view (Offset.add off Frame.args_len_rel))
+      in
       if args_len < 0 || Offset.to_int off + Frame.ordinary_size ~args_len > size
       then Error (Printf.sprintf "corrupt argument length %d" args_len)
       else begin
-        let func_id = Int64.to_int (peek_int64 pmem view (Offset.add off 1)) in
+        let func_id =
+          Int64.to_int (peek_int64 pmem view (Offset.add off Frame.func_id_rel))
+        in
+        let answer_code = peek_byte pmem view (Offset.add off Frame.answer_flag_rel) in
+        let answer_value = peek_int64 pmem view (Offset.add off Frame.answer_value_rel) in
         let answer =
-          if peek_byte pmem view (Offset.add off 9) = 0 then None
-          else Some (peek_int64 pmem view (Offset.add off 10))
+          if answer_code = 0 then None
+          else if answer_code <> Integrity.code_of_int64 answer_value then None
+          else Some answer_value
+        in
+        let crc_ok =
+          let stored = peek_int64 pmem view (Offset.add off Frame.crc_rel) in
+          let args =
+            peek pmem view
+              ~off:(Offset.add off Frame.ordinary_header_size)
+              ~len:args_len
+          in
+          let computed =
+            let h = Integrity.fnv64_byte Integrity.fnv64_init preamble in
+            let h = Integrity.fnv64_int64 h (Int64.of_int func_id) in
+            let h = Integrity.fnv64_int64 h (Int64.of_int args_len) in
+            Integrity.fnv64_sub h args ~pos:0 ~len:args_len
+          in
+          Int64.equal stored computed
+          && (answer_code = 0
+             || answer_code = Integrity.code_of_int64 answer_value)
         in
         let frame_size = Frame.ordinary_size ~args_len in
         let marker = peek_byte pmem view (Offset.add off (frame_size - 1)) in
@@ -55,6 +88,7 @@ let decode pmem view off =
                   args_len;
                   answer;
                   last = marker = Frame.marker_stack_end;
+                  crc_ok;
                 },
               Offset.add off frame_size,
               marker = Frame.marker_stack_end,
@@ -66,8 +100,12 @@ let decode pmem view off =
       if next < 0 || next >= size then
         Error (Printf.sprintf "pointer frame to invalid offset %d" next)
       else
+        let crc_ok =
+          peek_byte pmem view (Offset.add off Frame.pointer_code_rel)
+          = Frame.pointer_code next
+        in
         Ok
-          ( Pointer_frame { off; next = Offset.of_int next },
+          ( Pointer_frame { off; next = Offset.of_int next; crc_ok },
             Offset.add off Frame.pointer_size,
             false,
             Some (Offset.of_int next) )
@@ -103,15 +141,17 @@ let scan_linked pmem ~view ~anchor =
   scan ~follow_pointers:true pmem view (Offset.of_int first)
 
 let pp_line fmt = function
-  | Frame { off; func_id; args_len; answer; last } ->
-      Format.fprintf fmt "%a ordinary id=%d args=%dB answer=%s marker=%s"
+  | Frame { off; func_id; args_len; answer; last; crc_ok } ->
+      Format.fprintf fmt "%a ordinary id=%d args=%dB answer=%s marker=%s crc=%s"
         Offset.pp off func_id args_len
         (match answer with
         | None -> "-"
         | Some v -> Int64.to_string v)
         (if last then "STACK-END" else "frame-end")
-  | Pointer_frame { off; next } ->
-      Format.fprintf fmt "%a pointer -> %a" Offset.pp off Offset.pp next
+        (if crc_ok then "ok" else "BAD")
+  | Pointer_frame { off; next; crc_ok } ->
+      Format.fprintf fmt "%a pointer -> %a crc=%s" Offset.pp off Offset.pp next
+        (if crc_ok then "ok" else "BAD")
   | Invalid_tail { off; note } ->
       Format.fprintf fmt "%a %s" Offset.pp off note
 

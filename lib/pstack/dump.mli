@@ -16,9 +16,20 @@ type line =
       func_id : int;
       args_len : int;
       answer : int64 option;
+          (** [None] also when the answer code byte disagrees with the
+              value — a half-persisted or rotted slot *)
       last : bool;
+      crc_ok : bool;
+          (** whether the frame checksum (and the answer code, if set)
+              verifies — unlike the recovery scan, a dump decodes and
+              shows a checksum-corrupt frame instead of stopping, so
+              triage sees {e where} an image is damaged *)
     }
-  | Pointer_frame of { off : Nvram.Offset.t; next : Nvram.Offset.t }
+  | Pointer_frame of {
+      off : Nvram.Offset.t;
+      next : Nvram.Offset.t;
+      crc_ok : bool;  (** whether the pointer code byte verifies *)
+    }
   | Invalid_tail of { off : Nvram.Offset.t; note : string }
       (** Data after the stack end marker: never interpreted (Fig. 2). *)
 

@@ -1,5 +1,6 @@
 module Pmem = Nvram.Pmem
 module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
 
 type t = { func_id : int; args : bytes }
 
@@ -7,17 +8,32 @@ let preamble_ordinary = 0xA
 let preamble_pointer = 0xB
 let marker_frame_end = 0x0
 let marker_stack_end = 0x1
-let ordinary_header_size = 26
+let ordinary_header_size = 34
 let ordinary_size ~args_len = ordinary_header_size + args_len + 1
-let pointer_size = 10
+let pointer_size = 11
 let dummy_func_id = 0
 
 let answer_flag_rel = 9
 let answer_value_rel = 10
+let args_len_rel = 18
+let crc_rel = 26
+let func_id_rel = 1
+let pointer_code_rel = 9
 
 let check_marker m =
   if m <> marker_frame_end && m <> marker_stack_end then
     invalid_arg (Printf.sprintf "Frame: invalid end marker 0x%X" m)
+
+(* The frame CRC covers the immutable part of an ordinary frame — the
+   preamble, the function id, the argument length and the arguments — and
+   deliberately excludes the answer slot (rewritten after the push by the
+   callee, protected by its own one-byte code) and the end marker (flipped
+   by every neighbouring push/pop; its two legal values are their own
+   check). *)
+let crc_of_parts buf ~args ~args_len =
+  let h = Integrity.fnv64_sub Integrity.fnv64_init buf ~pos:0 ~len:9 in
+  let h = Integrity.fnv64_sub h buf ~pos:args_len_rel ~len:8 in
+  Integrity.fnv64_sub h args ~pos:0 ~len:args_len
 
 let encode_ordinary_into buf ~func_id ~args ~marker =
   check_marker marker;
@@ -25,10 +41,11 @@ let encode_ordinary_into buf ~func_id ~args ~marker =
   if Bytes.length buf <> ordinary_size ~args_len then
     invalid_arg "Frame.encode_ordinary_into: buffer size mismatch";
   Bytes.set buf 0 (Char.chr preamble_ordinary);
-  Bytes.set_int64_le buf 1 (Int64.of_int func_id);
+  Bytes.set_int64_le buf func_id_rel (Int64.of_int func_id);
   (* the answer slot is zeroed explicitly: the buffer may be reused *)
   Bytes.fill buf answer_flag_rel 9 '\000';
-  Bytes.set_int64_le buf 18 (Int64.of_int args_len);
+  Bytes.set_int64_le buf args_len_rel (Int64.of_int args_len);
+  Bytes.set_int64_le buf crc_rel (crc_of_parts buf ~args ~args_len);
   Bytes.blit args 0 buf ordinary_header_size args_len;
   Bytes.set buf (ordinary_header_size + args_len) (Char.chr marker)
 
@@ -39,48 +56,94 @@ let encode_ordinary frame ~marker =
   encode_ordinary_into buf ~func_id:frame.func_id ~args:frame.args ~marker;
   buf
 
+let pointer_code next = Integrity.code_of_int64 (Int64.of_int next)
+
 let encode_pointer ~next ~marker =
   check_marker marker;
   let buf = Bytes.make pointer_size '\000' in
   Bytes.set buf 0 (Char.chr preamble_pointer);
   Bytes.set_int64_le buf 1 (Int64.of_int (Offset.to_int next));
-  Bytes.set buf 9 (Char.chr marker);
+  Bytes.set buf pointer_code_rel (Char.chr (pointer_code (Offset.to_int next)));
+  Bytes.set buf (pointer_size - 1) (Char.chr marker);
   buf
 
 type scanned =
   | Ordinary of { frame : t; size : int; last : bool }
   | Pointer of { next : Nvram.Offset.t; size : int; last : bool }
 
+type corruption = {
+  at : Nvram.Offset.t;
+  reason : string;
+  crc_mismatch : bool;
+}
+
+let corrupt ~at ~crc_mismatch fmt =
+  Printf.ksprintf (fun reason -> Error { at; reason; crc_mismatch }) fmt
+
+exception Bad_marker of int
+
 let read_marker pmem ~at ~size =
   let m = Pmem.read_byte pmem (Offset.add at (size - 1)) in
-  check_marker m;
+  if m <> marker_frame_end && m <> marker_stack_end then raise (Bad_marker m);
   m = marker_stack_end
 
 let read pmem ~at =
   let preamble = Pmem.read_byte pmem at in
   if preamble = preamble_ordinary then begin
     let func_id = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 1)) in
-    let args_len = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 18)) in
-    if args_len < 0 || args_len > Pmem.size pmem then
-      invalid_arg
-        (Printf.sprintf "Frame.read: corrupt argument length %d" args_len);
-    let args =
-      Pmem.read_bytes pmem ~off:(Offset.add at ordinary_header_size)
-        ~len:args_len
+    let args_len =
+      Int64.to_int (Pmem.read_int64 pmem (Offset.add at args_len_rel))
     in
-    let size = ordinary_size ~args_len in
-    let last = read_marker pmem ~at ~size in
-    Ordinary { frame = { func_id; args }; size; last }
+    if
+      args_len < 0
+      || Offset.to_int at + ordinary_size ~args_len > Pmem.size pmem
+    then corrupt ~at ~crc_mismatch:false "corrupt argument length %d" args_len
+    else begin
+      let args =
+        Pmem.read_bytes pmem ~off:(Offset.add at ordinary_header_size)
+          ~len:args_len
+      in
+      let stored = Pmem.read_int64 pmem (Offset.add at crc_rel) in
+      let computed =
+        let h = Integrity.fnv64_byte Integrity.fnv64_init preamble in
+        let h = Integrity.fnv64_int64 h (Int64.of_int func_id) in
+        let h = Integrity.fnv64_int64 h (Int64.of_int args_len) in
+        Integrity.fnv64_sub h args ~pos:0 ~len:args_len
+      in
+      if Integrity.enabled () && not (Int64.equal stored computed) then
+        corrupt ~at ~crc_mismatch:true "frame checksum mismatch"
+      else begin
+        let size = ordinary_size ~args_len in
+        match read_marker pmem ~at ~size with
+        | last -> Ok (Ordinary { frame = { func_id; args }; size; last })
+        | exception Bad_marker m ->
+            corrupt ~at ~crc_mismatch:false "invalid end marker 0x%X" m
+      end
+    end
   end
   else if preamble = preamble_pointer then begin
     let next = Int64.to_int (Pmem.read_int64 pmem (Offset.add at 1)) in
-    let last = read_marker pmem ~at ~size:pointer_size in
-    Pointer { next = Offset.of_int next; size = pointer_size; last }
+    let code = Pmem.read_byte pmem (Offset.add at pointer_code_rel) in
+    if Integrity.enabled () && code <> pointer_code next then
+      corrupt ~at ~crc_mismatch:true "pointer frame checksum mismatch"
+    else
+      match read_marker pmem ~at ~size:pointer_size with
+      | last -> Ok (Pointer { next = Offset.of_int next; size = pointer_size; last })
+      | exception Bad_marker m ->
+          corrupt ~at ~crc_mismatch:false "invalid end marker 0x%X" m
   end
-  else
-    invalid_arg
-      (Printf.sprintf "Frame.read: invalid preamble 0x%X at %d" preamble
-         (Offset.to_int at))
+  else corrupt ~at ~crc_mismatch:false "invalid preamble 0x%X" preamble
+
+let read_exn pmem ~at =
+  match read pmem ~at with
+  | Ok scanned -> scanned
+  | Error { at; reason; _ } ->
+      invalid_arg
+        (Printf.sprintf "Frame.read: %s at %d" reason (Offset.to_int at))
+
+let pp_corruption fmt { at; reason; crc_mismatch } =
+  Format.fprintf fmt "%s at %d%s" reason (Offset.to_int at)
+    (if crc_mismatch then " (checksum)" else "")
 
 let marker_offset ~at ~size = Offset.add at (size - 1)
 
@@ -90,14 +153,32 @@ let set_marker pmem ~at ~size m =
   Pmem.write_byte pmem off m;
   Pmem.flush_byte pmem off
 
+(* The answer flag byte doubles as a one-byte integrity code of the value:
+   0 = no answer, anything else must equal [Integrity.code_of_int64 value]
+   (never 0 by construction).  [write_answer]'s flush covers a byte range
+   that can straddle two cache lines, so a crash can persist the code
+   without the value — the code then disagrees with whatever the value
+   bytes hold, the answer reads as absent, and recovery re-runs the callee
+   instead of trusting a half-persisted result. *)
 let read_answer pmem ~frame =
-  let flag = Pmem.read_byte pmem (Offset.add frame answer_flag_rel) in
-  if flag = 0 then None
-  else Some (Pmem.read_int64 pmem (Offset.add frame answer_value_rel))
+  let code = Pmem.read_byte pmem (Offset.add frame answer_flag_rel) in
+  if code = 0 then None
+  else begin
+    let v = Pmem.read_int64 pmem (Offset.add frame answer_value_rel) in
+    if (not (Integrity.enabled ())) || code = Integrity.code_of_int64 v then
+      Some v
+    else begin
+      if Obs.Config.enabled () then
+        Obs.Counters.incr_faults_detected Obs.Probe.counters;
+      None
+    end
+  end
 
 let write_answer pmem ~frame v =
   Pmem.write_int64 pmem (Offset.add frame answer_value_rel) v;
-  Pmem.write_byte pmem (Offset.add frame answer_flag_rel) 1;
+  Pmem.write_byte pmem
+    (Offset.add frame answer_flag_rel)
+    (Integrity.code_of_int64 v);
   Pmem.flush pmem ~off:(Offset.add frame answer_flag_rel) ~len:9
 
 let clear_answer pmem ~frame =

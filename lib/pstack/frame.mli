@@ -13,28 +13,47 @@
 
     Section 4.2: small (up to 8 bytes) results are returned "on the
     persistent stack".  Each ordinary frame therefore contains an {e answer
-    slot} (presence flag + 8-byte value).  A callee writes its result into
+    slot} (one code byte + 8-byte value).  A callee writes its result into
     the {e caller}'s slot — a slot in the callee's own frame would be
     discarded by the very pop that linearizes the return.  The slot write
     need not be atomic: it is only read after the callee's pop committed,
     and until then the callee's recover function re-runs and rewrites it.
+    The code byte is [0] for "no answer" and otherwise must equal
+    [Nvram.Integrity.code_of_int64 value] (never [0]), so a half-persisted
+    slot — the flush can straddle two cache lines — reads as {e absent}
+    and recovery re-runs the callee instead of trusting it.
+
+    {2 Integrity}
+
+    Media faults (torn lines, bit rot — see [Nvram.Pmem.arm_faults]) can
+    corrupt any frame byte, so the immutable part of every frame is
+    checksummed at encode time and verified on every {!read}: an FNV-64
+    over preamble, function id, argument length and arguments for ordinary
+    frames, a one-byte code of the next-offset for pointer frames.  The
+    answer slot and the end marker are excluded — both are legitimately
+    rewritten after the frame is in place and carry their own checks.
+    {!read} returns [Error corruption] instead of raising, and the stack
+    [attach] scans turn a corrupt {e top} frame into "unfinished push,
+    discard" (the paper's own recovery semantics) rather than a panic.
 
     Ordinary frame layout (all integers little-endian):
     {v
     +0            preamble        0xA
     +1  .. +8     function id
-    +9            answer flag     0 = empty, 1 = present
+    +9            answer code     0 = empty, else code_of_int64 value
     +10 .. +17    answer value
     +18 .. +25    argument length L
-    +26 .. +25+L  arguments
-    +26+L         end marker      0x0 | 0x1
+    +26 .. +33    frame checksum (FNV-64; see above)
+    +34 .. +33+L  arguments
+    +34+L         end marker      0x0 | 0x1
     v}
 
     Pointer frame layout:
     {v
     +0            preamble        0xB
     +1  .. +8     payload offset of the next block
-    +9            end marker
+    +9            pointer code    code_of_int64 offset
+    +10           end marker
     v} *)
 
 type t = { func_id : int; args : bytes }
@@ -52,25 +71,44 @@ val marker_stack_end : int
 (** [0x1]: the containing frame is the top of the stack. *)
 
 val ordinary_header_size : int
-(** Encoded bytes before the arguments (26). *)
+(** Encoded bytes before the arguments (34). *)
 
 val ordinary_size : args_len:int -> int
 (** Whole encoded size of an ordinary frame, marker included. *)
 
 val pointer_size : int
-(** Whole encoded size of a pointer frame, marker included (10). *)
+(** Whole encoded size of a pointer frame, marker included (11). *)
 
 val dummy_func_id : int
 (** Function id of the dummy frame installed at stack initialisation
     (Section 3.4); never popped, never recovered. *)
 
+(** {2 Field offsets} (relative to the frame start; used by the untracked
+    decoder in {!Dump} and by byte-surgery corruption tests) *)
+
+val func_id_rel : int
+val answer_flag_rel : int
+val answer_value_rel : int
+val args_len_rel : int
+val crc_rel : int
+val pointer_code_rel : int
+
 (** {1 Encoding} *)
 
 val encode_ordinary : t -> marker:int -> bytes
 (** [encode_ordinary frame ~marker] is the full byte image of the frame,
-    with an empty answer slot. *)
+    with an empty answer slot and a valid checksum. *)
 
 val encode_pointer : next:Nvram.Offset.t -> marker:int -> bytes
+
+val crc_of_parts : bytes -> args:bytes -> args_len:int -> int64
+(** The frame checksum over an encoded header buffer (preamble, function
+    id, argument length already in place) and the argument bytes — what
+    {!encode_ordinary} stores at [crc_rel].  Exposed for integrity
+    checkers that re-derive checksums ([Dump], the scrubber, tests). *)
+
+val pointer_code : int -> int
+(** The one-byte code a pointer frame stores for a next-offset. *)
 
 (** {1 Decoding} *)
 
@@ -81,10 +119,30 @@ type scanned =
   | Pointer of { next : Nvram.Offset.t; size : int; last : bool }
       (** A pointer frame linking to the block at payload offset [next]. *)
 
-val read : Nvram.Pmem.t -> at:Nvram.Offset.t -> scanned
-(** [read pmem ~at] decodes the frame starting at [at].
+type corruption = {
+  at : Nvram.Offset.t;  (** frame offset the decode started at *)
+  reason : string;
+  crc_mismatch : bool;
+      (** [true] when the shape was plausible but the checksum disagreed
+          — i.e. detection the integrity metadata paid for; [false] for
+          structural damage (bad preamble/marker/length) that even the
+          unchecksummed layout would have noticed *)
+}
 
-    @raise Invalid_argument on a corrupt preamble, marker or length. *)
+val read :
+  Nvram.Pmem.t -> at:Nvram.Offset.t -> (scanned, corruption) result
+(** [read pmem ~at] decodes the frame starting at [at], verifying its
+    checksum (unless [Nvram.Integrity.enabled] is off).  Never raises on
+    corrupt content: structural damage and checksum mismatches both come
+    back as [Error]. *)
+
+val read_exn : Nvram.Pmem.t -> at:Nvram.Offset.t -> scanned
+(** [read] for contexts that have already validated the image (tests,
+    debug paths).
+
+    @raise Invalid_argument on corrupt content. *)
+
+val pp_corruption : Format.formatter -> corruption -> unit
 
 val marker_offset : at:Nvram.Offset.t -> size:int -> Nvram.Offset.t
 (** Offset of the end-marker byte of a frame of [size] bytes at [at]. *)
@@ -98,13 +156,16 @@ val set_marker : Nvram.Pmem.t -> at:Nvram.Offset.t -> size:int -> int -> unit
 
 val read_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> int64 option
 (** [read_answer pmem ~frame] is the answer stored in the slot of the
-    ordinary frame at offset [frame], if its flag is set. *)
+    ordinary frame at offset [frame], if its code byte is set {e and}
+    matches the value — a half-persisted or rotted slot reads as [None]
+    (and counts one detected fault when observability is on), so recovery
+    re-runs the callee rather than resume from a corrupt result. *)
 
 val write_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> int64 -> unit
-(** Writes the value, sets the flag and flushes the slot. *)
+(** Writes the value, sets the code byte and flushes the slot. *)
 
 val clear_answer : Nvram.Pmem.t -> frame:Nvram.Offset.t -> unit
-(** Clears the flag and flushes it. *)
+(** Clears the code byte and flushes it. *)
 
 val encode_ordinary_into :
   bytes -> func_id:int -> args:bytes -> marker:int -> unit

@@ -85,21 +85,88 @@ let block_size t = t.default_block
    genuinely don't know the original configuration; a recovery path must
    pass the size recorded at creation (e.g. from the system superblock) or
    every post-crash cross-block push silently reverts to 256-byte blocks. *)
-let attach pmem ~heap ?(block_size = default_block_size) ~anchor () =
+let attach ?(report = ignore) pmem ~heap ?(block_size = default_block_size)
+    ~anchor () =
   let first = Offset.of_int (Pmem.read_int pmem anchor) in
   let blk_of payload = { payload; capacity = Heap.payload_size heap payload } in
-  let rec scan blk off acc =
-    match Frame.read pmem ~at:off with
-    | Frame.Ordinary { frame; size; last } ->
-        let acc = Ord { off; size; frame; blk } :: acc in
-        if last then acc else scan blk (Offset.add off size) acc
-    | Frame.Pointer { next; last; _ } ->
-        if last then
-          invalid_arg "Linked.attach: pointer frame marked as stack top";
-        let next_blk = blk_of next in
-        scan next_blk next_blk.payload (Ptr { ptr_off = off; ptr_blk = blk } :: acc)
+  (* Truncate to the last good ordinary frame: any pointer frame above it
+     belongs to the discarded unfinished cross-block push (frame + pointer
+     written, marker flip never committed), so it is dropped too.  The
+     emptied block leaks until root-based heap reclamation collects it. *)
+  let truncate acc (corruption : Frame.corruption) =
+    let rec to_ord = function
+      | Ord _ :: _ as items -> items
+      | Ptr _ :: rest -> to_ord rest
+      | [] ->
+          Repair.corrupt_stack ~stack:"linked" ~at:corruption.Frame.at
+            corruption.Frame.reason
+    in
+    match to_ord acc with
+    | Ord prev :: _ as items ->
+        Frame.set_marker pmem ~at:prev.off ~size:prev.size
+          Frame.marker_stack_end;
+        Repair.note_truncation ();
+        report
+          (Repair.Truncated_tail
+             {
+               stack = "linked";
+               at = corruption.Frame.at;
+               frames_kept =
+                 List.length
+                   (List.filter
+                      (function Ord _ -> true | Ptr _ -> false)
+                      items);
+               corruption;
+             });
+        items
+    | _ -> assert false
   in
-  let first_blk = blk_of first in
+  let rec scan blk off acc =
+    let block_end = Offset.add blk.payload blk.capacity in
+    if Offset.diff block_end off < Frame.pointer_size then
+      truncate acc
+        { Frame.at = off; reason = "frame runs past block capacity";
+          crc_mismatch = false }
+    else
+      match Frame.read pmem ~at:off with
+      | Error corruption -> truncate acc corruption
+      | Ok (Frame.Ordinary { frame; size; last }) ->
+          if Offset.diff block_end off < size then
+            truncate acc
+              { Frame.at = off; reason = "frame runs past block capacity";
+                crc_mismatch = false }
+          else
+            let acc = Ord { off; size; frame; blk } :: acc in
+            if last then acc else scan blk (Offset.add off size) acc
+      | Ok (Frame.Pointer { next; last; _ }) ->
+          if last then
+            truncate acc
+              { Frame.at = off; reason = "pointer frame marked as stack top";
+                crc_mismatch = false }
+          else begin
+            match blk_of next with
+            | next_blk ->
+                scan next_blk next_blk.payload
+                  (Ptr { ptr_off = off; ptr_blk = blk } :: acc)
+            | exception Invalid_argument reason ->
+                truncate acc
+                  {
+                    Frame.at = off;
+                    reason =
+                      Printf.sprintf
+                        "pointer frame does not reference a heap block (%s)"
+                        reason;
+                    crc_mismatch = false;
+                  }
+          end
+  in
+  let first_blk =
+    match blk_of first with
+    | blk -> blk
+    | exception Invalid_argument reason ->
+        Repair.corrupt_stack ~stack:"linked" ~at:anchor
+          (Printf.sprintf "anchor does not reference a heap block (%s)" reason)
+  in
   {
     pmem;
     heap;

@@ -37,6 +37,7 @@ val create :
     block in the anchor cell. *)
 
 val attach :
+  ?report:(Repair.event -> unit) ->
   Nvram.Pmem.t ->
   heap:Nvheap.Heap.t ->
   ?block_size:int ->
@@ -48,7 +49,15 @@ val attach :
     the attach; pass the size the stack was created with (the runtime
     records it in the system superblock), otherwise new blocks fall back to
     the 256-byte default — the stack stays correct but its allocation
-    pattern silently changes across a crash. *)
+    pattern silently changes across a crash.
+
+    A corrupt tail truncates to the last good {e ordinary} frame (any
+    pointer frame above it belongs to the discarded unfinished cross-block
+    push) and reports via [?report]; the orphaned block leaks until
+    root-based heap reclamation collects it.
+
+    @raise Repair.Corrupt_stack if the anchor or the first block's dummy
+    frame is corrupt. *)
 
 val block_size : t -> int
 (** The block allocation granularity this handle uses for new blocks. *)

@@ -66,22 +66,66 @@ let create pmem ~heap ~anchor ?(initial_capacity = min_capacity) () =
   write_anchor t payload;
   t
 
-let attach pmem ~heap ~anchor =
+let attach ?(report = ignore) pmem ~heap ~anchor =
   let payload = Offset.of_int (Pmem.read_int pmem anchor) in
+  let capacity =
+    (* A rotted anchor points at garbage: [payload_size] refuses, and with
+       no block there is no good prefix to truncate to — structured
+       fatal. *)
+    match Heap.payload_size heap payload with
+    | capacity -> capacity
+    | exception Invalid_argument reason ->
+        Repair.corrupt_stack ~stack:"resizable" ~at:anchor
+          (Printf.sprintf "anchor does not reference a heap block (%s)"
+             reason)
+  in
+  let block_end = Offset.add payload capacity in
+  let truncate acc (corruption : Frame.corruption) =
+    match acc with
+    | [] ->
+        Repair.corrupt_stack ~stack:"resizable" ~at:corruption.Frame.at
+          corruption.Frame.reason
+    | prev :: _ ->
+        Frame.set_marker pmem ~at:prev.off ~size:prev.size
+          Frame.marker_stack_end;
+        Repair.note_truncation ();
+        report
+          (Repair.Truncated_tail
+             {
+               stack = "resizable";
+               at = corruption.Frame.at;
+               frames_kept = List.length acc;
+               corruption;
+             });
+        acc
+  in
   let rec scan off acc =
-    match Frame.read pmem ~at:off with
-    | Frame.Pointer _ ->
-        invalid_arg "Resizable.attach: pointer frame in a resizable stack"
-    | Frame.Ordinary { frame; size; last } ->
-        let acc = { off; size; frame } :: acc in
-        if last then acc else scan (Offset.add off size) acc
+    if Offset.diff block_end off < Frame.ordinary_size ~args_len:0 then
+      truncate acc
+        { Frame.at = off; reason = "frame runs past block capacity";
+          crc_mismatch = false }
+    else
+      match Frame.read pmem ~at:off with
+      | Error corruption -> truncate acc corruption
+      | Ok (Frame.Pointer _) ->
+          truncate acc
+            { Frame.at = off; reason = "pointer frame in a resizable stack";
+              crc_mismatch = false }
+      | Ok (Frame.Ordinary { frame; size; last }) ->
+          if Offset.diff block_end off < size then
+            truncate acc
+              { Frame.at = off; reason = "frame runs past block capacity";
+                crc_mismatch = false }
+          else
+            let acc = { off; size; frame } :: acc in
+            if last then acc else scan (Offset.add off size) acc
   in
   {
     pmem;
     heap;
     anchor;
     block = payload;
-    capacity = Heap.payload_size heap payload;
+    capacity;
     entries = scan payload [];
     resize_count = 0;
   }

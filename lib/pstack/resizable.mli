@@ -27,12 +27,23 @@ val create :
     dummy frame and publishes the block in the 8-byte anchor cell at
     [anchor] (a device location owned by the caller). *)
 
-val attach : Nvram.Pmem.t -> heap:Nvheap.Heap.t -> anchor:Nvram.Offset.t -> t
+val attach :
+  ?report:(Repair.event -> unit) ->
+  Nvram.Pmem.t ->
+  heap:Nvheap.Heap.t ->
+  anchor:Nvram.Offset.t ->
+  t
 (** [attach pmem ~heap ~anchor] follows the anchor and rebuilds the frame
     index by scanning — the recovery entry point.  Unlike {!Linked.attach},
     no sizing parameter needs threading through recovery: the capacity is
     re-derived from the live block itself ([Heap.payload_size]), so the
-    configured initial capacity cannot drift across a crash. *)
+    configured initial capacity cannot drift across a crash.
+
+    Corrupt tails are truncated to the last good frame and reported via
+    [?report], like {!Bounded.attach}.
+
+    @raise Repair.Corrupt_stack if the anchor does not reference a heap
+    block or the dummy frame is corrupt. *)
 
 val capacity : t -> int
 (** Current block capacity in bytes. *)

@@ -5,17 +5,36 @@ let src = Logs.Src.create "pstack.driver" ~doc:"Crash-restart driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type report = { eras : int; crashes : int; results : (int * int64) list }
+type report = {
+  eras : int;
+  crashes : int;
+  results : (int * int64) list;
+  recovery : Recovery_report.t;
+}
 
 type event =
   | Era_armed of { era : int; plan : Crash.plan }
   | Crash_fired of { era : int; at_op : int }
+  | Recovery_repaired of { era : int; report : Recovery_report.t }
+
+exception Unrecoverable of { reason : string; eras : int; crashes : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unrecoverable { reason; eras; crashes } ->
+        Some
+          (Printf.sprintf
+             "Runtime.Driver.Unrecoverable { reason = %S; eras = %d; crashes \
+              = %d }"
+             reason eras crashes)
+    | _ -> None)
 
 let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
     ?(reattach = fun _ -> ()) ?reclaim ?(plan = fun ~era:_ -> Crash.Never)
     ?(observer = fun _ -> ()) ?(max_crashes = 10_000) ?spawn () =
   let eras = ref 0 in
   let crashes = ref 0 in
+  let repairs = ref [] (* reverse-chronological Recovery_report items *) in
   let arm () =
     incr eras;
     Log.debug (fun m -> m "era %d armed" !eras);
@@ -52,6 +71,7 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
             List.filter_map
               (fun (i, answer) -> Option.map (fun a -> (i, a)) answer)
               (System.results sys);
+          recovery = Recovery_report.of_items (List.rev !repairs);
         }
     | `Crashed -> restart ()
   and restart () =
@@ -70,7 +90,38 @@ let run_to_completion pmem ~registry ~config ~submit ?(init = fun _ -> ())
       failwith "Driver.run_to_completion: crash budget exceeded";
     Pmem.crash pmem;
     Pmem.restart pmem;
-    let sys = System.attach pmem ~registry in
+    (* Detect-and-degrade recoveries surface their repairs here; damage the
+       recovery paths cannot degrade around (a corrupt dummy frame, a
+       rotten superblock) becomes a structured {!Unrecoverable} instead of
+       an anonymous exception, so campaign oracles can tell "reported
+       fatal" from "driver bug". *)
+    let sys =
+      let era_items = ref [] in
+      match
+        System.attach ~report:(fun it -> era_items := it :: !era_items) pmem
+          ~registry
+      with
+      | sys ->
+          if !era_items <> [] then begin
+            let report = Recovery_report.of_items (List.rev !era_items) in
+            Log.info (fun m -> m "%s" (Recovery_report.to_string report));
+            repairs := !era_items @ !repairs;
+            observer (Recovery_repaired { era = !eras; report })
+          end;
+          sys
+      | exception Pstack.Repair.Corrupt_stack { stack; at; reason } ->
+          raise
+            (Unrecoverable
+               {
+                 reason =
+                   Printf.sprintf "%s stack unrecoverable at %d: %s" stack
+                     (Nvram.Offset.to_int at) reason;
+                 eras = !eras;
+                 crashes = !crashes;
+               })
+      | exception Invalid_argument reason ->
+          raise (Unrecoverable { reason; eras = !eras; crashes = !crashes })
+    in
     reattach sys;
     arm ();
     let reclaim = Option.map (fun f () -> f sys) reclaim in

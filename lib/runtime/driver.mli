@@ -15,6 +15,11 @@ type report = {
   results : (int * int64) list;
       (** Task index and answer of every completed task (all of them,
           on success). *)
+  recovery : Recovery_report.t;
+      (** Every media repair any restart performed — truncated stack
+          tails, rebuilt free lists, rewritten arena headers, quarantined
+          arenas — aggregated across all eras (clean when no faults were
+          injected or every era recovered undamaged). *)
 }
 
 type event =
@@ -25,6 +30,16 @@ type event =
           value an [At_op at_op] plan would need to reproduce this crash
           deterministically.  Emitted before the device reboots (the
           counter does not survive the restart). *)
+  | Recovery_repaired of { era : int; report : Recovery_report.t }
+      (** The restart ending era [era] found and degraded around media
+          damage.  Emitted only when the report is non-clean. *)
+
+exception Unrecoverable of { reason : string; eras : int; crashes : int }
+(** A restart hit damage the recovery paths cannot degrade around — a
+    corrupt dummy frame or anchor ({!Pstack.Repair.Corrupt_stack}) or a
+    superblock failing its checksum.  Structured so campaign oracles can
+    distinguish a {e reported} fatal from an unexpected exception.  A
+    printer is registered. *)
 
 val run_to_completion :
   Nvram.Pmem.t ->

@@ -1,5 +1,6 @@
 module Pmem = Nvram.Pmem
 module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
 module Heap = Nvheap.Heap
 
 let src = Logs.Src.create "pstack.system" ~doc:"System modes and recovery"
@@ -41,9 +42,13 @@ let heap t = t.heap
 let tasks t = t.tasks
 let ctx t i = t.ctxs.(i)
 
-(* Superblock layout. *)
+(* Superblock layout: six 8-byte config fields in [0, 48), the mutable
+   user root at 48, and an FNV-64 checksum of the config fields at 56.
+   The root cell is outside the checksum — it is rewritten at runtime with
+   a single atomic flush and cannot afford a two-word update. *)
 let magic = 0x4E565253595331L (* "NVRSYS1" *)
 let root_off = Offset.of_int 48
+let crc_off = Offset.of_int 56
 let superblock_fixed = 64
 let anchor_off i = Offset.of_int (superblock_fixed + (8 * i))
 
@@ -80,6 +85,16 @@ let kind_of ~tag ~param =
   | 2 -> Linked_stack param
   | _ -> invalid_arg (Printf.sprintf "System: unknown stack kind tag %d" tag)
 
+let superblock_crc config =
+  let h = Integrity.fnv64_int64 Integrity.fnv64_init magic in
+  let h = Integrity.fnv64_int64 h (Int64.of_int config.workers) in
+  let h = Integrity.fnv64_int64 h (Int64.of_int (kind_tag config.stack_kind)) in
+  let h =
+    Integrity.fnv64_int64 h (Int64.of_int (kind_param config.stack_kind))
+  in
+  let h = Integrity.fnv64_int64 h (Int64.of_int config.task_capacity) in
+  Integrity.fnv64_int64 h (Int64.of_int config.task_max_args)
+
 let write_superblock pmem config =
   Pmem.write_int64 pmem Offset.null magic;
   Pmem.write_int pmem (Offset.of_int 8) config.workers;
@@ -88,6 +103,7 @@ let write_superblock pmem config =
   Pmem.write_int pmem (Offset.of_int 32) config.task_capacity;
   Pmem.write_int pmem (Offset.of_int 40) config.task_max_args;
   Pmem.write_int pmem root_off 0;
+  Pmem.write_int64 pmem crc_off (superblock_crc config);
   Pmem.flush pmem ~off:Offset.null ~len:superblock_fixed
 
 let read_superblock pmem =
@@ -98,7 +114,18 @@ let read_superblock pmem =
   let param = Pmem.read_int pmem (Offset.of_int 24) in
   let task_capacity = Pmem.read_int pmem (Offset.of_int 32) in
   let task_max_args = Pmem.read_int pmem (Offset.of_int 40) in
-  { workers; stack_kind = kind_of ~tag ~param; task_capacity; task_max_args }
+  let config =
+    { workers; stack_kind = kind_of ~tag ~param; task_capacity; task_max_args }
+  in
+  if
+    Integrity.enabled ()
+    && not (Int64.equal (Pmem.read_int64 pmem crc_off) (superblock_crc config))
+  then begin
+    if Obs.Config.enabled () then
+      Obs.Counters.incr_faults_detected Obs.Probe.counters;
+    invalid_arg "System.attach: superblock checksum mismatch"
+  end;
+  config
 
 let pack_bounded s = Exec.Stack ((module Pstack.Bounded), s)
 let pack_resizable s = Exec.Stack ((module Pstack.Resizable), s)
@@ -112,23 +139,24 @@ let bounded_region config i =
   | Resizable_stack _ | Linked_stack _ ->
       invalid_arg "System: not a bounded-stack configuration"
 
-let make_stack ~fresh pmem config heap i =
+let make_stack ?(report = fun _ -> ()) ~fresh pmem config heap i =
   (* Worker [i]'s stack allocates from arena [i]: stack growth never
      contends with another worker's allocator lock.  Frees route by address
      range, so cross-worker reclamation still lands in the owning arena. *)
   let heap = Heap.with_arena heap i in
+  let report e = report (Recovery_report.Stack_repair { worker = i; event = e }) in
   match config.stack_kind with
   | Bounded_stack _ ->
       let base, capacity = bounded_region config i in
       pack_bounded
         (if fresh then Pstack.Bounded.create pmem ~base ~capacity
-         else Pstack.Bounded.attach pmem ~base ~capacity)
+         else Pstack.Bounded.attach ~report pmem ~base ~capacity)
   | Resizable_stack initial_capacity ->
       let anchor = anchor_off i in
       pack_resizable
         (if fresh then
            Pstack.Resizable.create pmem ~heap ~anchor ~initial_capacity ()
-         else Pstack.Resizable.attach pmem ~heap ~anchor)
+         else Pstack.Resizable.attach ~report pmem ~heap ~anchor)
   | Linked_stack block_size ->
       let anchor = anchor_off i in
       pack_linked
@@ -137,10 +165,10 @@ let make_stack ~fresh pmem config heap i =
            (* The superblock's kind_param is the configured block size;
               without it a recovered stack would silently chain 256-byte
               default blocks from here on. *)
-           Pstack.Linked.attach pmem ~heap ~block_size ~anchor ())
+           Pstack.Linked.attach ~report pmem ~heap ~block_size ~anchor ())
 
-let make_stacks ~fresh pmem config heap =
-  Array.init config.workers (make_stack ~fresh pmem config heap)
+let make_stacks ?report ~fresh pmem config heap =
+  Array.init config.workers (make_stack ?report ~fresh pmem config heap)
 
 (* The reserved task wrapper.  Its frame brackets the whole task execution,
    so the completion bookkeeping is covered by recovery: the answer of the
@@ -208,13 +236,49 @@ let create pmem ~registry ~config =
   let stacks = make_stacks ~fresh:true pmem config heap in
   build pmem config registry heap stacks tasks
 
-let attach pmem ~registry =
+let attach ?(report = fun _ -> ()) pmem ~registry =
   let config = read_superblock pmem in
   let tasks = Task.attach pmem ~base:(task_base config) in
   let base, _len = heap_region pmem config in
-  let heap = Heap.recover pmem ~base in
-  let stacks = make_stacks ~fresh:false pmem config heap in
+  let heap =
+    Heap.recover ~report:(fun r -> report (Recovery_report.Heap_repair r)) pmem
+      ~base
+  in
+  let stacks = make_stacks ~report ~fresh:false pmem config heap in
   build pmem config registry heap stacks tasks
+
+let attach_with_report pmem ~registry =
+  let items = ref [] in
+  let t = attach ~report:(fun it -> items := it :: !items) pmem ~registry in
+  (t, Recovery_report.of_items (List.rev !items))
+
+(* Bitflip targets for the fault-injecting fuzzer: every region whose
+   damage the recovery paths are guaranteed to detect (checksummed
+   metadata), repair around (heap headers, stack frames) or report as
+   fatal (superblocks).  The task table and the user root are deliberately
+   absent — they carry no checksum, so a flip there could silently change
+   an answer. *)
+let metadata_regions t =
+  let regions = ref [] in
+  let add off len = regions := (off, len) :: !regions in
+  add 0 48;
+  (match t.config.stack_kind with
+  | Bounded_stack _ ->
+      for i = 0 to t.config.workers - 1 do
+        let base, capacity = bounded_region t.config i in
+        add (Offset.to_int base) capacity
+      done
+  | Resizable_stack _ | Linked_stack _ ->
+      (* Frames live in heap blocks and carry their own CRCs, but they are
+         statically indistinguishable from application payloads (which carry
+         none) — so for heap-backed stacks only the heap's metadata headers
+         below are targeted. *)
+      ());
+  add (Offset.to_int (Heap.base t.heap)) 32;
+  for i = 0 to Heap.arena_count t.heap - 1 do
+    add (Offset.to_int (Heap.arena_base t.heap i)) Heap.header_size
+  done;
+  Array.of_list (List.rev !regions)
 
 let submit t ~func_id ~args = Task.add t.tasks ~func_id ~args
 let results t = Task.results t.tasks
@@ -374,6 +438,13 @@ let recover ?spawn ?reclaim t =
                 m "reclaimed %d leaked heap block(s) (%d bytes)"
                   freed.Heap.blocks freed.Heap.bytes));
       `Completed
+
+let image_config pmem = read_superblock pmem
+let anchor_cell i = anchor_off i
+
+let image_heap_base pmem config =
+  let base, _len = heap_region pmem config in
+  base
 
 let pp_kind fmt = function
   | Bounded_stack n -> Format.fprintf fmt "bounded(%d B)" n

@@ -69,12 +69,34 @@ val create : Nvram.Pmem.t -> registry:Exec.t Registry.t -> config:config -> t
     persistent stack per worker.  The configuration is persisted, so
     {!attach} needs no configuration argument. *)
 
-val attach : Nvram.Pmem.t -> registry:Exec.t Registry.t -> t
+val attach :
+  ?report:(Recovery_report.item -> unit) ->
+  Nvram.Pmem.t ->
+  registry:Exec.t Registry.t ->
+  t
 (** [attach pmem ~registry] reopens a system after a restart: reads the
-    superblock, re-attaches the task table and the stacks, and recovers the
-    heap's free list.
+    superblock (verifying its checksum), re-attaches the task table and the
+    stacks, and recovers the heap's free list.  Media damage found on the
+    way — truncated stack tails, rebuilt arena free lists, rewritten arena
+    headers, quarantined arenas — is passed to [?report] in order (default:
+    ignored; the [Obs.Counters] fault counters tick either way).
 
-    @raise Invalid_argument if the device holds no system superblock. *)
+    @raise Invalid_argument if the device holds no system superblock or the
+    superblock checksum does not verify.
+    @raise Pstack.Repair.Corrupt_stack if a worker stack is damaged beyond
+    tail truncation (corrupt dummy frame or anchor). *)
+
+val attach_with_report :
+  Nvram.Pmem.t -> registry:Exec.t Registry.t -> t * Recovery_report.t
+(** {!attach} collecting the repairs into a {!Recovery_report.t}. *)
+
+val metadata_regions : t -> (int * int) array
+(** [(offset, length)] regions holding checksummed metadata — the system
+    superblock's config fields, bounded stack regions, the heap superblock
+    and each arena header.  A bitflip inside any of them is guaranteed to
+    be detected (and repaired, quarantined or reported) by the recovery
+    paths; the fault-injecting fuzzer aims its bit rot here so the
+    no-silent-corruption oracle is airtight. *)
 
 val config : t -> config
 val pmem : t -> Nvram.Pmem.t
@@ -136,7 +158,29 @@ val results : t -> (int * int64 option) list
 val set_root : t -> Nvram.Offset.t -> unit
 val root : t -> Nvram.Offset.t option
 
-(** {1 Inspection} *)
+(** {1 Inspection}
+
+    Image-level helpers: they read a device that need not be attachable
+    (the whole point of {!Scrub} and [pstack_inspect] is triaging damaged
+    images), deriving every location from the persisted configuration. *)
+
+val image_config : Nvram.Pmem.t -> config
+(** The persisted configuration of the image on [pmem].
+
+    @raise Invalid_argument if there is no superblock or its checksum does
+    not verify. *)
+
+val bounded_region : config -> int -> Nvram.Offset.t * int
+(** [(base, capacity)] of worker [i]'s stack region.
+
+    @raise Invalid_argument for non-bounded configurations. *)
+
+val anchor_cell : int -> Nvram.Offset.t
+(** Superblock cell holding worker [i]'s stack anchor (resizable and
+    linked kinds). *)
+
+val image_heap_base : Nvram.Pmem.t -> config -> Nvram.Offset.t
+(** Device offset of the heap region for this configuration. *)
 
 val pp_image : Format.formatter -> Nvram.Pmem.t -> unit
 (** [pp_image fmt pmem] prints a human-readable summary of the system

@@ -116,18 +116,20 @@ let test_fig5_partially_flushed_long_frame () =
 let test_fig6a_lost_frame () =
   let pmem, s = fresh () in
   Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
+  (* The args must spill past the flushed marker byte's cache line: the
+     head of the frame survives by sharing that line with the marker, and
+     a frame small enough to fit inside it would survive whole. *)
   Pstack.Bounded.unsafe_push ~flush_frame:false s ~func_id:3
-    ~args:(Bytes.of_string "body");
+    ~args:(Bytes.make 100 'L');
   Pmem.crash_and_restart pmem;
-  (* The stack end points at frame 3, but the unflushed frame body did not
-     survive: whatever decodes there has lost the 4 argument bytes (the
-     head of the frame may survive by sharing a cache line with the flushed
-     marker of frame 2). *)
+  (* The stack end points at frame 3, but the unflushed frame body did
+     not survive: even if the header decodes (it shares the marker's
+     line), the lost argument bytes fail the frame checksum. *)
   let lines = decode ~view:Dump.Persistent pmem in
   let intact =
     List.exists
       (function
-        | Dump.Frame { func_id = 3; args_len = 4; _ } -> true
+        | Dump.Frame { func_id = 3; crc_ok = true; _ } -> true
         | Dump.Frame _ | Dump.Pointer_frame _ | Dump.Invalid_tail _ -> false)
       lines
   in
@@ -154,8 +156,10 @@ let test_fig6b_lost_marker () =
 let test_fig8_linked_pop_frees_block () =
   let pmem = Pmem.create ~size:(1 lsl 20) () in
   let heap = Heap.format pmem ~base:(off 64) ~len:(1 lsl 19) in
-  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:96 () in
-  (* fill the first block, force a second one *)
+  let s = Pstack.Linked.create pmem ~heap ~anchor:(off 0) ~block_size:128 () in
+  (* fill the first block, force a second one: the dummy (35) plus frame 2
+     (55) plus the reserved pointer-frame slot (11) fit in 128, frame 3
+     (75) does not *)
   Pstack.Linked.push s ~func_id:2 ~args:(Bytes.make 20 'a');
   Pstack.Linked.push s ~func_id:3 ~args:(Bytes.make 40 'b');
   Alcotest.(check int) "two blocks" 2 (Pstack.Linked.block_count s);

@@ -34,6 +34,8 @@ let known_bad_schedule =
 
 let fail_message = function
   | { Harness.verdict = Harness.Fail msg; _ } -> msg
+  | { Harness.verdict = Harness.Fatal msg; _ } ->
+      Alcotest.failf "expected a Fail verdict, got Fatal: %s" msg
   | { Harness.verdict = Harness.Pass; _ } ->
       Alcotest.fail "expected the case to fail"
 
@@ -50,7 +52,7 @@ let test_workload_round_trip () =
 let test_schedule_round_trip () =
   for seed = 0 to 9 do
     let rng = Random.State.make [| 5; seed |] in
-    let s = Schedule.generate ~rng ~max_eras:4 in
+    let s = Schedule.generate ~faults:(seed mod 2 = 1) ~rng ~max_eras:4 () in
     match Schedule.of_lines (Schedule.to_lines s) with
     | Ok s' -> Alcotest.(check bool) "round trip" true (s = s')
     | Error msg -> Alcotest.fail msg
@@ -69,7 +71,7 @@ let test_schedule_rejects_out_of_order () =
 let test_schedule_round_trip_property () =
   for seed = 0 to 999 do
     let rng = Random.State.make [| 77; seed |] in
-    let base = Schedule.generate ~rng ~max_eras:4 in
+    let base = Schedule.generate ~faults:(seed mod 3 = 0) ~rng ~max_eras:4 () in
     let interleave =
       let n = Random.State.int rng 40 in
       List.init n (fun _ -> Random.State.int rng 4)
@@ -107,7 +109,10 @@ let test_schedule_malformed_line_numbers () =
   expect_error [ "interleave 0 -2" ] "negative worker id";
   expect_error [ "era 1 at-op 5"; "preempt two" ] "line 2";
   expect_error [ "preempt 1 2" ] "malformed preempt";
-  expect_error [ "preempt -1" ] "must be >= 0"
+  expect_error [ "preempt -1" ] "must be >= 0";
+  expect_error [ "era 1 at-op 5"; "tear bogus" ] "line 2";
+  expect_error [ "bitflip at-op" ] "line 1";
+  expect_error [ "fault-seed x" ] "not an integer"
 
 let test_correct_kinds_pass () =
   let config =
@@ -130,6 +135,61 @@ let test_campaign_trace_deterministic () =
   Alcotest.(check (list string)) "same trace" first (trace ());
   Alcotest.(check int) "one line per case" 8 (List.length first)
 
+(* The no-silent-corruption campaign: every workload kind under schedules
+   that tear the crash-interrupted line and flip bits in checksummed
+   metadata between eras.  Injected damage must surface as a repair, a
+   quarantine or a loud Fatal refusal — never as a wrong answer. *)
+let test_fault_campaign_no_silent_corruption () =
+  let config =
+    {
+      Campaign.default with
+      Campaign.seed = 1913;
+      runs = 24;
+      max_ops = 16;
+      faults = true;
+    }
+  in
+  let report = Campaign.run config in
+  Alcotest.(check int) "cases" 24 report.Campaign.cases;
+  (match report.Campaign.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "silent corruption: case %d: %s" f.Campaign.case
+        (match f.Campaign.outcome.Harness.verdict with
+        | Harness.Fail msg | Harness.Fatal msg -> msg
+        | Harness.Pass -> "pass?"));
+  (* The campaign must actually have injected something, or the oracle ran
+     on air: at least one case carries fault plans by construction. *)
+  let armed = ref 0 in
+  for i = 0 to config.Campaign.runs - 1 do
+    let _, schedule = Campaign.case_inputs config i in
+    if Schedule.has_faults schedule then incr armed
+  done;
+  Alcotest.(check bool) "faulted schedules drawn" true (!armed > 0)
+
+(* Sabotage self-check: the same fault campaign with checksum verification
+   disabled must produce findings — otherwise the checksums never had any
+   detection power and the green fault campaign above proves nothing. *)
+let test_sabotage_is_caught () =
+  let config =
+    {
+      Campaign.default with
+      Campaign.seed = 1913;
+      runs = 24;
+      max_ops = 16;
+      (* Single worker keeps every case deterministic, so the sabotage
+         verdict cannot flicker with thread timing. *)
+      max_workers = 1;
+      shrink_attempts = 10;
+      faults = true;
+      sabotage = true;
+    }
+  in
+  let report = Campaign.run config in
+  Alcotest.(check bool)
+    "sabotaged campaign produces findings" true
+    (report.Campaign.failures <> [])
+
 let test_planted_bug_fails () =
   let msg = fail_message (Harness.run known_bad_workload known_bad_schedule) in
   Alcotest.(check bool) "counter message" true (contains msg "faulty counter")
@@ -148,6 +208,7 @@ let test_shrink_minimises () =
   let msg =
     match shrunk.Shrink.outcome.Harness.verdict with
     | Harness.Fail msg -> msg
+    | Harness.Fatal msg -> Alcotest.failf "shrunk case died: %s" msg
     | Harness.Pass -> Alcotest.fail "shrunk case no longer fails"
   in
   Alcotest.(check bool)
@@ -170,7 +231,7 @@ let test_reproducer_round_trip_and_replay () =
       schedule = shrunk.Shrink.schedule;
       expected =
         (match shrunk.Shrink.outcome.Harness.verdict with
-        | Harness.Fail msg -> Some msg
+        | Harness.Fail msg | Harness.Fatal msg -> Some msg
         | Harness.Pass -> None);
       trace = Campaign.trace_of_shrunk shrunk;
     }
@@ -216,9 +277,9 @@ let test_differential_eager_vs_coalesced () =
           let coalesced = Harness.run ~flush_mode:Pmem.Coalesced w schedule in
           (match (eager.Harness.verdict, coalesced.Harness.verdict) with
           | Harness.Pass, Harness.Pass -> ()
-          | Harness.Fail msg, _ ->
+          | (Harness.Fail msg | Harness.Fatal msg), _ ->
               Alcotest.failf "%s: eager run failed: %s" case msg
-          | _, Harness.Fail msg ->
+          | _, (Harness.Fail msg | Harness.Fatal msg) ->
               Alcotest.failf "%s: coalesced run failed: %s" case msg);
           Alcotest.(check bool)
             (case ^ ": fingerprint is non-empty")
@@ -236,7 +297,7 @@ let test_rcas_run_produces_history () =
   let outcome = Harness.run w (Schedule.none) in
   (match outcome.Harness.verdict with
   | Harness.Pass -> ()
-  | Harness.Fail msg -> Alcotest.fail msg);
+  | Harness.Fail msg | Harness.Fatal msg -> Alcotest.fail msg);
   match outcome.Harness.history with
   | Some h ->
       Alcotest.(check int) "ops recorded" 8 (List.length h.Verify.History.ops)
@@ -268,6 +329,12 @@ let () =
             test_rcas_run_produces_history;
           Alcotest.test_case "eager vs coalesced differential" `Quick
             test_differential_eager_vs_coalesced;
+        ] );
+      ( "media faults",
+        [
+          Alcotest.test_case "no silent corruption" `Quick
+            test_fault_campaign_no_silent_corruption;
+          Alcotest.test_case "sabotage caught" `Quick test_sabotage_is_caught;
         ] );
       ( "planted bug",
         [

@@ -94,6 +94,8 @@ let test_reproducer_round_trips_and_replays () =
       | { Harness.verdict = Harness.Fail msg; _ } ->
           Alcotest.(check string)
             "replay reproduces the violation" v.Explore.reason msg
+      | { Harness.verdict = Harness.Fatal msg; _ } ->
+          Alcotest.failf "replay died unrecoverably: %s" msg
       | { Harness.verdict = Harness.Pass; _ } ->
           Alcotest.fail "replay did not reproduce the violation")
 

@@ -7,6 +7,7 @@ module Offset = Nvram.Offset
 module Crash = Nvram.Crash
 module Layout = Nvram.Layout
 module Backend = Nvram.Backend
+module Stats = Nvram.Stats
 
 let off = Offset.of_int
 
@@ -262,6 +263,78 @@ let test_file_backend_size_check () =
            (Printf.sprintf "Backend.file: %s has size 1024, expected 2048" path))
         (fun () -> ignore (Backend.file ~path ~size:2048 ())))
 
+(* A crash that fires the armed tear plan mangles exactly the interrupted
+   line: a prefix of the in-flight bytes persists, at most 8 following
+   bytes are shredded, the rest keep their old durable content — and the
+   whole outcome replays byte-for-byte from the fault seed. *)
+let test_torn_write_fault () =
+  let run () =
+    let p = Pmem.create ~size:1024 () in
+    Pmem.write_bytes p ~off:(off 0) (Bytes.make 64 'o');
+    Pmem.flush p ~off:(off 0) ~len:64;
+    Pmem.arm_faults p
+      { Crash.tear = Crash.At_op 1; bitflip = Crash.Never; fault_seed = 42 };
+    Pmem.write_bytes p ~off:(off 0) (Bytes.make 64 'n');
+    Crash.arm (Pmem.crash_ctl p) (Crash.At_op 1);
+    (try
+       Pmem.flush p ~off:(off 0) ~len:64;
+       Alcotest.fail "expected crash"
+     with Crash.Crash_now -> ());
+    Pmem.crash_and_restart p;
+    Alcotest.(check int) "one torn line" 1 (Stats.torn_lines (Pmem.stats p));
+    (* after the reboot the visible content IS the torn image *)
+    Alcotest.(check bytes) "volatile view agrees with the torn image"
+      (Pmem.peek_persistent p ~off:(off 0) ~len:64)
+      (Pmem.read_bytes p ~off:(off 0) ~len:64);
+    Pmem.peek_persistent p ~off:(off 0) ~len:64
+  in
+  let img = run () in
+  (* structure: 'n'* then <= 8 shredded bytes then 'o'* — so everything
+     past the leading run of new bytes plus the shred budget must be old *)
+  let keep = ref 0 in
+  while !keep < 64 && Bytes.get img !keep = 'n' do
+    incr keep
+  done;
+  for i = !keep + 8 to 63 do
+    Alcotest.(check char)
+      (Printf.sprintf "byte %d keeps its old value" i)
+      'o' (Bytes.get img i)
+  done;
+  Alcotest.(check bytes) "same seed, same tear" img (run ())
+
+(* The bitflip plan fires on restart and rots 1-3 seeded bits, all of them
+   inside the configured target regions. *)
+let test_bitflip_on_restart () =
+  let p = Pmem.create ~size:1024 () in
+  Pmem.write_bytes p ~off:(off 0) (Bytes.make 1024 '\000');
+  Pmem.flush p ~off:(off 0) ~len:1024;
+  Pmem.arm_faults p
+    ~targets:[| (128, 64) |]
+    { Crash.tear = Crash.Never; bitflip = Crash.At_op 1; fault_seed = 7 };
+  Pmem.crash_and_restart p;
+  let flipped = Stats.bits_flipped (Pmem.stats p) in
+  Alcotest.(check bool) "1-3 bits flipped" true (flipped >= 1 && flipped <= 3);
+  let img = Pmem.peek_persistent p ~off:(off 0) ~len:1024 in
+  let set_bits = ref 0 in
+  Bytes.iteri
+    (fun i b ->
+      let c = Char.code b in
+      if c <> 0 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "rot at %d lies inside the target region" i)
+          true
+          (i >= 128 && i < 192);
+        for bit = 0 to 7 do
+          if c land (1 lsl bit) <> 0 then incr set_bits
+        done
+      end)
+    img;
+  Alcotest.(check int) "image rot matches the counter" flipped !set_bits;
+  (* reads see the rot immediately: the flip is write-through *)
+  Alcotest.(check bytes) "volatile view agrees"
+    (Bytes.sub img 128 64)
+    (Pmem.read_bytes p ~off:(off 128) ~len:64)
+
 let () =
   Alcotest.run "nvram"
     [
@@ -302,5 +375,11 @@ let () =
           Alcotest.test_case "persistence across reopen" `Quick
             test_file_backend_persistence;
           Alcotest.test_case "size check" `Quick test_file_backend_size_check;
+        ] );
+      ( "media faults",
+        [
+          Alcotest.test_case "torn write" `Quick test_torn_write_fault;
+          Alcotest.test_case "bit rot on restart" `Quick
+            test_bitflip_on_restart;
         ] );
     ]

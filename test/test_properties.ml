@@ -408,12 +408,12 @@ let frame_roundtrip =
       in
       Pmem.write_bytes pmem ~off:(off 0) image;
       match Frame.read pmem ~at:(off 0) with
-      | Frame.Ordinary { frame; size; last } ->
+      | Ok (Frame.Ordinary { frame; size; last }) ->
           frame.Frame.func_id = func_id
           && Bytes.to_string frame.Frame.args = args
           && size = Bytes.length image
           && not last
-      | Frame.Pointer _ -> false)
+      | Ok (Frame.Pointer _) | Error _ -> false)
 
 let rcas_pack_roundtrip =
   QCheck2.Test.make ~count:300 ~name:"rcas: value survives install/read"

@@ -20,7 +20,7 @@ let test_codec_roundtrip () =
   Alcotest.(check int) "size" (Frame.ordinary_size ~args_len:7)
     (Bytes.length image);
   Pmem.write_bytes pmem ~off:(off 100) image;
-  (match Frame.read pmem ~at:(off 100) with
+  (match Frame.read_exn pmem ~at:(off 100) with
   | Frame.Ordinary { frame = f; size; last } ->
       Alcotest.(check int) "func_id" 77 f.Frame.func_id;
       Alcotest.(check string) "args" "payload" (Bytes.to_string f.Frame.args);
@@ -32,19 +32,50 @@ let test_codec_roundtrip () =
   in
   Alcotest.(check int) "pointer size" Frame.pointer_size (Bytes.length pointer);
   Pmem.write_bytes pmem ~off:(off 200) pointer;
-  match Frame.read pmem ~at:(off 200) with
+  match Frame.read_exn pmem ~at:(off 200) with
   | Frame.Pointer { next; size; last } ->
       Alcotest.(check int) "next" 640 (Offset.to_int next);
       Alcotest.(check int) "psize" Frame.pointer_size size;
       Alcotest.(check bool) "not last" false last
   | Frame.Ordinary _ -> Alcotest.fail "expected pointer frame"
 
+(* Regression for the raise-on-corrupt decoder: [Frame.read] must return a
+   typed corruption, never raise — corrupt media is an expected input to
+   recovery, not a programming error. *)
 let test_codec_rejects_garbage () =
   let pmem = Pmem.create ~size:4096 () in
   Pmem.write_byte pmem (off 0) 0x5A;
-  Alcotest.check_raises "preamble"
-    (Invalid_argument "Frame.read: invalid preamble 0x5A at 0") (fun () ->
-      ignore (Frame.read pmem ~at:(off 0)))
+  match Frame.read pmem ~at:(off 0) with
+  | exception exn ->
+      Alcotest.failf "Frame.read raised %s on a corrupt preamble"
+        (Printexc.to_string exn)
+  | Ok _ -> Alcotest.fail "decoded garbage as a frame"
+  | Error c ->
+      Alcotest.(check int) "corruption offset" 0 (Offset.to_int c.Frame.at);
+      Alcotest.(check bool)
+        "structural damage, not a checksum miss" false c.Frame.crc_mismatch
+
+let test_codec_detects_bitrot () =
+  let pmem = Pmem.create ~size:4096 () in
+  let frame = { Frame.func_id = 9; args = Bytes.of_string "abcdefgh" } in
+  Pmem.write_bytes pmem ~off:(off 0)
+    (Frame.encode_ordinary frame ~marker:Frame.marker_stack_end);
+  (* Flip one bit inside the argument bytes: the shape stays plausible, so
+     only the checksum can notice. *)
+  let arg0 = Offset.of_int Frame.ordinary_header_size in
+  Pmem.write_byte pmem arg0 (Char.code 'a' lxor 0x10);
+  (match Frame.read pmem ~at:(off 0) with
+  | Ok _ -> Alcotest.fail "bit rot in the arguments went undetected"
+  | Error c ->
+      Alcotest.(check bool) "flagged as checksum miss" true c.Frame.crc_mismatch);
+  (* Put the byte back: the frame must verify again. *)
+  Pmem.write_byte pmem arg0 (Char.code 'a');
+  match Frame.read pmem ~at:(off 0) with
+  | Ok (Frame.Ordinary { frame = f; _ }) ->
+      Alcotest.(check int) "func_id intact" 9 f.Frame.func_id
+  | Ok (Frame.Pointer _) -> Alcotest.fail "expected ordinary frame"
+  | Error c ->
+      Alcotest.failf "restored frame still rejected: %a" Frame.pp_corruption c
 
 let test_answer_slot () =
   let pmem = Pmem.create ~size:4096 () in
@@ -467,21 +498,22 @@ let test_unsafe_push_violates_invariant_2 () =
   Alcotest.(check int) "frame 3 lost after crash" 1 (Pstack.Bounded.depth s')
 
 (* Fig. 6a: skipping the flush of the new frame while still moving the
-   marker can leave the marker persisted but the frame body lost. *)
+   marker can leave the marker persisted but the frame body lost.  The
+   args must span past the flipped marker byte's cache line: the
+   single-byte marker flush persists its whole line, and a small frame
+   landing entirely inside that line would be persisted along with it. *)
 let test_unsafe_push_violates_invariant_1 () =
+  let lost = Bytes.make 100 'l' in
   let pmem = Pmem.create ~policy:Pmem.Lose_all ~size:65536 () in
   let s = Pstack.Bounded.create pmem ~base:(off 0) ~capacity:8192 in
   Pstack.Bounded.push s ~func_id:2 ~args:Bytes.empty;
-  Pstack.Bounded.unsafe_push ~flush_frame:false s ~func_id:3
-    ~args:(Bytes.of_string "lost");
+  Pstack.Bounded.unsafe_push ~flush_frame:false s ~func_id:3 ~args:lost;
   Pmem.crash_and_restart pmem;
   Alcotest.(check bool) "frame 3 corrupted or stack unreadable" true
     (match Pstack.Bounded.attach pmem ~base:(off 0) ~capacity:8192 with
     | s' ->
         List.for_all
-          (fun (_, f) ->
-            f.Frame.func_id <> 3
-            || Bytes.to_string f.Frame.args <> "lost")
+          (fun (_, f) -> f.Frame.func_id <> 3 || f.Frame.args <> lost)
           (Pstack.Bounded.frames s')
     | exception Invalid_argument _ -> true)
 
@@ -523,6 +555,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "detects bit rot" `Quick test_codec_detects_bitrot;
           Alcotest.test_case "answer slot" `Quick test_answer_slot;
         ] );
       ("interface", per_impl "push/pop" test_push_pop);

@@ -1,0 +1,160 @@
+(* The offline scrub pass: a corruption-class matrix.
+
+   Every class of media damage the fault model can inject maps to a
+   documented scrub outcome:
+
+   - clean image                -> clean report, with and without repair
+   - rotten stack frame body    -> checksum finding; repair truncates the
+                                   torn tail and a re-scrub comes back clean
+   - insane frame length        -> the walk breaks before any stack end
+                                   (the Dump's [Invalid_tail] line) — found
+   - rotten dummy frame         -> fatal in repair mode (nothing below it
+                                   to truncate to)
+   - rotten heap block tag      -> heap invariant finding; repair
+                                   quarantines the arena, not fatal
+   - rotten heap superblock     -> fatal (geometry cannot be rebuilt)
+   - rotten system superblock   -> fatal, reported as such *)
+
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Heap = Nvheap.Heap
+module Frame = Pstack.Frame
+module Dump = Pstack.Dump
+module R = Runtime
+
+let off = Offset.of_int
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let finding_matching report needle =
+  List.exists
+    (fun f -> contains f.R.Scrub.detail needle || contains f.R.Scrub.where needle)
+    report.R.Scrub.findings
+
+(* One worker keeps the image small and the stack region easy to aim at. *)
+let config = { R.System.default_config with R.System.workers = 1 }
+
+let make_image () =
+  let pmem = Pmem.create ~size:(1 lsl 20) () in
+  let registry = R.Registry.create () in
+  R.Registry.register registry ~id:7 ~name:"seven"
+    ~body:(fun _ctx _args -> 0L)
+    ~recover:(fun _ctx _args -> R.Registry.Complete 0L);
+  let sys = R.System.create pmem ~registry ~config in
+  ignore sys;
+  pmem
+
+(* A live frame above the dummy, pushed through an independent handle on
+   worker 0's stack region; returns its device offset. *)
+let push_frame pmem ~args =
+  let base, capacity = R.System.bounded_region config 0 in
+  let s = Pstack.Bounded.attach pmem ~base ~capacity in
+  Pstack.Bounded.push s ~func_id:7 ~args;
+  match Pstack.Bounded.frames s with
+  | (top, _) :: _ -> top
+  | [] -> Alcotest.fail "pushed frame not visible"
+
+let test_clean_image () =
+  let pmem = make_image () in
+  Alcotest.(check bool) "clean" true (R.Scrub.is_clean (R.Scrub.run pmem));
+  Alcotest.(check bool) "clean under repair" true
+    (R.Scrub.is_clean (R.Scrub.run ~repair:true pmem))
+
+let test_rotten_frame_found_and_repaired () =
+  let pmem = make_image () in
+  let top = push_frame pmem ~args:(Bytes.make 32 'x') in
+  (* Bit rot in the frame's argument bytes: the header still parses, the
+     checksum does not. *)
+  Pmem.inject_bitflip pmem
+    ~off:(Offset.add top Frame.ordinary_header_size)
+    ~bit:4;
+  let report = R.Scrub.run pmem in
+  Alcotest.(check bool) "found" false (R.Scrub.is_clean report);
+  Alcotest.(check bool) "not fatal" false report.R.Scrub.fatal;
+  Alcotest.(check bool) "names the checksum" true
+    (finding_matching report "checksum");
+  (* Repair truncates the rotten tail; the next scrub is clean. *)
+  let repaired = R.Scrub.run ~repair:true pmem in
+  Alcotest.(check bool) "repair not fatal" false repaired.R.Scrub.fatal;
+  Alcotest.(check bool) "a repair happened" true
+    (List.exists (fun f -> f.R.Scrub.repaired) repaired.R.Scrub.findings);
+  Alcotest.(check bool) "clean after repair" true
+    (R.Scrub.is_clean (R.Scrub.run pmem))
+
+let test_insane_frame_length_breaks_walk () =
+  let pmem = make_image () in
+  let top = push_frame pmem ~args:(Bytes.make 8 'y') in
+  (* Blow up the length field: the walk cannot even reach a stack end and
+     reports the broken scan (the Dump's [Invalid_tail] before any end). *)
+  Pmem.inject_bitflip pmem
+    ~off:(Offset.add top (Frame.args_len_rel + 3))
+    ~bit:7;
+  let report = R.Scrub.run pmem in
+  Alcotest.(check bool) "found" false (R.Scrub.is_clean report);
+  Alcotest.(check bool) "scan break reported" true
+    (finding_matching report "scan broke" || finding_matching report "checksum")
+
+let test_rotten_dummy_is_fatal () =
+  let pmem = make_image () in
+  let base, _ = R.System.bounded_region config 0 in
+  (* The dummy frame anchors the whole stack; there is nothing below it to
+     truncate to, so repair must refuse rather than invent a stack. *)
+  Pmem.inject_bitflip pmem ~off:(Offset.add base Frame.args_len_rel) ~bit:2;
+  let repaired = R.Scrub.run ~repair:true pmem in
+  Alcotest.(check bool) "fatal" true repaired.R.Scrub.fatal
+
+let test_rotten_heap_tag_quarantines () =
+  let pmem = make_image () in
+  let heap_base = R.System.image_heap_base pmem config in
+  let heap = Heap.open_existing pmem ~base:heap_base in
+  let first_block = Offset.add (Heap.arena_base heap 0) Heap.header_size in
+  Pmem.inject_bitflip pmem ~off:first_block ~bit:3;
+  let report = R.Scrub.run pmem in
+  Alcotest.(check bool) "found" false (R.Scrub.is_clean report);
+  Alcotest.(check bool) "report-only pass is not fatal" false
+    report.R.Scrub.fatal;
+  let repaired = R.Scrub.run ~repair:true pmem in
+  Alcotest.(check bool) "repair quarantines, not fatal" false
+    repaired.R.Scrub.fatal;
+  Alcotest.(check bool) "quarantine reported" true
+    (finding_matching repaired "quarantine")
+
+let test_rotten_heap_superblock_is_fatal () =
+  let pmem = make_image () in
+  let heap_base = R.System.image_heap_base pmem config in
+  Pmem.inject_bitflip pmem ~off:(Offset.add heap_base 8) ~bit:1;
+  let report = R.Scrub.run pmem in
+  Alcotest.(check bool) "fatal" true report.R.Scrub.fatal;
+  Alcotest.(check bool) "blamed on the heap" true (finding_matching report "heap")
+
+let test_rotten_system_superblock_is_fatal () =
+  let pmem = make_image () in
+  Pmem.inject_bitflip pmem ~off:(off 8) ~bit:6;
+  let report = R.Scrub.run pmem in
+  Alcotest.(check bool) "fatal" true report.R.Scrub.fatal;
+  Alcotest.(check bool) "blamed on the superblock" true
+    (finding_matching report "superblock")
+
+let () =
+  Alcotest.run "scrub"
+    [
+      ( "corruption classes",
+        [
+          Alcotest.test_case "clean image" `Quick test_clean_image;
+          Alcotest.test_case "rotten frame found and repaired" `Quick
+            test_rotten_frame_found_and_repaired;
+          Alcotest.test_case "insane frame length breaks walk" `Quick
+            test_insane_frame_length_breaks_walk;
+          Alcotest.test_case "rotten dummy frame is fatal" `Quick
+            test_rotten_dummy_is_fatal;
+          Alcotest.test_case "rotten heap tag quarantines" `Quick
+            test_rotten_heap_tag_quarantines;
+          Alcotest.test_case "rotten heap superblock is fatal" `Quick
+            test_rotten_heap_superblock_is_fatal;
+          Alcotest.test_case "rotten system superblock is fatal" `Quick
+            test_rotten_system_superblock_is_fatal;
+        ] );
+    ]
