@@ -9,6 +9,14 @@
    explored-interleaving count.  No randomness anywhere: two invocations
    print the same verdicts and the same counts.
 
+   The search runs with dynamic partial-order reduction by default;
+   [--no-por] switches to the brute-force enumeration (same verdicts,
+   orders of magnitude more executions — the differential CI leg runs
+   both and compares).  [--prop P1,P2|all] arms the along-the-path trace
+   properties; [--prop-sabotage] is the self-check leg: it hides every
+   program-issued flush from the monitors on a cache-managed workload and
+   exits 0 iff the response-implies-persist property fires.
+
    [--kind K] explores a single workload kind instead (with a short
    deterministic op trace), and [--replay FILE] re-runs a reproducer under
    the cooperative scheduler.  [--flush-mode coalesced] runs any of the
@@ -34,18 +42,53 @@ let cas_workload ~kind ~workers =
     ops = List.init workers (fun i -> Workload.Cas (i, i + 1));
   }
 
-let config ~preempt ~max_executions ~flush_mode =
+let rcounter_workload ~n_ops =
+  {
+    Workload.kind = Workload.Rcounter;
+    workers = 1;
+    init = 0;
+    ops = List.init (max 1 n_ops) (fun _ -> Workload.Bump);
+  }
+
+let config ~preempt ~max_executions ~flush_mode ~por =
   {
     Mc.Explore.default_config with
     Mc.Explore.preempt_bound = preempt;
     max_executions;
     flush_mode;
+    por;
   }
 
-let explore_one ~label ~config ~out workload =
-  Format.printf "[%s] exploring %a (preempt bound %d)@." label Workload.pp
-    workload config.Mc.Explore.preempt_bound;
-  let verdict = Mc.Explore.explore ~config workload in
+(* --prop: comma-separated shipped property names, or "all". *)
+let parse_props = function
+  | None -> Ok []
+  | Some "all" -> Ok Mc.Prop.all
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
+      |> List.fold_left
+           (fun acc name ->
+             match (acc, Mc.Prop.find name) with
+             | Error _, _ -> acc
+             | Ok ps, Some p -> Ok (ps @ [ p ])
+             | Ok _, None ->
+                 Error
+                   (Printf.sprintf "unknown property %S (known: %s, or all)"
+                      name
+                      (String.concat ", " (List.map Mc.Prop.name Mc.Prop.all))))
+           (Ok [])
+
+let explore_one ~label ~config ~props ?(prop_sabotage = false) ~out workload =
+  Format.printf "[%s] exploring %a (preempt bound %d%s%s)@." label Workload.pp
+    workload config.Mc.Explore.preempt_bound
+    (if config.Mc.Explore.por then ", por" else ", brute force")
+    (match props with
+    | [] -> ""
+    | ps ->
+        Printf.sprintf ", props %s"
+          (String.concat "," (List.map Mc.Prop.name ps)));
+  let verdict = Mc.Explore.explore ~config ~props ~prop_sabotage workload in
   (match verdict with
   | Mc.Explore.Certified stats ->
       Format.printf "[%s] certified: no violation within bounds — %a@." label
@@ -69,14 +112,14 @@ let explore_one ~label ~config ~out workload =
 
 (* The headline E3 deliverable: the buggy CAS must be caught, the correct
    one must be certified — both exhaustively and deterministically. *)
-let run_e3 ~workers ~preempt ~max_executions ~flush_mode ~out =
-  let config = config ~preempt ~max_executions ~flush_mode in
+let run_e3 ~workers ~preempt ~max_executions ~flush_mode ~por ~props ~out =
+  let config = config ~preempt ~max_executions ~flush_mode ~por in
   let buggy =
-    explore_one ~label:"buggy-cas" ~config ~out:(Some out)
+    explore_one ~label:"buggy-cas" ~config ~props ~out:(Some out)
       (cas_workload ~kind:Workload.Rcas_buggy ~workers)
   in
   let correct =
-    explore_one ~label:"correct-cas" ~config ~out:None
+    explore_one ~label:"correct-cas" ~config ~props ~out:None
       (cas_workload ~kind:Workload.Rcas ~workers)
   in
   match (buggy, correct) with
@@ -89,13 +132,14 @@ let run_e3 ~workers ~preempt ~max_executions ~flush_mode ~out =
          correct-CAS certificate)";
       1
 
-let run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops ~out =
+let run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~por ~props
+    ~n_ops ~out =
   match Workload.kind_of_string kind with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       2
   | Ok kind ->
-      let config = config ~preempt ~max_executions ~flush_mode in
+      let config = config ~preempt ~max_executions ~flush_mode ~por in
       let workload =
         match kind with
         | Workload.Rcas | Workload.Rcas_buggy ->
@@ -114,11 +158,61 @@ let run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops ~out =
       let verdict =
         explore_one
           ~label:(Workload.kind_to_string kind)
-          ~config ~out:(Some out) workload
+          ~config ~props ~out:(Some out) workload
       in
       (match (verdict, expect_violation) with
       | Mc.Explore.Violation _, true | Mc.Explore.Certified _, false -> 0
       | _ -> 1)
+
+(* The property self-check deliverable: with flushes hidden from the
+   monitors, the response-implies-persist property must flag the
+   cache-managed counter's first response — and the reproducer it writes
+   must re-fire under a sabotaged replay.  Exit 0 iff both hold. *)
+let run_prop_sabotage ~preempt ~max_executions ~por ~n_ops ~out =
+  let config = config ~preempt ~max_executions ~flush_mode:Pmem.Eager ~por in
+  let workload = rcounter_workload ~n_ops in
+  match
+    explore_one ~label:"prop-sabotage" ~config ~props:Mc.Prop.all
+      ~prop_sabotage:true ~out:(Some out) workload
+  with
+  | Mc.Explore.Violation (v, _) -> (
+      let fired p =
+        let n = Mc.Prop.name p and r = v.Mc.Explore.reason in
+        let ln = String.length n and lr = String.length r in
+        let rec go i = i + ln <= lr && (String.sub r i ln = n || go (i + 1)) in
+        go 0
+      in
+      if not (List.exists fired Mc.Prop.all) then begin
+        prerr_endline
+          "model_check: FAILED (sabotaged run violated something other \
+           than a trace property)";
+        1
+      end
+      else
+        let repro = Mc.Explore.reproducer ~workload v in
+        match
+          Mc.Explore.replay_checked ~config ~props:Mc.Prop.all
+            ~prop_sabotage:true repro
+        with
+        | _, Some (prop, _) ->
+            Printf.printf
+              "model_check: OK (sabotaged property %s fired and its \
+               reproducer re-fires on replay)\n"
+              prop;
+            0
+        | _, None ->
+            prerr_endline
+              "model_check: FAILED (sabotage reproducer did not re-fire \
+               on replay)";
+            1)
+  | Mc.Explore.Certified _ ->
+      prerr_endline
+        "model_check: FAILED (property sabotage was NOT caught — the \
+         trace-property layer has no teeth)";
+      1
+  | Mc.Explore.Budget_exhausted _ ->
+      prerr_endline "model_check: FAILED (sabotage search exhausted budget)";
+      1
 
 (* The equivalence deliverable: the coalesced search must reach no recovery
    state the eager search cannot.  The correct-CAS pair runs on an
@@ -126,9 +220,9 @@ let run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops ~out =
    cached device where coalescing actually defers write-backs.  With
    [broken_drain] the sabotaged coalescer MUST be caught on the cached
    workload; exit 0 iff a divergence fired. *)
-let run_equivalence ~workers ~preempt ~max_executions ~n_ops ~broken_drain
-    ~out =
-  let config = config ~preempt ~max_executions ~flush_mode:Pmem.Eager in
+let run_equivalence ~workers ~preempt ~max_executions ~por ~props ~n_ops
+    ~broken_drain ~out =
+  let config = config ~preempt ~max_executions ~flush_mode:Pmem.Eager ~por in
   let rng = Random.State.make [| 1 |] in
   let workloads =
     [
@@ -137,10 +231,13 @@ let run_equivalence ~workers ~preempt ~max_executions ~n_ops ~broken_drain
     ]
   in
   let check workload =
-    Format.printf "[equivalence] %a (preempt bound %d%s)@." Workload.pp
+    Format.printf "[equivalence] %a (preempt bound %d%s%s)@." Workload.pp
       workload config.Mc.Explore.preempt_bound
+      (if config.Mc.Explore.por then ", por" else ", brute force")
       (if broken_drain then ", drain sabotaged" else "");
-    match Mc.Explore.check_equivalence ~config ~broken_drain workload with
+    match
+      Mc.Explore.check_equivalence ~config ~broken_drain ~props workload
+    with
     | Mc.Explore.Equivalent { eager; coalesced; distinct_states } ->
         Format.printf
           "[equivalence] equivalent: %d distinct recovery states; eager %a; \
@@ -186,7 +283,7 @@ let run_equivalence ~workers ~preempt ~max_executions ~n_ops ~broken_drain
     1
   end
 
-let run_replay ~flush_mode path =
+let run_replay ~flush_mode ~props ~prop_sabotage path =
   match Reproducer.read path with
   | Error msg ->
       Printf.eprintf "error: %s: %s\n" path msg;
@@ -200,16 +297,23 @@ let run_replay ~flush_mode path =
       let config =
         { Mc.Explore.default_config with Mc.Explore.flush_mode }
       in
-      match Mc.Explore.replay ~config repro with
-      | { Fuzz.Harness.verdict = Fuzz.Harness.Pass; _ } ->
+      let outcome, prop_failure =
+        Mc.Explore.replay_checked ~config ~props ~prop_sabotage repro
+      in
+      let failed = repro.Reproducer.expected <> None in
+      match (outcome.Fuzz.Harness.verdict, prop_failure) with
+      | Fuzz.Harness.Pass, None ->
           print_endline "verdict: pass";
-          if repro.Reproducer.expected = None then 0 else 1
-      | { Fuzz.Harness.verdict = Fuzz.Harness.Fail msg; _ } ->
+          if failed then 1 else 0
+      | Fuzz.Harness.Pass, Some (prop, msg) ->
+          Printf.printf "verdict: PROPERTY VIOLATION: %s: %s\n" prop msg;
+          if failed then 0 else 1
+      | Fuzz.Harness.Fail msg, _ ->
           Printf.printf "verdict: FAIL: %s\n" msg;
-          if repro.Reproducer.expected = None then 1 else 0
-      | { Fuzz.Harness.verdict = Fuzz.Harness.Fatal msg; _ } ->
+          if failed then 0 else 1
+      | Fuzz.Harness.Fatal msg, _ ->
           Printf.printf "verdict: FATAL: %s\n" msg;
-          if repro.Reproducer.expected = None then 1 else 0)
+          if failed then 0 else 1)
 
 open Cmdliner
 
@@ -252,6 +356,35 @@ let main_term =
             "Device flush mode for exploration and replay: $(b,eager) \
              (default) or $(b,coalesced) (FliT-style write-behind).")
   in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable dynamic partial-order reduction: brute-force \
+             enumeration of every interleaving within the bound (same \
+             verdicts, far more executions).")
+  in
+  let props =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prop" ] ~docv:"P1,P2|all"
+          ~doc:
+            "Arm along-the-path trace properties (comma-separated names, \
+             or $(b,all)): violations stop the search with a replayable \
+             reproducer.")
+  in
+  let prop_sabotage =
+    Arg.(
+      value & flag
+      & info [ "prop-sabotage" ]
+          ~doc:
+            "Self-check: hide program-issued flushes from the property \
+             monitors on a cache-managed workload and demand \
+             response-implies-persist fires (exit 0 iff it does).  With \
+             $(b,--replay), replays the file under the sabotaged stream.")
+  in
   let equivalence =
     Arg.(
       value & flag
@@ -281,27 +414,42 @@ let main_term =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-run a reproducer under the cooperative scheduler.")
   in
-  let run replay kind flush_mode equivalence broken_drain workers preempt
-      max_executions n_ops out =
+  let run replay kind flush_mode no_por props prop_sabotage equivalence
+      broken_drain workers preempt max_executions n_ops out =
+    let por = not no_por in
     Stdlib.exit
-      (match (replay, equivalence, kind) with
-      | Some path, _, _ -> run_replay ~flush_mode path
-      | None, true, _ ->
-          run_equivalence ~workers ~preempt ~max_executions ~n_ops
-            ~broken_drain ~out
-      | None, false, Some kind ->
-          run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode ~n_ops
-            ~out
-      | None, false, None ->
-          run_e3 ~workers ~preempt ~max_executions ~flush_mode ~out)
+      (match parse_props props with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          2
+      | Ok props -> (
+          match (replay, prop_sabotage, equivalence, kind) with
+          | Some path, _, _, _ ->
+              (* Sabotaged replay needs monitors to sabotage. *)
+              let props =
+                if prop_sabotage && props = [] then Mc.Prop.all else props
+              in
+              run_replay ~flush_mode ~props ~prop_sabotage path
+          | None, true, _, _ ->
+              run_prop_sabotage ~preempt ~max_executions ~por ~n_ops ~out
+          | None, false, true, _ ->
+              run_equivalence ~workers ~preempt ~max_executions ~por ~props
+                ~n_ops ~broken_drain ~out
+          | None, false, false, Some kind ->
+              run_kind ~kind ~workers ~preempt ~max_executions ~flush_mode
+                ~por ~props ~n_ops ~out
+          | None, false, false, None ->
+              run_e3 ~workers ~preempt ~max_executions ~flush_mode ~por ~props
+                ~out))
   in
   Term.(
-    const run $ replay $ kind $ flush_mode $ equivalence $ broken_drain
-    $ workers $ preempt $ max_executions $ n_ops $ out)
+    const run $ replay $ kind $ flush_mode $ no_por $ props $ prop_sabotage
+    $ equivalence $ broken_drain $ workers $ preempt $ max_executions $ n_ops
+    $ out)
 
 let () =
   let doc =
-    "Systematic model checker: exhaustive interleavings and crash points \
-     under a preemption bound."
+    "Systematic model checker: interleavings and crash points under a \
+     preemption bound, reduced by dynamic partial-order reduction."
   in
   Stdlib.exit (Cmd.eval' (Cmd.v (Cmd.info "model_check" ~doc) main_term))

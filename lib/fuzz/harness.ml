@@ -577,7 +577,8 @@ let default_device_size = 1 lsl 21
 
 let run_once ?spawn ?(device_size = default_device_size)
     ?(flush_mode = Pmem.Eager) ?(break_drain = false) ?(sabotage = false)
-    (workload : Workload.t) (schedule : Schedule.t) =
+    ?(observer = fun (_ : Runtime.Driver.event) -> ()) (workload : Workload.t)
+    (schedule : Schedule.t) =
   (* Section 5's cache-less model for the real structures (they are built
      for auto-flush devices in their own test suites); the two counters
      manage their own flushes on a cached device — the only device where
@@ -607,11 +608,14 @@ let run_once ?spawn ?(device_size = default_device_size)
   in
   let eras = ref 0 in
   let crash_points = ref [] in
-  let observer = function
+  let extern_observer = observer in
+  let observer ev =
+    (match ev with
     | Runtime.Driver.Era_armed { era; _ } -> eras := era
     | Runtime.Driver.Crash_fired { era; at_op } ->
         crash_points := (era, at_op) :: !crash_points
-    | Runtime.Driver.Recovery_repaired _ -> ()
+    | Runtime.Driver.Recovery_repaired _ -> ());
+    extern_observer ev
   in
   let submit sys =
     (* Sabotage arms here, after persisting every still-pending setup
@@ -713,16 +717,17 @@ let run_once ?spawn ?(device_size = default_device_size)
       execute
   end
 
-let run ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
-    schedule =
+let run ?spawn ?device_size ?flush_mode ?break_drain ?sabotage ?observer
+    workload schedule =
   match
-    run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
-      schedule
+    run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage ?observer
+      workload schedule
   with
   | { verdict = Fail "main-thread kill"; _ } ->
       (* The one-shot kill landed on the orchestrating thread — an artifact
          of the simulation, not a finding.  The case degenerates to the
          same schedule without the kill plan. *)
-      run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage workload
+      run_once ?spawn ?device_size ?flush_mode ?break_drain ?sabotage
+        ?observer workload
         { schedule with Schedule.kill = None }
   | outcome -> outcome

@@ -79,6 +79,7 @@ val run :
   ?flush_mode:Nvram.Pmem.flush_mode ->
   ?break_drain:bool ->
   ?sabotage:bool ->
+  ?observer:(Runtime.Driver.event -> unit) ->
   Workload.t ->
   Schedule.t ->
   outcome
@@ -100,4 +101,9 @@ val run :
     {e verification} ({!Nvram.Integrity.unsafe_set_enabled}) for the
     duration of the run — the self-check that proves a fault campaign's
     oracle has teeth: with verification off, an injected-fault campaign
-    must start producing findings. *)
+    must start producing findings.
+
+    [observer] is invoked for every driver event ([Era_armed],
+    [Crash_fired], [Recovery_repaired]) after the harness's own
+    bookkeeping — the model checker's trace-property layer uses it to see
+    crashes in event-stream order. *)

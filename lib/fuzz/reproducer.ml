@@ -60,8 +60,8 @@ let of_lines lines =
             Ok (seed, case, Some (String.concat " " rest), wl, sl)
         | ("kind" | "workers" | "init" | "op") :: _ ->
             Ok (seed, case, expected, line :: wl, sl)
-        | ("era" | "kill" | "interleave" | "preempt" | "tear" | "bitflip"
-          | "fault-seed")
+        | ("era" | "kill" | "interleave" | "preempt" | "por" | "reversal"
+          | "tear" | "bitflip" | "fault-seed")
           :: _ ->
             Ok (seed, case, expected, wl, line :: sl)
         | _ -> Error (Printf.sprintf "unknown reproducer entry %S" line))

@@ -5,6 +5,8 @@ type t = {
   kill : Crash.plan option;
   interleave : int list;
   preempt : int option;
+  por : bool;
+  reversals : int list;
   tear : Crash.plan;
   bitflip : Crash.plan;
   fault_seed : int;
@@ -16,6 +18,8 @@ let none =
     kill = None;
     interleave = [];
     preempt = None;
+    por = false;
+    reversals = [];
     tear = Crash.Never;
     bitflip = Crash.Never;
     fault_seed = 0;
@@ -116,6 +120,14 @@ let to_lines t =
   @ (match t.preempt with
     | None -> []
     | Some n -> [ Printf.sprintf "preempt %d" n ])
+  @ (if not t.por then [] else [ "por on" ])
+  @ (match t.reversals with
+    | [] -> []
+    | rs ->
+        [
+          Printf.sprintf "reversal %s"
+            (String.concat " " (List.map string_of_int rs));
+        ])
   @ (if t.tear = Crash.Never then []
      else [ Printf.sprintf "tear %s" (Crash.plan_to_string t.tear) ])
   @ (if t.bitflip = Crash.Never then []
@@ -177,6 +189,30 @@ let of_lines lines =
                   Error
                     (Printf.sprintf "preempt bound is not an integer: %S" n))
           | _ -> Error (Printf.sprintf "malformed preempt entry %S" line))
+    | "por" :: rest ->
+        at lineno
+          (match rest with
+          | [ "on" ] -> Ok { t with por = true }
+          | [ "off" ] -> Ok { t with por = false }
+          | _ -> Error (Printf.sprintf "malformed por entry %S" line))
+    | "reversal" :: indices ->
+        at lineno
+          (let* rs =
+             List.fold_left
+               (fun acc i ->
+                 let* rs = acc in
+                 match int_of_string_opt i with
+                 | Some n when n >= 0 -> Ok (n :: rs)
+                 | Some n ->
+                     Error
+                       (Printf.sprintf "reversal: negative decision index %d"
+                          n)
+                 | None ->
+                     Error
+                       (Printf.sprintf "reversal: not a decision index: %S" i))
+               (Ok []) indices
+           in
+           Ok { t with reversals = t.reversals @ List.rev rs })
     | "tear" :: rest ->
         at lineno
           (let* plan = Crash.plan_of_string (String.concat " " rest) in
@@ -211,5 +247,11 @@ let pp fmt t =
   (match t.preempt with
   | None -> ()
   | Some n -> Format.fprintf fmt " preempt=%d" n);
+  if t.por then Format.fprintf fmt " por";
+  (match t.reversals with
+  | [] -> ()
+  | rs ->
+      Format.fprintf fmt " reversals=%s"
+        (String.concat "," (List.map string_of_int rs)));
   if has_faults t then
     Format.fprintf fmt " faults={%a}" Crash.pp_fault_plan (fault_plan t)

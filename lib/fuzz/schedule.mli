@@ -16,6 +16,8 @@
     kill at-op 40
     interleave 0 0 1 0 1
     preempt 2
+    por on
+    reversal 3
     tear at-op 1
     bitflip random 77 0.500000
     fault-seed 4242
@@ -35,6 +37,16 @@ type t = {
       (** Preemption bound the interleaving was explored under (recorded
           for the reproducer header; replay follows {!interleave} exactly
           and does not need it). *)
+  por : bool;
+      (** The interleaving was found by the partial-order-reduced explorer
+          (metadata, like [preempt]: replay follows {!interleave} exactly
+          either way, but the flag records which search produced the
+          adversary).  Serialised as [por on]; absent means brute force. *)
+  reversals : int list;
+      (** Decision indices (into {!interleave}) where the reduced search
+          chose a race-reversing alternative rather than the default
+          policy — the backtrack points that led to this adversary.
+          Serialised as [reversal i j ...]; several lines concatenate. *)
   tear : Nvram.Crash.plan;
       (** Media-fault plan deciding which {e crash events} tear the
           in-flight cache line ([Never] = clean crashes). *)

@@ -8,12 +8,15 @@ type result = {
 }
 
 (* Strictly decreasing under every candidate below, which makes the greedy
-   fixpoint terminate on its own; a Random plan outweighs any At_op the
-   generator produces, so concretising always shrinks. *)
+   fixpoint terminate on its own; a Random plan outweighs ANY At_op — not
+   just the ones the generator draws — so concretising always shrinks
+   (with a merely "large" weight, an At_op above it would make
+   concretisation a size increase and the greedy loop would refuse the one
+   step that turns the schedule replayable). *)
 let plan_weight = function
   | Crash.Never -> 0
   | Crash.At_op n -> 1 + n
-  | Crash.Random _ -> 1000
+  | Crash.Random _ -> 1_000_000_000
 
 let measure (w : Workload.t) (s : Schedule.t) =
   (List.length w.ops * 10_000)
@@ -21,6 +24,14 @@ let measure (w : Workload.t) (s : Schedule.t) =
   + List.fold_left (fun acc p -> acc + plan_weight p) 0 s.Schedule.eras
   + plan_weight s.Schedule.tear
   + plan_weight s.Schedule.bitflip
+  (* The interleaving prefix is part of the case's size: without these
+     terms, dropping a stale prefix would not register as a shrink and the
+     minimal reproducer could carry an interleaving its own replay
+     ignores. *)
+  + List.length s.Schedule.interleave
+  + (match s.Schedule.preempt with None -> 0 | Some _ -> 1)
+  + List.length s.Schedule.reversals
+  + (if s.Schedule.por then 1 else 0)
   + match s.kill with None -> 0 | Some p -> plan_weight p
 
 let rec drop_trailing_never = function
@@ -54,8 +65,24 @@ let remove_chunk ops ~start ~len =
 
 let rec chunk_sizes n = if n >= 1 then n :: chunk_sizes (n / 2) else []
 
+(* An interleaving prefix records scheduling decisions of one specific
+   workload: change the ops or the worker count and the recorded decision
+   indices describe an execution that no longer exists.  Workload-mutating
+   candidates therefore drop the prefix (and its por/reversal metadata)
+   rather than carry it along stale — replay would otherwise silently
+   follow a prefix about a different program. *)
+let without_interleave (s : Schedule.t) =
+  {
+    s with
+    Schedule.interleave = [];
+    preempt = None;
+    por = false;
+    reversals = [];
+  }
+
 let op_candidates (w : Workload.t) (s : Schedule.t) =
   let n = List.length w.ops in
+  let s = without_interleave s in
   List.concat_map
     (fun size ->
       let rec starts at =
@@ -72,6 +99,7 @@ let op_candidates (w : Workload.t) (s : Schedule.t) =
 let worker_candidates (w : Workload.t) (s : Schedule.t) =
   if w.workers <= 1 then []
   else
+    let s = without_interleave s in
     [ ({ w with Workload.workers = 1 }, s) ]
     @ (if w.workers > 2 then [ ({ w with Workload.workers = w.workers - 1 }, s) ]
        else [])
@@ -122,13 +150,24 @@ let schedule_candidates (w : Workload.t) (s : Schedule.t) =
       [ (w, { s with Schedule.bitflip = Crash.Never }) ]
     else []
   in
+  (* Does the failure need the specific interleaving at all?  If it still
+     reproduces free-running (or under the default cooperative policy),
+     the prefix was noise. *)
+  let interleave_drop =
+    if s.Schedule.interleave = [] then []
+    else [ (w, without_interleave s) ]
+  in
   kill_drop @ era_drop @ earlier @ kill_earlier @ fault_drop
+  @ interleave_drop
 
 let candidates w s outcome =
   (match concretize s outcome with Some s' -> [ (w, s') ] | None -> [])
   @ op_candidates w s @ worker_candidates w s @ schedule_candidates w s
 
-let shrink ?(max_attempts = 150) ?sabotage workload schedule outcome =
+let default_runner ?sabotage w s = Harness.run ?sabotage w s
+
+let shrink ?(max_attempts = 150) ?sabotage ?(runner = default_runner) workload
+    schedule outcome =
   (match outcome.Harness.verdict with
   | Harness.Fail _ | Harness.Fatal _ -> ()
   | Harness.Pass -> invalid_arg "Shrink.shrink: outcome is a pass");
@@ -138,7 +177,7 @@ let shrink ?(max_attempts = 150) ?sabotage workload schedule outcome =
     if (not (budget ())) || measure w s >= current then None
     else begin
       incr attempts;
-      match Harness.run ?sabotage w s with
+      match runner ?sabotage w s with
       | { Harness.verdict = Harness.Fail _; _ } as o -> Some (w, s, o)
       | { Harness.verdict = Harness.Fatal _; _ } as o
         when not (Schedule.has_faults s) ->

@@ -12,7 +12,14 @@
     - {b smaller schedule}: drop the kill plan, drop trailing eras, halve
       [At_op] crash points (earlier crashes), drop the tear and bitflip
       fault plans (a failure that survives without them was never about
-      the media fault).
+      the media fault), drop the interleaving prefix (a failure that
+      reproduces without it was never about the exact interleaving).
+
+    A schedule's interleaving prefix records decisions of one specific
+    workload, so candidates that mutate the workload (fewer ops, fewer
+    workers) drop the prefix and its [por]/[reversal] metadata instead of
+    carrying it stale; the measure counts the prefix, so the drop is
+    itself a shrink.
 
     A candidate whose verdict is [Fatal] validates only if its schedule
     carries no fault plans: under armed faults a loud refusal to recover
@@ -30,9 +37,23 @@ type result = {
   attempts : int;  (** Harness runs spent shrinking. *)
 }
 
+val measure : Workload.t -> Schedule.t -> int
+(** The size every candidate strictly decreases: ops dominate, then
+    workers, then crash plans ([Random] outweighs any [At_op], so
+    concretising is always a decrease), then the interleaving prefix and
+    its metadata.  Exposed for regression tests pinning the ordering. *)
+
+val concretize : Schedule.t -> Harness.outcome -> Schedule.t option
+(** Replace probabilistic era plans with the [At_op] crash points the
+    outcome actually observed ([None] when no era plan is probabilistic);
+    plans that never fired become [Never].  Exposed for regression tests
+    (a concretised plan must weigh less than the [Random] it replaces,
+    whatever the observed op number). *)
+
 val shrink :
   ?max_attempts:int ->
   ?sabotage:bool ->
+  ?runner:(?sabotage:bool -> Workload.t -> Schedule.t -> Harness.outcome) ->
   Workload.t ->
   Schedule.t ->
   Harness.outcome ->
@@ -42,4 +63,10 @@ val shrink :
     (default 150); on exhaustion the best case found so far is returned.
     [sabotage] is forwarded to every validation re-run, so a failure found
     under disabled checksum verification shrinks in the same regime.
-    Raises [Invalid_argument] if [outcome] is a pass. *)
+    [runner] (default [Harness.run]) executes each candidate; pass
+    [Mc.Explore.runner] when shrinking a model-checker reproducer so
+    candidates that keep their interleaving prefix are replayed
+    cooperatively instead of free-running (the plain harness ignores the
+    prefix, which would validate candidates against a different execution
+    than the one the reproducer describes).  Raises [Invalid_argument] if
+    [outcome] is a pass. *)

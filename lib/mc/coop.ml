@@ -12,6 +12,8 @@ type point = {
   op : int;
   enabled : int list;
   current : int option;
+  pending : (int * Crash.access) list;
+  prev_reads : (int * int) list;
 }
 
 type fiber =
@@ -30,6 +32,17 @@ let default_decision p =
 let spawn ~crash_ctl ~decide : Runtime.System.spawn =
  fun body workers ->
   let fibers = Array.init workers (fun i -> Not_started (fun () -> body i)) in
+  (* Footprint of the persistence op each suspended fiber is about to
+     execute — recorded by the hook at the yield, so resuming fiber [i]
+     executes exactly the access [pending.(i)] describes.  [None] before a
+     fiber's first yield (it has not reached a device op yet) and after it
+     finishes. *)
+  let pending = Array.make workers None in
+  (* Device lines read during the step that just ran, collected from the
+     controller's read log when the step returns; the next decision point
+     reports them as [prev_reads] so the reduction can attribute them to
+     the transition that just executed. *)
+  let last_reads = ref [] in
   let enabled () =
     List.init workers Fun.id
     |> List.filter (fun i -> fibers.(i) <> Finished)
@@ -40,11 +53,18 @@ let spawn ~crash_ctl ~decide : Runtime.System.spawn =
      reclaim sweeps) never yield.  After a crash the guard keeps resumed
      fibers from yielding again: each dies at its next device operation
      ([Crash_now]) or runs to completion, so one resume drains it. *)
-  let hook () = if not (Crash.crashed crash_ctl) then perform Yield in
   let step i =
+    let hook access =
+      pending.(i) <- Some access;
+      if not (Crash.crashed crash_ctl) then perform Yield
+    in
     Crash.set_scheduler crash_ctl (Some hook);
     Fun.protect
-      ~finally:(fun () -> Crash.set_scheduler crash_ctl None)
+      ~finally:(fun () ->
+        (* Collect before uninstalling: [set_scheduler None] drops the
+           read log. *)
+        last_reads := Crash.take_reads crash_ctl;
+        Crash.set_scheduler crash_ctl None)
       (fun () ->
         match fibers.(i) with
         | Finished -> ()
@@ -52,10 +72,14 @@ let spawn ~crash_ctl ~decide : Runtime.System.spawn =
         | Not_started f ->
             match_with f ()
               {
-                retc = (fun () -> fibers.(i) <- Finished);
+                retc =
+                  (fun () ->
+                    fibers.(i) <- Finished;
+                    pending.(i) <- None);
                 exnc =
                   (fun exn ->
                     fibers.(i) <- Finished;
+                    pending.(i) <- None;
                     raise exn);
                 effc =
                   (fun (type a) (eff : a Effect.t) ->
@@ -76,6 +100,12 @@ let spawn ~crash_ctl ~decide : Runtime.System.spawn =
         List.iter step en;
         drain ()
   in
+  let pending_of en =
+    List.filter_map
+      (fun i ->
+        match pending.(i) with Some a -> Some (i, a) | None -> None)
+      en
+  in
   let rec loop () =
     match enabled () with
     | [] -> ()
@@ -86,7 +116,8 @@ let spawn ~crash_ctl ~decide : Runtime.System.spawn =
     | en -> (
         let point =
           { index = !index; op = Crash.ops crash_ctl; enabled = en;
-            current = !current }
+            current = !current; pending = pending_of en;
+            prev_reads = !last_reads }
         in
         incr index;
         match decide point with

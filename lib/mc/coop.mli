@@ -35,6 +35,17 @@ type point = {
       (** Worker chosen at the previous decision, if any.  Choosing a
           different {e enabled} worker is a preemption; switching away
           from a finished worker is free. *)
+  pending : (int * Nvram.Crash.access) list;
+      (** For each enabled worker that is suspended at an operation entry,
+          the footprint of the operation it will execute when chosen —
+          what dynamic partial-order reduction needs to decide whether two
+          choices commute.  Workers that have not yet reached their first
+          device operation (fiber startup) are absent. *)
+  prev_reads : (int * int) list;
+      (** Cache-line ranges the device {e read} during the step that led
+          to this point (most recent first) — attributed to the previous
+          decision's transition, whose [pending] footprint names only the
+          operation at its entry.  Empty at the first point of an era. *)
 }
 
 val default_decision : point -> decision

@@ -1,0 +1,245 @@
+module Crash = Nvram.Crash
+
+type event =
+  | Invoked of { worker : int; func_id : int }
+  | Responded of { worker : int; func_id : int }
+  | Access of { worker : int; access : Crash.access }
+  | Crashed of { era : int }
+  | Recovery of { worker : int; frames : int }
+
+let pp_event fmt = function
+  | Invoked { worker; func_id } ->
+      Format.fprintf fmt "invoked w%d f%d" worker func_id
+  | Responded { worker; func_id } ->
+      Format.fprintf fmt "responded w%d f%d" worker func_id
+  | Access { worker; access } ->
+      let kind =
+        match access.Crash.kind with
+        | Crash.Write -> "write"
+        | Crash.Flush -> "flush"
+        | Crash.Cas -> "cas"
+      in
+      Format.fprintf fmt "%s w%d lines %d-%d%s" kind worker
+        access.Crash.first_line access.Crash.last_line
+        (if access.Crash.persists then " persists" else "")
+  | Crashed { era } -> Format.fprintf fmt "crash era %d" era
+  | Recovery { worker; frames } ->
+      Format.fprintf fmt "recovery w%d frames %d" worker frames
+
+type monitor = {
+  step : event -> string option;
+  finish : unit -> string option;
+}
+
+type t = { name : string; instantiate : unit -> monitor }
+
+let name t = t.name
+
+let always ~name make_step =
+  {
+    name;
+    instantiate =
+      (fun () -> { step = make_step (); finish = (fun () -> None) });
+  }
+
+let eventually_within_era ~name ~trigger ~witness ~deadline =
+  {
+    name;
+    instantiate =
+      (fun () ->
+        let pending = ref None in
+        let violate what =
+          pending := None;
+          Some (Printf.sprintf "unmet obligation: %s" what)
+        in
+        let step ev =
+          match !pending with
+          | Some _ when witness ev ->
+              pending := None;
+              None
+          | Some what when deadline ev -> violate what
+          | _ ->
+              (match trigger ev with
+              | Some what -> pending := Some what
+              | None -> ());
+              None
+        in
+        let finish () =
+          match !pending with None -> None | Some what -> violate what
+        in
+        { step; finish });
+  }
+
+let conj ~name props =
+  {
+    name;
+    instantiate =
+      (fun () ->
+        let ms = List.map (fun p -> p.instantiate ()) props in
+        let first f = List.fold_left
+            (fun acc m -> match acc with Some _ -> acc | None -> f m)
+            None ms
+        in
+        {
+          step = (fun ev -> first (fun m -> m.step ev));
+          finish = (fun () -> first (fun m -> m.finish ()));
+        });
+  }
+
+(* P1.  A worker must not respond while a cache line it stored to is still
+   volatile: track, per dirty line, the workers with unpersisted stores,
+   discharge on a covering flush or a persisting store, and flag any
+   [Responded] by a worker that still owns a dirty line.  This checks the
+   {e program's} flush discipline — on a coalescing device a program-issued
+   flush discharges even though the device defers the write-back, because
+   deferral correctness is certified separately ([check_equivalence]). *)
+let response_implies_persist =
+  always ~name:"response-implies-persist" (fun () ->
+      let dirty : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+      fun ev ->
+        match ev with
+        | Access { worker; access } ->
+            let clear () =
+              for l = access.Crash.first_line to access.Crash.last_line do
+                Hashtbl.remove dirty l
+              done
+            in
+            (match access.Crash.kind with
+            | Crash.Flush -> clear ()
+            | Crash.Write | Crash.Cas ->
+                if access.Crash.persists then clear ()
+                else
+                  for l = access.Crash.first_line to access.Crash.last_line do
+                    let ws =
+                      Option.value (Hashtbl.find_opt dirty l) ~default:[]
+                    in
+                    if not (List.mem worker ws) then
+                      Hashtbl.replace dirty l (worker :: ws)
+                  done);
+            None
+        | Responded { worker; func_id } ->
+            let line =
+              Hashtbl.fold
+                (fun l ws best ->
+                  if List.mem worker ws then
+                    match best with
+                    | Some b when b <= l -> best
+                    | _ -> Some l
+                  else best)
+                dirty None
+            in
+            Option.map
+              (fun l ->
+                Printf.sprintf
+                  "worker %d responded (func %d) with its store to line %d \
+                   still unpersisted"
+                  worker func_id l)
+              line
+        | Crashed _ ->
+            (* The volatile cache is gone and so are the in-flight calls:
+               nothing left to owe. *)
+            Hashtbl.reset dirty;
+            None
+        | Invoked _ | Recovery _ -> None)
+
+(* P2, part 1: a crash obliges a recovery pass before any new invocation
+   (and before the stream ends). *)
+let crash_implies_recovery =
+  eventually_within_era ~name:"crash-implies-recovery"
+    ~trigger:(function
+      | Crashed { era } ->
+          Some (Printf.sprintf "crash in era %d awaits a recovery pass" era)
+      | _ -> None)
+    ~witness:(function Recovery _ -> true | _ -> false)
+    ~deadline:(function Invoked _ -> true | _ -> false)
+
+(* P2, part 2: a recovery pass that found interrupted frames must
+   re-persist the repair — the answer / cleared-answer slot that the
+   paper's protocol uses as its abort-or-complete marker — before that
+   worker {e responds} again (or the stream ends).  The next [Invoked] is
+   deliberately not a deadline: recovery repairs an interrupted call by
+   re-invoking it from its persistent frame, so the invocation is part of
+   the repair and the marker flush lands inside the re-run.  Any
+   persisting access by the worker discharges: on the paper's stack every
+   repair path ([return_and_pop], [clear_answer]) ends in a marker
+   flush. *)
+let recovery_repersists =
+  {
+    name = "recovery-repersists";
+    instantiate =
+      (fun () ->
+        let owing : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+        let violate worker =
+          Hashtbl.remove owing worker;
+          Some
+            (Printf.sprintf
+               "worker %d recovered interrupted frames without re-persisting \
+                an abort/answer marker"
+               worker)
+        in
+        let step = function
+          | Recovery { worker; frames } ->
+              if frames > 0 then Hashtbl.replace owing worker ();
+              None
+          | Access { worker; access } ->
+              if access.Crash.persists then Hashtbl.remove owing worker;
+              None
+          | Crashed _ ->
+              (* A fresh crash voids the pass; part 1 re-arms. *)
+              Hashtbl.reset owing;
+              None
+          | Responded { worker; _ } ->
+              if Hashtbl.mem owing worker then violate worker else None
+          | Invoked _ -> None
+        in
+        let finish () =
+          Hashtbl.fold
+            (fun w () best ->
+              match best with Some b when b <= w -> best | _ -> Some w)
+            owing None
+          |> fun w -> Option.bind w violate
+        in
+        { step; finish });
+  }
+
+let crash_implies_recovery_repersists =
+  conj ~name:"crash-implies-recovery-repersists"
+    [ crash_implies_recovery; recovery_repersists ]
+
+let all = [ response_implies_persist; crash_implies_recovery_repersists ]
+
+let find n = List.find_opt (fun p -> p.name = n) all
+
+(* Self-check seeding: hide every program-issued flush from the monitors.
+   On a cache-managed workload the response-implies-persist monitor must
+   then flag the first response — proving the oracle has teeth. *)
+let sabotage_drop_flushes = function
+  | Access { access = { Crash.kind = Crash.Flush; _ }; _ } -> None
+  | ev -> Some ev
+
+type checker = {
+  feed : event -> unit;
+  result : unit -> (string * string) option;
+}
+
+let run ?(sabotage = false) props =
+  let ms =
+    List.map (fun p -> (p.name, (p.instantiate () : monitor))) props
+  in
+  let failed = ref None in
+  let latch name = function
+    | Some msg when !failed = None -> failed := Some (name, msg)
+    | _ -> ()
+  in
+  let feed ev =
+    let ev = if sabotage then sabotage_drop_flushes ev else Some ev in
+    match (ev, !failed) with
+    | Some ev, None -> List.iter (fun (n, m) -> latch n (m.step ev)) ms
+    | _ -> ()
+  in
+  let result () =
+    if !failed = None then
+      List.iter (fun (n, m) -> latch n (m.finish ())) ms;
+    !failed
+  in
+  { feed; result }

@@ -6,6 +6,15 @@ type plan =
   | At_op of int
   | Random of { seed : int; probability : float }
 
+type access_kind = Write | Flush | Cas
+
+type access = {
+  kind : access_kind;
+  first_line : int;
+  last_line : int;
+  persists : bool;
+}
+
 type t = {
   mutable plan : plan;
   mutable rng : Random.State.t;
@@ -19,7 +28,11 @@ type t = {
   (* optional cooperative-scheduler callback, consulted at the entry of every
      persistence operation (lib/mc).  A plain mutable field: it is only ever
      set by single-threaded model-checking runs, never under contention. *)
-  mutable scheduler : (unit -> unit) option;
+  mutable scheduler : (access -> unit) option;
+  (* cache-line ranges read by the device since the scheduler callback last
+     collected them; only maintained while a scheduler is installed, so the
+     free-running read path pays one branch and nothing else. *)
+  mutable read_log : (int * int) list;
   mu : Mutex.t;
 }
 
@@ -38,13 +51,32 @@ let create ?(plan = Never) () =
     kill_counter = 0;
     kill_count = 0;
     scheduler = None;
+    read_log = [];
     mu = Mutex.create ();
   }
 
-let set_scheduler t f = t.scheduler <- f
+let set_scheduler t f =
+  t.scheduler <- f;
+  t.read_log <- []
 
-let sched_point t =
-  match t.scheduler with None -> () | Some f -> f ()
+(* The record is built only when a callback is installed: the free-running
+   hot path (every persistence op of every benchmark) allocates nothing. *)
+let sched_point t ~kind ~first_line ~last_line ~persists =
+  match t.scheduler with
+  | None -> ()
+  | Some f -> f { kind; first_line; last_line; persists }
+
+let note_read t ~first_line ~last_line =
+  match t.scheduler with
+  | None -> ()
+  | Some _ -> t.read_log <- (first_line, last_line) :: t.read_log
+
+let take_reads t =
+  match t.read_log with
+  | [] -> []
+  | log ->
+      t.read_log <- [];
+      log
 
 let arm t plan =
   Mutex.protect t.mu (fun () ->

@@ -81,17 +81,53 @@ val ops : t -> int
     {e same} per-operation points this controller counts.  The hook fires at
     the entry of every persistence operation — before the device takes any
     stripe lock, so a cooperative scheduler may suspend the calling fiber
-    there without holding device mutexes. *)
+    there without holding device mutexes.  Every invocation carries the
+    {e access footprint} of the operation about to run, which is what
+    dynamic partial-order reduction needs to decide whether two operations
+    commute. *)
 
-val set_scheduler : t -> (unit -> unit) option -> unit
+type access_kind =
+  | Write  (** A store of any width ([write_bytes], [write_int], …). *)
+  | Flush  (** An explicit write-back request of a line range. *)
+  | Cas  (** A hardware compare-and-swap: read and store of one word. *)
+
+type access = {
+  kind : access_kind;
+  first_line : int;  (** First cache line covered, inclusive. *)
+  last_line : int;  (** Last cache line covered, inclusive. *)
+  persists : bool;
+      (** The operation itself makes its lines durable: [true] for flushes
+          and for writes/CAS on an auto-flush device, [false] for stores
+          that only dirty the volatile cache. *)
+}
+
+val set_scheduler : t -> (access -> unit) option -> unit
 (** [set_scheduler t (Some f)] installs [f] to be called at every
-    persistence-operation entry; [set_scheduler t None] removes it.  Not
-    thread-safe: intended for single-threaded cooperative runs only. *)
+    persistence-operation entry with that operation's footprint;
+    [set_scheduler t None] removes it (and drops any pending read log).
+    Not thread-safe: intended for single-threaded cooperative runs only. *)
 
-val sched_point : t -> unit
-(** [sched_point t] invokes the installed scheduler callback, if any.
-    Called by the device at persistence-operation entry points; harmless
+val sched_point :
+  t -> kind:access_kind -> first_line:int -> last_line:int -> persists:bool ->
+  unit
+(** [sched_point t ~kind ~first_line ~last_line ~persists] invokes the
+    installed scheduler callback, if any, with the given footprint.  Called
+    by the device at persistence-operation entry points; allocation-free
     no-op when no callback is installed. *)
+
+val note_read : t -> first_line:int -> last_line:int -> unit
+(** [note_read t ~first_line ~last_line] records that the device read the
+    given cache-line range.  Reads are not scheduling points (a crash
+    between two reads leaves the same persistent state), but the reduction
+    needs them to detect read/write races between coarser transitions; the
+    log is only maintained while a scheduler is installed, so free-running
+    reads pay a single branch. *)
+
+val take_reads : t -> (int * int) list
+(** [take_reads t] returns the line ranges read since the last call (most
+    recent first) and clears the log.  The cooperative scheduler calls it
+    after each fiber step to attribute the reads to the transition that
+    just executed. *)
 
 val plan : t -> plan
 (** [plan t] is the currently armed crash plan — together with {!ops} it is

@@ -562,6 +562,10 @@ let read_bytes_raw t ~off ~len =
   end
   else begin
     let first, last = covering t off ~len in
+    (* Reads are not scheduling points, but the model checker's reduction
+       needs them to detect read/write races between coarser transitions
+       (crash.mli, "Scheduler hook"). *)
+    Crash.note_read t.crash_ctl ~first_line:first ~last_line:last;
     if t.flush_mode = Coalesced then read_drain t ~first ~last;
     if first = last then begin
       let mu = t.stripes.(stripe_of t first) in
@@ -605,12 +609,15 @@ let write_bytes_raw t ~off ~src ~len =
     Stats.incr_writes t.stats
   end
   else begin
-    (* Scheduling point for the cooperative model checker: before any
-       stripe lock is taken, so a suspended fiber holds no device mutex. *)
-    Crash.sched_point t.crash_ctl;
     (* inline [covering]: returning the pair would allocate per write *)
     let first = Offset.to_int off / t.line_size in
     let last = (Offset.to_int off + len - 1) / t.line_size in
+    (* Scheduling point for the cooperative model checker: before any
+       stripe lock is taken, so a suspended fiber holds no device mutex.
+       The footprint names the covered lines so partial-order reduction
+       can tell whether this store commutes with a neighbour's op. *)
+    Crash.sched_point t.crash_ctl ~kind:Crash.Write ~first_line:first
+      ~last_line:last ~persists:t.auto_flush;
     if last - first <= 1 then begin
       (* One- or two-line fast path (frame-sized writes): lock the covering
          stripes by hand in ascending order — no occupancy array, no
@@ -666,6 +673,7 @@ let write_bytes t ~off src =
 let read_byte_raw t off =
   let base = Offset.to_int off in
   let index = base / t.line_size in
+  Crash.note_read t.crash_ctl ~first_line:index ~last_line:index;
   if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
   let mu = t.stripes.(stripe_of t index) in
   Mutex.lock mu;
@@ -694,9 +702,10 @@ let read_byte t off =
   end
 
 let write_byte_raw t off b =
-  Crash.sched_point t.crash_ctl;
   let base = Offset.to_int off in
   let index = base / t.line_size in
+  Crash.sched_point t.crash_ctl ~kind:Crash.Write ~first_line:index
+    ~last_line:index ~persists:t.auto_flush;
   let mu = t.stripes.(stripe_of t index) in
   Mutex.lock mu;
   match
@@ -730,6 +739,8 @@ let write_byte t off b =
 let read_int64_raw t off =
   let base = Offset.to_int off in
   let index = base / t.line_size in
+  Crash.note_read t.crash_ctl ~first_line:index
+    ~last_line:((base + 7) / t.line_size);
   if t.flush_mode = Coalesced then
     read_drain t ~first:index ~last:((base + 7) / t.line_size);
   if (base + 7) / t.line_size = index then begin
@@ -767,9 +778,10 @@ let read_int64 t off =
   end
 
 let write_int64_raw t off v =
-  Crash.sched_point t.crash_ctl;
   let base = Offset.to_int off in
   let index = base / t.line_size in
+  Crash.sched_point t.crash_ctl ~kind:Crash.Write ~first_line:index
+    ~last_line:((base + 7) / t.line_size) ~persists:t.auto_flush;
   if (base + 7) / t.line_size = index then begin
     let mu = t.stripes.(stripe_of t index) in
     Mutex.lock mu;
@@ -822,6 +834,7 @@ let read_int t off =
     let base = Offset.to_int off in
     let index = base / t.line_size in
     if (base + 7) / t.line_size = index then begin
+      Crash.note_read t.crash_ctl ~first_line:index ~last_line:index;
       if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
       let mu = t.stripes.(stripe_of t index) in
       Mutex.lock mu;
@@ -848,7 +861,8 @@ let write_int t off v =
     let base = Offset.to_int off in
     let index = base / t.line_size in
     if (base + 7) / t.line_size = index then begin
-      Crash.sched_point t.crash_ctl;
+      Crash.sched_point t.crash_ctl ~kind:Crash.Write ~first_line:index
+        ~last_line:index ~persists:t.auto_flush;
       let mu = t.stripes.(stripe_of t index) in
       Mutex.lock mu;
       match
@@ -872,7 +886,8 @@ let write_int t off v =
   end
 
 let cas_int64_raw t off ~expected ~desired ~index =
-  Crash.sched_point t.crash_ctl;
+  Crash.sched_point t.crash_ctl ~kind:Crash.Cas ~first_line:index
+    ~last_line:index ~persists:t.auto_flush;
   (* The CAS reads the word before deciding: a dependent read like any
      other, so a pending line is drained first. *)
   if t.flush_mode = Coalesced then read_drain t ~first:index ~last:index;
@@ -979,10 +994,11 @@ let flush_raw t ~off ~len =
     0
   end
   else begin
-    Crash.sched_point t.crash_ctl;
     (* inline [covering]: returning the pair would allocate per flush *)
     let first = Offset.to_int off / t.line_size in
     let last = (Offset.to_int off + len - 1) / t.line_size in
+    Crash.sched_point t.crash_ctl ~kind:Crash.Flush ~first_line:first
+      ~last_line:last ~persists:true;
     match t.flush_mode with
     | Coalesced ->
         if last - first <= 1 then elide_fast t ~first ~last

@@ -14,6 +14,20 @@ type t = {
 let make ~pmem ~heap ~stack ~registry ~worker_id =
   { pmem; heap; stack; registry; worker_id }
 
+type probe =
+  | Op_invoked of { worker : int; func_id : int }
+  | Op_responded of { worker : int; func_id : int }
+  | Recovery_pass of { worker : int; frames : int }
+
+(* A plain mutable cell, like [Crash.set_scheduler]: only single-threaded
+   model-checking runs install a probe, so there is no contention; the
+   free-running hot path pays one load and a branch. *)
+let probe_hook : (probe -> unit) option ref = ref None
+
+let set_probe f = probe_hook := f
+
+let emit_probe p = match !probe_hook with None -> () | Some f -> f p
+
 let push t ~func_id ~args =
   let (Stack ((module S), s)) = t.stack in
   S.push s ~func_id ~args
@@ -57,6 +71,7 @@ let return_and_pop t answer =
 let call t ~func_id ~args =
   let entry = Registry.find_exn t.registry func_id in
   let invoke () =
+    emit_probe (Op_invoked { worker = t.worker_id; func_id });
     push t ~func_id ~args;
     let answer = entry.Registry.body t args in
     return_and_pop t answer;
@@ -65,6 +80,7 @@ let call t ~func_id ~args =
        persistence points must take effect before the answer escapes to the
        caller.  No-op on an eager device. *)
     Pmem.persist_barrier t.pmem;
+    emit_probe (Op_responded { worker = t.worker_id; func_id });
     answer
   in
   if Obs.Config.enabled () then begin
@@ -91,6 +107,7 @@ let clear_last_answer t =
   Pstack.Frame.clear_answer t.pmem ~frame:(top_offset t)
 
 let recover t =
+  emit_probe (Recovery_pass { worker = t.worker_id; frames = stack_depth t });
   let obs = Obs.Config.enabled () in
   let t0_ns = if obs then Obs.Config.now_ns () else 0 in
   if obs then begin

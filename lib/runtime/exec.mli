@@ -35,6 +35,30 @@ val make :
   worker_id:int ->
   t
 
+(** {1 Execution probe}
+
+    Typed notifications at the protocol's observable moments, consumed by
+    the model checker's trace-property oracles (Mc.Prop).  Orthogonal to
+    the [Obs] tracing pipeline: probes are exact and synchronous (no ring
+    buffer, no timestamps, never dropped), which along-the-path property
+    checking requires; [Obs] traces are for humans and profilers. *)
+
+type probe =
+  | Op_invoked of { worker : int; func_id : int }
+      (** {!call} is about to push the invocation frame. *)
+  | Op_responded of { worker : int; func_id : int }
+      (** {!call} has persisted the completion (post-barrier) and is about
+          to return the answer to the caller. *)
+  | Recovery_pass of { worker : int; frames : int }
+      (** {!recover} starts a pass over a stack currently holding [frames]
+          interrupted frames (0 = nothing to repair). *)
+
+val set_probe : (probe -> unit) option -> unit
+(** [set_probe (Some f)] installs a global probe callback; [None] removes
+    it.  Like [Crash.set_scheduler], not thread-safe: intended for
+    single-threaded cooperative model-checking runs only, and
+    allocation-free when disabled. *)
+
 val call : t -> func_id:int -> args:bytes -> int64
 (** [call t ~func_id ~args] invokes the registered function on this
     worker's persistent stack and returns its small answer.  Nested calls

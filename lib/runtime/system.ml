@@ -385,8 +385,18 @@ let run ?spawn t =
   let queue = Work_queue.create () in
   List.iter (Work_queue.push queue) (Task.pending t.tasks);
   Work_queue.close queue;
+  let crash = Pmem.crash_ctl t.pmem in
   let worker i =
     let rec loop () =
+      (* The pop below is a race: which worker dequeues the next task is
+         scheduling-dependent state the device never sees (the queue is
+         volatile).  Announce it to the cooperative scheduler as a
+         synthetic always-conflicting access — the negative line range
+         cannot overlap any device line, but two pops overlap each other,
+         so the partial-order reduction knows pop order matters.  A no-op
+         outside model checking (no scheduler installed). *)
+      Nvram.Crash.sched_point crash ~kind:Nvram.Crash.Cas ~first_line:(-1)
+        ~last_line:(-1) ~persists:false;
       match Work_queue.pop queue with
       | None -> ()
       | Some idx ->

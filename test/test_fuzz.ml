@@ -79,7 +79,12 @@ let test_schedule_round_trip_property () =
     let preempt =
       if Random.State.bool rng then Some (Random.State.int rng 4) else None
     in
-    let s = { base with Schedule.interleave; preempt } in
+    (* The model checker's provenance metadata rides the same format. *)
+    let por = Random.State.bool rng in
+    let reversals =
+      List.init (Random.State.int rng 6) (fun _ -> Random.State.int rng 100)
+    in
+    let s = { base with Schedule.interleave; preempt; por; reversals } in
     match Schedule.of_lines (Schedule.to_lines s) with
     | Ok s' ->
         if s <> s' then
@@ -112,7 +117,10 @@ let test_schedule_malformed_line_numbers () =
   expect_error [ "preempt -1" ] "must be >= 0";
   expect_error [ "era 1 at-op 5"; "tear bogus" ] "line 2";
   expect_error [ "bitflip at-op" ] "line 1";
-  expect_error [ "fault-seed x" ] "not an integer"
+  expect_error [ "fault-seed x" ] "not an integer";
+  expect_error [ "por maybe" ] "malformed por";
+  expect_error [ "era 1 at-op 5"; "reversal -1" ] "negative decision index";
+  expect_error [ "reversal 3 x" ] "not a decision index"
 
 let test_correct_kinds_pass () =
   let config =
@@ -219,6 +227,98 @@ let test_shrink_minimises () =
     fail_message (Harness.run shrunk.Shrink.workload shrunk.Shrink.schedule)
   in
   Alcotest.(check string) "shrunk failure replays" msg replayed
+
+(* Regression pin for the shrinker's size measure: a probabilistic era
+   plan must outweigh ANY concrete [At_op] — with a merely "large" weight,
+   concretising onto a late crash point would register as a size increase
+   and the greedy loop would refuse the one step that makes a schedule
+   replayable. *)
+let test_measure_random_outweighs_any_at_op () =
+  let w = known_bad_workload in
+  let with_era plan = { Schedule.none with Schedule.eras = [ plan ] } in
+  let random =
+    Shrink.measure w
+      (with_era (Crash.Random { seed = 1; probability = 0.5 }))
+  in
+  Alcotest.(check bool)
+    "Random > At_op 999999" true
+    (random > Shrink.measure w (with_era (Crash.At_op 999_999)));
+  (* The interleaving prefix and its por/reversal metadata are part of the
+     size, so dropping a stale prefix registers as a shrink. *)
+  let bare = Shrink.measure w known_bad_schedule in
+  let decorated =
+    Shrink.measure w
+      {
+        known_bad_schedule with
+        Schedule.interleave = [ 0; 0 ];
+        preempt = Some 1;
+        por = true;
+        reversals = [ 2 ];
+      }
+  in
+  Alcotest.(check bool) "metadata weighs" true (decorated > bare)
+
+(* Concretisation end-to-end: run a probabilistic plan, then pin that
+   [concretize] rewrites it to the crash point the run actually observed
+   and that the rewrite is a strict size decrease. *)
+let test_concretize_pins_observed_crash () =
+  let schedule =
+    {
+      Schedule.none with
+      Schedule.eras = [ Crash.Random { seed = 3; probability = 0.2 } ];
+    }
+  in
+  let outcome = Harness.run known_bad_workload schedule in
+  match Shrink.concretize schedule outcome with
+  | None -> Alcotest.fail "a probabilistic plan must concretise"
+  | Some concrete ->
+      Alcotest.(check bool)
+        "strictly smaller" true
+        (Shrink.measure known_bad_workload concrete
+        < Shrink.measure known_bad_workload schedule);
+      (match List.assoc_opt 1 outcome.Harness.crash_points with
+      | Some at_op ->
+          Alcotest.(check bool)
+            "era 1 pinned to the observed point" true
+            (concrete.Schedule.eras = [ Crash.At_op (max 1 at_op) ])
+      | None ->
+          Alcotest.(check bool)
+            "unfired plan dropped" true
+            (concrete.Schedule.eras = []));
+      Alcotest.(check bool)
+        "already-concrete schedules do not re-concretise" true
+        (Shrink.concretize concrete outcome = None)
+
+(* A failure that does not depend on its interleaving prefix must shrink
+   to a schedule without one — the regression: workload-mutating shrink
+   steps used to carry the recorded prefix along stale, describing
+   decisions of an execution that no longer exists. *)
+let test_shrink_drops_stale_interleave () =
+  let decorated =
+    {
+      known_bad_schedule with
+      Schedule.interleave = [ 0; 0; 0 ];
+      preempt = Some 1;
+      por = true;
+      reversals = [ 2 ];
+    }
+  in
+  let outcome = Harness.run known_bad_workload decorated in
+  let msg = fail_message outcome in
+  Alcotest.(check bool) "decorated case fails" true
+    (contains msg "faulty counter");
+  let shrunk = Shrink.shrink known_bad_workload decorated outcome in
+  Alcotest.(check (list int))
+    "interleave dropped" []
+    shrunk.Shrink.schedule.Schedule.interleave;
+  Alcotest.(check bool) "por metadata dropped" false
+    shrunk.Shrink.schedule.Schedule.por;
+  Alcotest.(check (list int))
+    "reversals dropped" []
+    shrunk.Shrink.schedule.Schedule.reversals;
+  match shrunk.Shrink.outcome.Harness.verdict with
+  | Harness.Fail _ -> ()
+  | _ -> Alcotest.fail "shrunk case must still fail"
 
 let test_reproducer_round_trip_and_replay () =
   let outcome = Harness.run known_bad_workload known_bad_schedule in
@@ -343,6 +443,12 @@ let () =
           Alcotest.test_case "failure deterministic" `Quick
             test_planted_bug_deterministic;
           Alcotest.test_case "shrinks to minimal" `Quick test_shrink_minimises;
+          Alcotest.test_case "measure: Random outweighs any At_op" `Quick
+            test_measure_random_outweighs_any_at_op;
+          Alcotest.test_case "concretize pins the observed crash" `Quick
+            test_concretize_pins_observed_crash;
+          Alcotest.test_case "stale interleave dropped by shrinking" `Quick
+            test_shrink_drops_stale_interleave;
           Alcotest.test_case "reproducer replays" `Quick
             test_reproducer_round_trip_and_replay;
         ] );

@@ -33,6 +33,10 @@ let e3_workload kind =
 
 let config = { Explore.default_config with Explore.preempt_bound = 1 }
 
+(* Same bounds, no reduction: the exhaustive reference the differential
+   tests compare the reduced search against. *)
+let brute_config = { config with Explore.por = false }
+
 let explore workload = Explore.explore ~config workload
 
 let violation_exn = function
@@ -54,22 +58,100 @@ let test_buggy_cas_found () =
     (v.Explore.schedule.Schedule.eras <> []);
   Alcotest.(check bool)
     "has an interleaving" true
-    (v.Explore.schedule.Schedule.interleave <> [])
+    (v.Explore.schedule.Schedule.interleave <> []);
+  (* A violation found by the reduced search records its provenance. *)
+  Alcotest.(check bool) "por metadata" true v.Explore.schedule.Schedule.por
 
-let test_correct_cas_certified () =
-  match explore (e3_workload Workload.Rcas) with
-  | Explore.Certified stats ->
-      (* The certificate must quantify real coverage: thousands of
-         executions, most of them crash placements. *)
-      Alcotest.(check bool)
-        "explored many interleavings" true
-        (stats.Explore.executions > 1_000);
-      Alcotest.(check bool)
-        "explored crash placements" true
-        (stats.Explore.crash_placements > 1_000)
+let certified_exn label = function
+  | Explore.Certified stats -> stats
   | Explore.Violation (v, _) ->
-      Alcotest.failf "correct CAS flagged: %s" v.Explore.reason
-  | Explore.Budget_exhausted _ -> Alcotest.fail "search budget exhausted"
+      Alcotest.failf "%s flagged: %s" label v.Explore.reason
+  | Explore.Budget_exhausted _ ->
+      Alcotest.failf "%s: search budget exhausted" label
+
+let test_correct_cas_certified_brute () =
+  let stats =
+    certified_exn "correct CAS (brute)"
+      (Explore.explore ~config:brute_config (e3_workload Workload.Rcas))
+  in
+  (* The exhaustive certificate must quantify real coverage: thousands of
+     executions, most of them crash placements. *)
+  Alcotest.(check bool)
+    "explored many interleavings" true
+    (stats.Explore.executions > 1_000);
+  Alcotest.(check bool)
+    "explored crash placements" true
+    (stats.Explore.crash_placements > 1_000)
+
+(* The headline reduction claim, differentially: DPOR certifies the same
+   workload the brute search certifies, in at most a fifth of the
+   executions, and its stats expose the race reversals that drove the
+   backtracking. *)
+let test_dpor_certifies_with_fewer_executions () =
+  let workload = e3_workload Workload.Rcas in
+  let brute =
+    certified_exn "correct CAS (brute)"
+      (Explore.explore ~config:brute_config workload)
+  in
+  let dpor = certified_exn "correct CAS (dpor)" (explore workload) in
+  Alcotest.(check bool)
+    "at most a fifth of the brute executions" true
+    (dpor.Explore.executions * 5 <= brute.Explore.executions);
+  Alcotest.(check bool)
+    "race reversals were queued" true
+    (dpor.Explore.races > 0);
+  Alcotest.(check int) "brute queues no reversals" 0 brute.Explore.races
+
+(* Soundness side of the differential: on buggy workloads both modes must
+   find the SAME violation — reduction may skip equivalent interleavings,
+   never the distinguishing one. *)
+let differential_violation workload =
+  let v_dpor, s_dpor = violation_exn (Explore.explore ~config workload) in
+  let v_brute, s_brute =
+    violation_exn (Explore.explore ~config:brute_config workload)
+  in
+  Alcotest.(check string)
+    "same violation in both modes" v_brute.Explore.reason
+    v_dpor.Explore.reason;
+  (s_dpor, s_brute)
+
+let test_differential_buggy_cas () =
+  let s_dpor, s_brute =
+    differential_violation (e3_workload Workload.Rcas_buggy)
+  in
+  (* Two racing workers: the reduction must actually reduce. *)
+  Alcotest.(check bool)
+    "strictly fewer executions to the bug" true
+    (s_dpor.Explore.executions < s_brute.Explore.executions)
+
+let test_differential_faulty () =
+  (* Faulty is single-worker, so there are no interleavings to reduce —
+     the two searches walk the same tree but visit its crash leaves in a
+     different order (reduced: shallow-first along each trace; brute DFS:
+     deep-first), so executions-until-violation is not comparable.  The
+     verdict is; so is total work, loosely. *)
+  let rng = Random.State.make [| 1 |] in
+  let workload = Workload.generate Workload.Faulty ~rng ~n_ops:4 ~workers:1 in
+  let s_dpor, s_brute = differential_violation workload in
+  Alcotest.(check bool)
+    "reduction does no more decision work" true
+    (s_dpor.Explore.points <= s_brute.Explore.points)
+
+(* A run that trips the per-execution decision cap must end the search
+   with [Budget_exhausted] and partial stats — never an exception, never a
+   spurious violation (the regression: this used to raise). *)
+let test_tiny_max_points_is_budget_exhausted () =
+  let tiny = { config with Explore.max_points = 5 } in
+  match Explore.explore ~config:tiny (e3_workload Workload.Rcas) with
+  | Explore.Budget_exhausted stats ->
+      Alcotest.(check bool)
+        "partial stats are reported" true
+        (stats.Explore.points > 0)
+  | Explore.Certified _ ->
+      Alcotest.fail "a 5-point budget cannot cover the CAS workload"
+  | Explore.Violation (v, _) ->
+      Alcotest.failf "budget exhaustion surfaced as a violation: %s"
+        v.Explore.reason
 
 let test_exploration_deterministic () =
   let run () =
@@ -160,6 +242,61 @@ let test_equivalence_catches_broken_drain () =
         "sabotaged drain was NOT caught — the equivalence check is vacuous"
   | Explore.Equivalence_inconclusive msg -> Alcotest.fail msg
 
+(* Trace properties along every explored path.  Monitors are pure
+   observers: arming them must not change the decision tree, so a correct
+   workload certifies with exactly the counts of the unmonitored search. *)
+let test_props_pass_on_correct_workloads () =
+  let workload = rcounter_workload 3 in
+  let plain = certified_exn "rcounter" (explore workload) in
+  let monitored =
+    certified_exn "rcounter+props"
+      (Explore.explore ~config ~props:Mc.Prop.all workload)
+  in
+  Alcotest.(check int)
+    "monitors do not perturb the search" plain.Explore.executions
+    monitored.Explore.executions;
+  ignore
+    (certified_exn "rcas+props"
+       (Explore.explore ~config ~props:Mc.Prop.all
+          (e3_workload Workload.Rcas)))
+
+(* The property layer's teeth, with a replayable artifact: hide flushes
+   from the monitors and response-implies-persist must fire; the
+   reproducer it yields must re-fire under a sabotaged replay and pass a
+   clean one. *)
+let test_prop_sabotage_caught_with_reproducer () =
+  let workload = rcounter_workload 3 in
+  match
+    Explore.explore ~config ~props:Mc.Prop.all ~prop_sabotage:true workload
+  with
+  | Explore.Certified _ ->
+      Alcotest.fail "sabotaged property stream was NOT caught"
+  | Explore.Budget_exhausted _ -> Alcotest.fail "search budget exhausted"
+  | Explore.Violation (v, _) -> (
+      Alcotest.(check bool)
+        "the persistence property fired" true
+        (contains v.Explore.reason "property response-implies-persist");
+      let repro = Explore.reproducer ~workload v in
+      (match Reproducer.of_lines (Reproducer.to_lines repro) with
+      | Error msg -> Alcotest.fail msg
+      | Ok repro' -> Alcotest.(check bool) "round trip" true (repro = repro'));
+      (match
+         Explore.replay_checked ~config ~props:Mc.Prop.all ~prop_sabotage:true
+           repro
+       with
+      | _, Some (prop, _) ->
+          Alcotest.(check string)
+            "replay re-fires the same property" "response-implies-persist"
+            prop
+      | _, None -> Alcotest.fail "sabotaged replay did not re-fire");
+      match Explore.replay_checked ~config ~props:Mc.Prop.all repro with
+      | { Harness.verdict = Harness.Pass; _ }, None -> ()
+      | _, Some (prop, msg) ->
+          Alcotest.failf "clean replay violated %s: %s" prop msg
+      | { Harness.verdict = Harness.Fail msg; _ }, _
+      | { Harness.verdict = Harness.Fatal msg; _ }, _ ->
+          Alcotest.failf "clean replay failed: %s" msg)
+
 (* The cooperative scheduler alone: a scripted decide sequence drives two
    fibers deterministically, decision points expose the crash-op counter,
    and a Crash_here decision stops the run with the crashed flag set. *)
@@ -204,7 +341,30 @@ let test_coop_points_and_crash () =
   List.iteri
     (fun i (p : Coop.point) ->
       Alcotest.(check int) "op counter" (max 0 (i - 1)) p.Coop.op)
-    points
+    points;
+  (* Footprints for the reduction: no fiber has reached a device op at the
+     first point; afterwards worker 0 sits suspended at the entry of its
+     next write, and the point carries that operation's cache-line range
+     (offsets 0..24 of this trace all land on line 0). *)
+  (match points with
+  | p0 :: rest ->
+      Alcotest.(check bool) "no pending footprint at startup" true
+        (p0.Coop.pending = []);
+      Alcotest.(check bool) "no reads before the first step" true
+        (p0.Coop.prev_reads = []);
+      List.iter
+        (fun (p : Coop.point) ->
+          match List.assoc_opt 0 p.Coop.pending with
+          | Some acc ->
+              Alcotest.(check bool) "pending op is a write" true
+                (acc.Crash.kind = Crash.Write);
+              Alcotest.(check int) "write footprint line" 0
+                acc.Crash.first_line;
+              Alcotest.(check int) "single-line footprint" acc.Crash.first_line
+                acc.Crash.last_line
+          | None -> Alcotest.fail "worker 0 should be suspended at a write")
+        rest
+  | [] -> Alcotest.fail "no decision points recorded")
 
 let () =
   Alcotest.run "mc"
@@ -218,14 +378,29 @@ let () =
         [
           Alcotest.test_case "buggy CAS violation found" `Quick
             test_buggy_cas_found;
-          Alcotest.test_case "correct CAS certified" `Quick
-            test_correct_cas_certified;
+          Alcotest.test_case "correct CAS certified (brute force)" `Quick
+            test_correct_cas_certified_brute;
+          Alcotest.test_case "dpor certifies in <= 1/5 the executions" `Quick
+            test_dpor_certifies_with_fewer_executions;
+          Alcotest.test_case "dpor and brute agree on buggy CAS" `Quick
+            test_differential_buggy_cas;
+          Alcotest.test_case "dpor and brute agree on faulty counter" `Quick
+            test_differential_faulty;
+          Alcotest.test_case "tiny max_points is Budget_exhausted" `Quick
+            test_tiny_max_points_is_budget_exhausted;
           Alcotest.test_case "exploration deterministic" `Quick
             test_exploration_deterministic;
           Alcotest.test_case "reproducer round-trips and replays" `Quick
             test_reproducer_round_trips_and_replays;
           Alcotest.test_case "user check at terminal states" `Quick
             test_user_check_runs_at_terminal_states;
+        ] );
+      ( "props",
+        [
+          Alcotest.test_case "monitors pass on correct workloads" `Quick
+            test_props_pass_on_correct_workloads;
+          Alcotest.test_case "sabotaged stream caught, reproducer replays"
+            `Quick test_prop_sabotage_caught_with_reproducer;
         ] );
       ( "equivalence",
         [
