@@ -92,7 +92,138 @@ let run_campaign seed runs kinds max_ops max_workers max_eras shrink_attempts
           n_failures;
       if n_failures = 0 then 0 else 1
 
-let run_replay path =
+(* ------------------------------------------------------------------ *)
+(* Server scenario class: whole-process crash-kill-recover schedules    *)
+(* against bin/nvkv_server, checked by the Net.Harness oracle.  Same    *)
+(* campaign contract as the in-process workloads — seeded cases, greedy *)
+(* shrink, replayable reproducer artifacts — but each case spawns and   *)
+(* SIGKILLs real server processes.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_server_spec ~seed ~case =
+  let rng = Random.State.make [| 0x5e4; seed; case |] in
+  let nclients = 1 + Random.State.int rng 3 in
+  let nreqs = 4 + Random.State.int rng 13 in
+  let op () =
+    let key () = Random.State.int rng 8 in
+    match Random.State.int rng 100 with
+    | n when n < 30 -> Net.Wire.Put (key (), Random.State.int rng 1000)
+    | n when n < 50 -> Net.Wire.Get (key ())
+    | n when n < 65 -> Net.Wire.Del (key ())
+    | n when n < 85 -> Net.Wire.Enqueue (Random.State.int rng 1000)
+    | _ -> Net.Wire.Dequeue
+  in
+  let reqs =
+    List.init nreqs (fun _ -> (Random.State.int rng nclients, op ()))
+  in
+  let kill_from =
+    if Random.State.int rng 100 < 20 then `Startup else `Ready
+  in
+  let kill_at =
+    match kill_from with
+    | `Startup -> 1 + Random.State.int rng 40
+    | `Ready -> 1 + Random.State.int rng 120
+  in
+  { Net.Harness.seed; case; kill_at; kill_from; reqs }
+
+(* Greedy shrink under a global attempt budget: drop one request at a
+   time, then pull the kill point earlier.  Every candidate re-runs the
+   full oracle, so a kept candidate still fails for real. *)
+let shrink_server_spec ~attempts spec =
+  let tries = ref 0 in
+  let still_fails candidate =
+    !tries < attempts
+    && begin
+         incr tries;
+         match Net.Harness.run_spec candidate with
+         | Error _ -> true
+         | Ok _ -> false
+       end
+  in
+  let drop i l = List.filteri (fun j _ -> j <> i) l in
+  let rec improve spec =
+    let candidates =
+      List.mapi
+        (fun i _ -> { spec with Net.Harness.reqs = drop i spec.Net.Harness.reqs })
+        spec.Net.Harness.reqs
+      @ (if spec.Net.Harness.kill_at > 1 then
+           [
+             { spec with Net.Harness.kill_at = spec.Net.Harness.kill_at / 2 };
+             { spec with Net.Harness.kill_at = spec.Net.Harness.kill_at - 1 };
+           ]
+         else [])
+    in
+    match List.find_opt still_fails candidates with
+    | Some better -> improve better
+    | None -> spec
+  in
+  improve spec
+
+let run_server_campaign seed runs shrink_attempts out quiet =
+  let failures = ref [] in
+  for case = 0 to runs - 1 do
+    let spec = gen_server_spec ~seed ~case in
+    if not quiet then
+      Printf.printf "case %d: %d req(s), %d client(s), kill %d (%s)\n%!" case
+        (List.length spec.Net.Harness.reqs)
+        (1
+        + List.fold_left
+            (fun acc (c, _) -> max acc c)
+            0 spec.Net.Harness.reqs)
+        spec.Net.Harness.kill_at
+        (match spec.Net.Harness.kill_from with
+        | `Ready -> "ready"
+        | `Startup -> "startup");
+    match Net.Harness.run_spec spec with
+    | Ok _ -> ()
+    | Error msg ->
+        Printf.printf "case %d FAILED: %s\n%!" case msg;
+        let minimal = shrink_server_spec ~attempts:shrink_attempts spec in
+        failures := (minimal, msg) :: !failures
+  done;
+  let failures = List.rev !failures in
+  if failures <> [] then begin
+    (try Unix.mkdir out 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter
+      (fun (spec, _msg) ->
+        let path =
+          Filename.concat out
+            (Printf.sprintf "server-seed%d-case%d.txt" spec.Net.Harness.seed
+               spec.Net.Harness.case)
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Net.Harness.spec_to_string spec));
+        Printf.printf "wrote %s\n" path)
+      failures
+  end;
+  Printf.printf "%d cases, %d failures\n" runs (List.length failures);
+  if failures = [] then 0 else 1
+
+let run_server_replay text =
+  match Net.Harness.spec_of_string text with
+  | Error msg ->
+      Printf.eprintf "error: bad server reproducer: %s\n" msg;
+      2
+  | Ok spec -> (
+      print_string (Net.Harness.spec_to_string spec);
+      match Net.Harness.run_spec ~verbose:true spec with
+      | Ok { Net.Harness.restarts } ->
+          Printf.printf "verdict: pass (%d restart(s))\n" restarts;
+          0
+      | Error msg ->
+          Printf.printf "verdict: FAIL: %s\n" msg;
+          1)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_workload_replay path =
   match Fuzz.Reproducer.read path with
   | Error msg ->
       Printf.eprintf "error: %s: %s\n" path msg;
@@ -128,6 +259,16 @@ let run_replay path =
       | { Fuzz.Harness.verdict = Fuzz.Harness.Fatal msg; _ } ->
           Printf.printf "verdict: FATAL: %s\n" msg;
           1)
+
+let run_replay path =
+  (* Server reproducers and workload reproducers share the --replay door;
+     the header line tells them apart. *)
+  match read_file path with
+  | text when Net.Harness.is_spec text -> run_server_replay text
+  | _ -> run_workload_replay path
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
 
 open Cmdliner
 
@@ -181,13 +322,29 @@ let main_term =
       value
       & opt (some string) None
       & info [ "replay" ] ~docv:"FILE"
-          ~doc:"Re-run a reproducer artifact instead of fuzzing.")
+          ~doc:"Re-run a reproducer artifact instead of fuzzing.  Server \
+                reproducers (header 'server-repro v1') replay through the \
+                process-level harness automatically.")
   in
-  let run replay seed runs kinds max_ops max_workers max_eras shrink_attempts
-      out quiet faults sabotage =
+  let server =
+    Arg.(
+      value & flag
+      & info [ "server" ]
+          ~doc:"Fuzz whole-process crash-kill-recover schedules against \
+                bin/nvkv_server instead of the in-process workloads: each \
+                case drives a seeded request schedule over a Unix socket, \
+                SIGKILLs the server at a deterministic persistence point, \
+                restarts it, and checks exactly-once delivery plus the map \
+                and queue oracles.  Honours --seed, --runs, \
+                --shrink-attempts, --out, --quiet.")
+  in
+  let run replay server seed runs kinds max_ops max_workers max_eras
+      shrink_attempts out quiet faults sabotage =
     Stdlib.exit
       (match replay with
       | Some path -> run_replay path
+      | None when server ->
+          run_server_campaign seed runs shrink_attempts out quiet
       | None ->
           let status =
             run_campaign seed runs kinds max_ops max_workers max_eras
@@ -210,7 +367,7 @@ let main_term =
           else status)
   in
   Term.(
-    const run $ replay $ seed $ runs $ kinds $ max_ops $ max_workers
+    const run $ replay $ server $ seed $ runs $ kinds $ max_ops $ max_workers
     $ max_eras $ shrink_attempts $ out $ quiet $ faults $ sabotage)
 
 let () =

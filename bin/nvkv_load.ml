@@ -1,0 +1,384 @@
+(* Seeded load generator for nvkv_server: N client processes driving a
+   mixed put/get/del/enqueue/dequeue workload over the wire, with optional
+   seeded SIGKILLs of the server mid-run — every kill is followed by a
+   restart on the same image and a measured recovery (restart-to-READY)
+   span.  Emits one flat JSON row per run in the bench/main.ml format, so
+   bench_gate can gate both throughput presence and the recovery-time SLA
+   (--max-recovery-ms).
+
+   Clients survive kills by construction: every operation goes through
+   [Net.Client.call_retry], which re-sends the same (client, seq) identity
+   until the (restarted) server answers — so an operation counts exactly
+   once no matter how many times the server died under it.  The final
+   conservation check leans on that: after all clients finish, the parent
+   drains the queue and asserts
+
+     acked enqueues - acked (non-empty) dequeues = drained length
+
+   which only holds if no acked operation was lost or double-applied.
+
+   Subcommands:
+     run      spawn server + clients, optionally kill/restart, aggregate
+     client   one client process (spawned by run; usable manually)  *)
+
+module Wire = Net.Wire
+module Client = Net.Client
+
+let server_exe () =
+  Filename.concat (Filename.dirname Sys.executable_name) "nvkv_server.exe"
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      Unix.ADDR_UNIX (String.sub s (i + 1) (String.length s - i - 1))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j ->
+          Unix.ADDR_INET
+            ( Unix.inet_addr_of_string (String.sub rest 0 j),
+              int_of_string
+                (String.sub rest (j + 1) (String.length rest - j - 1)) )
+      | None -> invalid_arg "tcp address without port")
+  | _ -> invalid_arg ("bad address: " ^ s)
+
+(* 64 log2 latency buckets: bucket b counts samples with
+   floor(log2 ns) = b.  Crude but mergeable across processes via the
+   stats files, which is what matters here. *)
+let bucket_of_ns ns =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  min 63 (log2 (max 1 ns) 0)
+
+let percentile buckets p =
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0
+  else begin
+    let target = int_of_float (ceil (p *. float_of_int total)) in
+    let seen = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun b count ->
+           seen := !seen + count;
+           if !seen >= target then begin
+             result := 1 lsl b;
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* client subcommand: one process, seeded mixed workload               *)
+(* ------------------------------------------------------------------ *)
+
+let run_client addr client ops seed nkeys stats_path =
+  let t = Client.connect ~addr:(parse_addr addr) ~client in
+  Client.sync_seq t;
+  let rng = Random.State.make [| seed; client |] in
+  let buckets = Array.make 64 0 in
+  let acked_enq = ref 0 and acked_deq = ref 0 and errors = ref 0 in
+  let enq_counter = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    let key = (client * 1000) + Random.State.int rng nkeys in
+    let op =
+      match Random.State.int rng 100 with
+      | r when r < 30 -> Wire.Put (key, Random.State.int rng 1_000_000)
+      | r when r < 60 -> Wire.Get key
+      | r when r < 70 -> Wire.Del key
+      | r when r < 85 ->
+          incr enq_counter;
+          Wire.Enqueue ((client * 1_000_000) + !enq_counter)
+      | _ -> Wire.Dequeue
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Client.call_retry ~deadline_s:60. t op in
+    let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    buckets.(bucket_of_ns ns) <- buckets.(bucket_of_ns ns) + 1;
+    (match (op, result) with
+    | Wire.Enqueue _, Wire.Done -> incr acked_enq
+    | Wire.Dequeue, Wire.Value _ -> incr acked_deq
+    | _, Wire.Refused _ -> incr errors
+    | _ -> ())
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  Client.close t;
+  let oc = open_out stats_path in
+  Printf.fprintf oc "ops %d errors %d elapsed_s %f acked_enq %d acked_deq %d\n"
+    ops !errors elapsed !acked_enq !acked_deq;
+  Array.iter (Printf.fprintf oc "%d ") buckets;
+  output_char oc '\n';
+  close_out oc;
+  if !errors > 0 then exit 5
+
+type client_stats = {
+  c_ops : int;
+  c_errors : int;
+  c_elapsed : float;
+  c_acked_enq : int;
+  c_acked_deq : int;
+  c_buckets : int array;
+}
+
+let read_stats path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line1 = input_line ic in
+      let line2 = input_line ic in
+      match String.split_on_char ' ' (String.trim line1) with
+      | [ "ops"; o; "errors"; e; "elapsed_s"; el; "acked_enq"; ae; "acked_deq"; ad ]
+        ->
+          let buckets =
+            String.split_on_char ' ' (String.trim line2)
+            |> List.map int_of_string |> Array.of_list
+          in
+          {
+            c_ops = int_of_string o;
+            c_errors = int_of_string e;
+            c_elapsed = float_of_string el;
+            c_acked_enq = int_of_string ae;
+            c_acked_deq = int_of_string ad;
+            c_buckets = buckets;
+          }
+      | _ -> failwith ("malformed stats file " ^ path))
+
+(* ------------------------------------------------------------------ *)
+(* run subcommand: the parent                                          *)
+(* ------------------------------------------------------------------ *)
+
+type server = { pid : int; addr : string; recovery_ms : float }
+
+let start_server ~image ~size ~workers ~sock args =
+  let exe = server_exe () in
+  let argv =
+    [
+      exe; "--image"; image; "--size"; string_of_int size; "--workers";
+      string_of_int workers; "--unix"; sock;
+    ]
+    @ args
+  in
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe (Array.of_list argv) Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let rec wait_ready () =
+    match input_line ic with
+    | line when String.length line >= 5 && String.sub line 0 5 = "READY" ->
+        let field name =
+          let tag = name ^ "=" in
+          List.find_map
+            (fun w ->
+              if String.length w > String.length tag
+                 && String.sub w 0 (String.length tag) = tag
+              then
+                Some
+                  (String.sub w (String.length tag)
+                     (String.length w - String.length tag))
+              else None)
+            (String.split_on_char ' ' line)
+          |> Option.get
+        in
+        { pid; addr = field "addr"; recovery_ms = float_of_string (field "recovery_ms") }
+    | _ -> wait_ready ()
+    | exception End_of_file ->
+        let _, status = Unix.waitpid [] pid in
+        (match status with
+        | Unix.WSIGNALED s when s = Sys.sigkill ->
+            failwith "server killed before READY"
+        | _ -> failwith "server exited before READY")
+  in
+  let server = wait_ready () in
+  (* Leave the pipe open so the server never blocks on stdout; nothing
+     reads it afterwards, but READY + STATS fit any pipe buffer. *)
+  server
+
+let kill_server pid =
+  Unix.kill pid Sys.sigkill;
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _ -> failwith "server did not die from SIGKILL"
+
+let drain_queue ~addr ~nclients =
+  (* The drain client owns the last dedup slot; load clients are 0..n-2. *)
+  let t = Client.connect ~addr:(parse_addr addr) ~client:(nclients - 1) in
+  Client.sync_seq t;
+  let rec go acc =
+    match Client.call_retry t Wire.Dequeue with
+    | Wire.Value _ -> go (acc + 1)
+    | Wire.Nothing -> acc
+    | other ->
+        failwith (Format.asprintf "drain dequeue answered %a" Wire.pp_result other)
+  in
+  let n = go 0 in
+  Client.close t;
+  n
+
+let run_parent image size clients ops seed workers kills json_path keep_image =
+  let image =
+    match image with
+    | Some path -> path
+    | None -> Filename.temp_file "nvkv_load" ".img"
+  in
+  if Sys.file_exists image && image <> "" then (try Sys.remove image with _ -> ());
+  let sock = image ^ ".sock" in
+  let nclients = clients + 1 (* + the drain client *) in
+  let server_args = [ "--nclients"; string_of_int nclients ] in
+  let server = ref (start_server ~image ~size ~workers ~sock server_args) in
+  let stats_files =
+    List.init clients (fun i -> Filename.temp_file "nvkv_stats" (string_of_int i))
+  in
+  let self = Sys.executable_name in
+  let t_run0 = Unix.gettimeofday () in
+  let children =
+    List.mapi
+      (fun i stats ->
+        let argv =
+          [|
+            self; "client"; "--addr"; (!server).addr; "--client";
+            string_of_int i; "--ops"; string_of_int ops; "--seed";
+            string_of_int (seed + i); "--stats"; stats;
+          |]
+        in
+        Unix.create_process self argv Unix.stdin Unix.stdout Unix.stderr)
+      stats_files
+  in
+  (* Seeded kill schedule: sleep, SIGKILL, restart on the same image,
+     record the restart's recovery span.  Clients ride through on
+     call_retry. *)
+  let rng = Random.State.make [| seed; 0x4b1 |] in
+  let recovery_samples = ref [] in
+  for _ = 1 to kills do
+    Unix.sleepf (0.1 +. Random.State.float rng 0.4);
+    kill_server (!server).pid;
+    server := start_server ~image ~size ~workers ~sock server_args;
+    recovery_samples := (!server).recovery_ms :: !recovery_samples
+  done;
+  let failures =
+    List.filter_map
+      (fun pid ->
+        let _, status = Unix.waitpid [] pid in
+        match status with Unix.WEXITED 0 -> None | s -> Some s)
+      children
+  in
+  let elapsed = Unix.gettimeofday () -. t_run0 in
+  if failures <> [] then begin
+    Printf.eprintf "nvkv_load: %d client(s) failed\n%!" (List.length failures);
+    exit 1
+  end;
+  let stats = List.map read_stats stats_files in
+  List.iter (fun f -> try Sys.remove f with _ -> ()) stats_files;
+  let total_ops = List.fold_left (fun a s -> a + s.c_ops) 0 stats in
+  let acked_enq = List.fold_left (fun a s -> a + s.c_acked_enq) 0 stats in
+  let acked_deq = List.fold_left (fun a s -> a + s.c_acked_deq) 0 stats in
+  let buckets = Array.make 64 0 in
+  List.iter
+    (fun s ->
+      Array.iteri (fun b n -> buckets.(b) <- buckets.(b) + n) s.c_buckets)
+    stats;
+  let drained = drain_queue ~addr:(!server).addr ~nclients in
+  (* Exactly-once conservation: every acked enqueue is in the queue or was
+     consumed by exactly one acked dequeue. *)
+  if acked_enq - acked_deq <> drained then begin
+    Printf.eprintf
+      "nvkv_load: queue conservation violated: %d acked enqueues, %d acked \
+       dequeues, %d drained\n\
+       %!"
+      acked_enq acked_deq drained;
+    exit 1
+  end;
+  (* Graceful stop; the server prints STATS into the (unread) pipe. *)
+  Unix.kill (!server).pid Sys.sigterm;
+  ignore (Unix.waitpid [] (!server).pid);
+  let worst_recovery =
+    List.fold_left Float.max (!server).recovery_ms !recovery_samples
+  in
+  let ops_per_sec = float_of_int total_ops /. elapsed in
+  let p50 = percentile buckets 0.50
+  and p95 = percentile buckets 0.95
+  and p99 = percentile buckets 0.99 in
+  Printf.printf
+    "nvkv_load: %d clients x %d ops, %d kills: %.0f ops/s, p50 %dns p95 %dns \
+     p99 %dns, worst recovery %.3f ms, %d acked enq / %d acked deq / %d \
+     drained\n\
+     %!"
+    clients ops kills ops_per_sec p50 p95 p99 worst_recovery acked_enq
+    acked_deq drained;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{ \"rows\": [\n\
+        \    { \"bench\": %S, \"workers\": %d, \"clients\": %d, \"ops\": %d, \
+         \"ops_per_sec\": %.1f, \"p50_ns\": %d, \"p95_ns\": %d, \"p99_ns\": \
+         %d, \"kills\": %d, \"recovery_ms\": %.3f }\n\
+         ] }\n"
+        "nvkv_mixed" workers clients total_ops ops_per_sec p50 p95 p99 kills
+        worst_recovery;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path);
+  if not keep_image then begin
+    (try Sys.remove image with _ -> ());
+    try Sys.remove sock with _ -> ()
+  end
+
+open Cmdliner
+
+let client_cmd =
+  let addr =
+    Arg.(required & opt (some string) None & info [ "addr" ] ~docv:"ADDR")
+  in
+  let client = Arg.(value & opt int 0 & info [ "client" ] ~docv:"I") in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let nkeys = Arg.(value & opt int 100 & info [ "nkeys" ] ~docv:"N") in
+  let stats =
+    Arg.(
+      required & opt (some string) None & info [ "stats" ] ~docv:"PATH")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"one load-generating client process")
+    Term.(const run_client $ addr $ client $ ops $ seed $ nkeys $ stats)
+
+let run_cmd =
+  let image =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "image" ] ~docv:"PATH"
+          ~doc:"Persistent image (default: a fresh temp file).")
+  in
+  let size = Arg.(value & opt int (1 lsl 22) & info [ "size" ] ~docv:"BYTES") in
+  let clients = Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N") in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let workers = Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N") in
+  let kills =
+    Arg.(
+      value & opt int 0
+      & info [ "kills" ] ~docv:"N"
+          ~doc:"SIGKILL + restart the server this many times mid-run.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write a bench-gate row file.")
+  in
+  let keep_image = Arg.(value & flag & info [ "keep-image" ]) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"drive a mixed workload, optionally killing the server")
+    Term.(
+      const run_parent $ image $ size $ clients $ ops $ seed $ workers $ kills
+      $ json $ keep_image)
+
+let () =
+  let doc = "seeded load generator for nvkv_server" in
+  Stdlib.exit
+    (Cmd.eval (Cmd.group (Cmd.info "nvkv_load" ~doc) [ run_cmd; client_cmd ]))

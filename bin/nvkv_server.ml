@@ -1,0 +1,449 @@
+(* The network-facing recoverable KV/queue service — ROADMAP item 1's
+   production artifact.
+
+   One process serves a persistent image over the nvkv wire protocol
+   (lib/net): a select/accept event loop decodes requests and hands them to
+   the worker domains through [Runtime.Service]; every effectful request
+   executes as a registered recoverable function under the exactly-once
+   dispatch wrapper, which consults the persistent dedup table
+   ([Recoverable.Dedup]) before executing and records the answer before the
+   response frame leaves the process.  Kill the process at any moment and
+   restart it on the same image: acked operations are observable, retried
+   in-flight requests are answered from the dedup record instead of
+   re-executing.
+
+   Startup decides fresh-vs-restart by the system superblock and user
+   root: a valid superblock whose root cell is published means the
+   previous incarnation committed its structures, so the server attaches,
+   replays stack recovery and re-attaches the dedup table; anything else
+   (empty file, kill before the root was set) formats from scratch.  The
+   attach-to-serving span is the measured recovery time, printed on the
+   READY line and gated in CI via bench_gate --max-recovery-ms.
+
+   --kill-at-point K arms a deterministic self-SIGKILL at the Kth
+   persistence operation (counted from READY by default), which is how the
+   integration tests and the crash fuzzer land kills mid-request at
+   reproducible points. *)
+
+module Pmem = Nvram.Pmem
+module Backend = Nvram.Backend
+module Crash = Nvram.Crash
+module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
+module Heap = Nvheap.Heap
+module System = Runtime.System
+module Service = Runtime.Service
+module Registry = Runtime.Registry
+module Exec = Runtime.Exec
+module Value = Runtime.Value
+module Rmap = Recoverable.Rmap
+module Rqueue = Recoverable.Rqueue
+module Map_op = Recoverable.Map_op
+module Queue_op = Recoverable.Queue_op
+module Dedup = Recoverable.Dedup
+module Wire = Net.Wire
+module Server = Net.Server
+
+(* Function identifiers (2..19 are used by other harnesses; 20+ is ours). *)
+let dispatch_id = 20
+let put_attempt_id = 21
+let put_id = 22
+let remove_attempt_id = 23
+let remove_id = 24
+let find_id = 25
+let enq_attempt_id = 26
+let enq_id = 27
+let deq_attempt_id = 28
+let deq_id = 29
+
+(* Wire answers are OCaml ints, so every legitimate dispatch answer lies in
+   [-2^62, 2^62) (Codec reserves Int64.min_int for Error); min_int + 1 is
+   therefore free to mean "stale request id refused". *)
+let stale_answer = Int64.add Int64.min_int 1L
+
+(* Directory block: one heap allocation the user root points at, naming the
+   three structure regions and their shape.  Checksummed like every other
+   piece of metadata; [System.set_root] to it is the create commit point. *)
+let dir_magic = 0x4E564B5644495231L (* "NVKVDIR1" *)
+let dir_size = 56
+
+type directory = {
+  map_base : Offset.t;
+  queue_base : Offset.t;
+  dedup_base : Offset.t;
+  buckets : int;
+  nclients : int;
+}
+
+let dir_crc d =
+  List.fold_left Integrity.fnv64_int64 Integrity.fnv64_init
+    [
+      dir_magic;
+      Int64.of_int (Offset.to_int d.map_base);
+      Int64.of_int (Offset.to_int d.queue_base);
+      Int64.of_int (Offset.to_int d.dedup_base);
+      Int64.of_int d.buckets;
+      Int64.of_int d.nclients;
+    ]
+
+let write_dir pmem ~dir d =
+  Pmem.write_int64 pmem dir dir_magic;
+  Pmem.write_int pmem (Offset.add dir 8) (Offset.to_int d.map_base);
+  Pmem.write_int pmem (Offset.add dir 16) (Offset.to_int d.queue_base);
+  Pmem.write_int pmem (Offset.add dir 24) (Offset.to_int d.dedup_base);
+  Pmem.write_int pmem (Offset.add dir 32) d.buckets;
+  Pmem.write_int pmem (Offset.add dir 40) d.nclients;
+  Pmem.write_int64 pmem (Offset.add dir 48) (dir_crc d);
+  Pmem.flush pmem ~off:dir ~len:dir_size
+
+let read_dir pmem ~dir =
+  let d =
+    {
+      map_base = Offset.of_int (Pmem.read_int pmem (Offset.add dir 8));
+      queue_base = Offset.of_int (Pmem.read_int pmem (Offset.add dir 16));
+      dedup_base = Offset.of_int (Pmem.read_int pmem (Offset.add dir 24));
+      buckets = Pmem.read_int pmem (Offset.add dir 32);
+      nclients = Pmem.read_int pmem (Offset.add dir 40);
+    }
+  in
+  if not (Int64.equal (Pmem.read_int64 pmem dir) dir_magic) then
+    Error "directory magic mismatch"
+  else if
+    Integrity.enabled ()
+    && not (Int64.equal (Pmem.read_int64 pmem (Offset.add dir 48)) (dir_crc d))
+  then Error "directory checksum mismatch"
+  else Ok d
+
+(* The exactly-once dispatch wrapper.  Args: client, seq, opcode, a, b.
+   Body: consult the dedup slot; on New, nest the per-op call and record
+   its answer before returning — [Exec.call]'s completion protocol then
+   persists our own answer, so by the time the response frame is written
+   the record is durable.  Recover: a recorded slot answers immediately; a
+   completed-but-unrecorded nested call (last_answer) is recorded now; an
+   incomplete one re-runs the body, which re-enters the nested recovery. *)
+let register_dispatch registry dedup_handle =
+  let parse args =
+    match Value.to_ints args with
+    | [ client; seq; opcode; a; b ] -> (client, seq, opcode, a, b)
+    | _ -> invalid_arg "nvkv.dispatch: malformed arguments"
+  in
+  let inner_call ctx ~opcode ~a ~b =
+    match opcode with
+    | 1 -> Exec.call ctx ~func_id:put_id ~args:(Value.of_int2 a b)
+    | 2 -> Exec.call ctx ~func_id:find_id ~args:(Value.of_int a)
+    | 3 -> Exec.call ctx ~func_id:remove_id ~args:(Value.of_int a)
+    | 4 -> Exec.call ctx ~func_id:enq_id ~args:(Value.of_int a)
+    | 5 -> Exec.call ctx ~func_id:deq_id ~args:Bytes.empty
+    | _ -> invalid_arg (Printf.sprintf "nvkv.dispatch: opcode %d" opcode)
+  in
+  let hit_recorded () =
+    if Obs.Config.enabled () then
+      Obs.Counters.incr_dedup_hits Obs.Probe.counters
+  in
+  let body ctx args =
+    let client, seq, opcode, a, b = parse args in
+    let dedup = dedup_handle () in
+    match Dedup.lookup dedup ~client ~seq with
+    | Dedup.Hit answer ->
+        hit_recorded ();
+        answer
+    | Dedup.Stale -> stale_answer
+    | Dedup.New ->
+        let answer = inner_call ctx ~opcode ~a ~b in
+        Dedup.record dedup ~client ~seq ~answer;
+        answer
+  in
+  let recover ctx args =
+    let client, seq, opcode, a, b = parse args in
+    let dedup = dedup_handle () in
+    Registry.Complete
+      (match Dedup.lookup dedup ~client ~seq with
+      | Dedup.Hit answer ->
+          hit_recorded ();
+          answer
+      | Dedup.Stale -> stale_answer
+      | Dedup.New -> (
+          match Exec.last_answer ctx with
+          | Some answer ->
+              Dedup.record dedup ~client ~seq ~answer;
+              answer
+          | None ->
+              let answer = inner_call ctx ~opcode ~a ~b in
+              Dedup.record dedup ~client ~seq ~answer;
+              answer))
+  in
+  Registry.register registry ~id:dispatch_id ~name:"nvkv.dispatch" ~body
+    ~recover
+
+let make_registry () =
+  let registry = Registry.create () in
+  let map = ref None and queue = ref None and dedup = ref None in
+  let mh () = Option.get !map in
+  let qh () = Option.get !queue in
+  Map_op.register_put registry ~id:put_id ~attempt_id:put_attempt_id mh;
+  Map_op.register_remove registry ~id:remove_id ~attempt_id:remove_attempt_id
+    mh;
+  Map_op.register_find registry ~id:find_id mh;
+  Queue_op.register_enqueue registry ~id:enq_id ~attempt_id:enq_attempt_id qh;
+  Queue_op.register_dequeue registry ~id:deq_id ~attempt_id:deq_attempt_id qh;
+  register_dispatch registry (fun () -> Option.get !dedup);
+  (registry, map, queue, dedup)
+
+let decode_answer ~opcode answer =
+  if Int64.equal answer stale_answer then Wire.Refused Wire.err_stale
+  else
+    match opcode with
+    | 1 | 4 -> Wire.Done
+    | 2 -> (
+        match Map_op.find_answer answer with
+        | Some v -> Wire.Value v
+        | None -> Wire.Nothing)
+    | 3 -> if Int64.equal answer 0L then Wire.Nothing else Wire.Done
+    | 5 -> (
+        match Queue_op.dequeue_answer answer with
+        | Some v -> Wire.Value v
+        | None -> Wire.Nothing)
+    | _ -> Wire.Refused Wire.err_bad_request
+
+let handler ~service ~dedup ~nclients (req : Wire.request) k =
+  let bad_client = req.Wire.client < 0 || req.Wire.client >= nclients in
+  match req.Wire.op with
+  | Wire.Ping -> k Wire.Done
+  | Wire.Last_seq ->
+      if bad_client then k (Wire.Refused Wire.err_unknown)
+      else k (Wire.Value (Dedup.last_seq (dedup ()) ~client:req.Wire.client))
+  | op ->
+      if bad_client then k (Wire.Refused Wire.err_unknown)
+      else if req.Wire.seq <= 0 then k (Wire.Refused Wire.err_bad_request)
+      else
+        let opcode, a, b =
+          match op with
+          | Wire.Put (key, value) -> (1, key, value)
+          | Wire.Get key -> (2, key, 0)
+          | Wire.Del key -> (3, key, 0)
+          | Wire.Enqueue v -> (4, v, 0)
+          | Wire.Dequeue -> (5, 0, 0)
+          | Wire.Ping | Wire.Last_seq -> assert false
+        in
+        Service.submit service ~func_id:dispatch_id
+          ~args:(Value.of_ints [ req.Wire.client; req.Wire.seq; opcode; a; b ])
+          ~k:(function
+            | Ok answer -> k (decode_answer ~opcode answer)
+            | Error exn ->
+                Printf.eprintf "nvkv_server: request failed: %s\n%!"
+                  (Printexc.to_string exn);
+                k (Wire.Refused Wire.err_bad_request))
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let string_of_addr = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (host, port) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr host) port
+
+type kill_from = From_ready | From_startup
+
+let run image size sock port workers buckets nclients coalesced persist_delay
+    kill_at kill_from max_recovery_ms obs =
+  if obs then Obs.Config.set_enabled true;
+  let t_start = now_ms () in
+  let backend = Backend.file ~persist_delay ~path:image ~size () in
+  let pmem =
+    Pmem.create ~auto_flush:false
+      ~flush_mode:(if coalesced then Pmem.Coalesced else Pmem.Eager)
+      ~backend ~size ()
+  in
+  (* Deterministic self-kill at the Kth persistence operation: the same
+     scheduler hook the model checker drives, aimed at a real SIGKILL. *)
+  let armed = Atomic.make (kill_at > 0 && kill_from = From_startup) in
+  if kill_at > 0 then begin
+    let ctl = Pmem.crash_ctl pmem in
+    let count = Atomic.make 0 in
+    Crash.set_scheduler ctl
+      (Some
+         (fun _access ->
+           ignore (Crash.take_reads ctl);
+           if Atomic.get armed then
+             if Atomic.fetch_and_add count 1 + 1 = kill_at then
+               Unix.kill (Unix.getpid ()) Sys.sigkill))
+  end;
+  let registry, map, queue, dedup = make_registry () in
+  let fresh =
+    match System.image_root pmem with
+    | Some _ -> false
+    | None | (exception Invalid_argument _) -> true
+  in
+  let sys, nclients =
+    if fresh then begin
+      let config =
+        {
+          System.workers;
+          stack_kind = System.Bounded_stack 8192;
+          task_capacity = 64;
+          task_max_args = 64;
+        }
+      in
+      let sys = System.create pmem ~registry ~config in
+      let heap = System.heap sys in
+      let d =
+        {
+          map_base =
+            Heap.alloc heap (Rmap.region_size ~buckets ~nprocs:workers);
+          queue_base = Heap.alloc heap (Rqueue.region_size ~nprocs:workers);
+          dedup_base = Heap.alloc heap (Dedup.region_size ~nclients);
+          buckets;
+          nclients;
+        }
+      in
+      let dir = Heap.alloc heap dir_size in
+      map :=
+        Some (Rmap.create pmem ~heap ~base:d.map_base ~buckets ~nprocs:workers);
+      queue :=
+        Some (Rqueue.create pmem ~heap ~base:d.queue_base ~nprocs:workers);
+      dedup := Some (Dedup.create pmem ~base:d.dedup_base ~nclients);
+      write_dir pmem ~dir d;
+      System.set_root sys dir;
+      (sys, nclients)
+    end
+    else begin
+      let sys = System.attach pmem ~registry in
+      let workers = (System.config sys).System.workers in
+      let heap = System.heap sys in
+      let dir = Option.get (System.root sys) in
+      let d =
+        match read_dir pmem ~dir with
+        | Ok d -> d
+        | Error what ->
+            Printf.eprintf "nvkv_server: %s: %s\n%!" image what;
+            exit 3
+      in
+      map :=
+        Some
+          (Rmap.attach pmem ~heap ~base:d.map_base ~buckets:d.buckets
+             ~nprocs:workers);
+      queue :=
+        Some (Rqueue.attach pmem ~heap ~base:d.queue_base ~nprocs:workers);
+      dedup := Some (Dedup.attach pmem ~base:d.dedup_base ~nclients:d.nclients);
+      let reclaim () =
+        dir :: d.map_base :: d.queue_base :: d.dedup_base
+        :: (Rmap.live_nodes (Option.get !map)
+           @ Rqueue.live_nodes (Option.get !queue))
+      in
+      (match System.recover ~reclaim sys with
+      | `Completed -> ()
+      | `Crashed -> assert false (* no in-process crash plan is armed *));
+      (sys, d.nclients)
+    end
+  in
+  let recovery_ms = now_ms () -. t_start in
+  if Obs.Config.enabled () then
+    Obs.Histogram.record
+      (Obs.Probe.histogram Obs.Probe.Recovery_span)
+      (int_of_float (recovery_ms *. 1e6));
+  if max_recovery_ms > 0. && recovery_ms > max_recovery_ms then begin
+    Printf.eprintf "nvkv_server: recovery took %.3f ms > budget %.3f ms\n%!"
+      recovery_ms max_recovery_ms;
+    exit 4
+  end;
+  let service = Service.start sys in
+  let addr =
+    match sock with
+    | Some path -> Unix.ADDR_UNIX path
+    | None -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let dedup_handle () = Option.get !dedup in
+  let server =
+    Server.create ~addr (handler ~service ~dedup:dedup_handle ~nclients)
+  in
+  let stop_signal _ = Server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Printf.printf "READY addr=%s pid=%d fresh=%b recovery_ms=%.3f\n%!"
+    (string_of_addr (Server.addr server))
+    (Unix.getpid ()) fresh recovery_ms;
+  if kill_at > 0 && kill_from = From_ready then Atomic.set armed true;
+  Server.serve server;
+  Service.stop service;
+  let t = Obs.Counters.totals Obs.Probe.counters in
+  Printf.printf "STATS conns=%d requests=%d dedup_hits=%d\n%!"
+    t.Obs.Counters.conns_accepted t.Obs.Counters.requests_served
+    t.Obs.Counters.dedup_hits;
+  0
+
+open Cmdliner
+
+let main_term =
+  let image =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "image" ] ~docv:"PATH" ~doc:"Persistent image file.")
+  in
+  let size =
+    Arg.(
+      value
+      & opt int (1 lsl 21)
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Device size for a fresh image.")
+  in
+  let sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on a unix-domain socket.")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"N"
+          ~doc:
+            "Listen on 127.0.0.1:$(docv) (0 picks an ephemeral port, \
+             printed on the READY line).  Ignored when $(b,--unix) is \
+             given.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N")
+  in
+  let buckets = Arg.(value & opt int 64 & info [ "buckets" ] ~docv:"N") in
+  let nclients =
+    Arg.(
+      value & opt int 16
+      & info [ "nclients" ] ~docv:"N" ~doc:"Dedup table slots.")
+  in
+  let coalesced =
+    Arg.(value & flag & info [ "coalesced" ] ~doc:"FliT-style flush mode.")
+  in
+  let persist_delay =
+    Arg.(value & opt float 0. & info [ "persist-delay" ] ~docv:"SECONDS")
+  in
+  let kill_at =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-at-point" ] ~docv:"K"
+          ~doc:
+            "SIGKILL this process at its $(docv)th persistence operation \
+             (0 disables).")
+  in
+  let kill_from =
+    Arg.(
+      value
+      & opt (enum [ ("ready", From_ready); ("startup", From_startup) ])
+          From_ready
+      & info [ "kill-from" ] ~docv:"WHEN"
+          ~doc:
+            "Start counting persistence operations at READY (default) or \
+             at process startup (lands kills inside create/recovery).")
+  in
+  let max_recovery_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "max-recovery-ms" ] ~docv:"MS"
+          ~doc:"Exit 4 if startup recovery exceeds this budget (0 = off).")
+  in
+  let obs = Arg.(value & flag & info [ "obs" ] ~doc:"Enable observability.") in
+  Term.(
+    const run $ image $ size $ sock $ port $ workers $ buckets $ nclients
+    $ coalesced $ persist_delay $ kill_at $ kill_from $ max_recovery_ms $ obs)
+
+let () =
+  let doc = "recoverable KV/queue server over a persistent image" in
+  Stdlib.exit (Cmd.eval' (Cmd.v (Cmd.info "nvkv_server" ~doc) main_term))

@@ -1,0 +1,52 @@
+(** Blocking client for the nvkv wire protocol.
+
+    A client owns one dedup slot ([client]) and a monotonic sequence
+    counter.  {!call} issues a request under a fresh sequence number and
+    makes exactly one attempt; {!call_retry} keeps re-sending the {e same}
+    [(client, seq)] across reconnects until the server answers — the
+    retried identity is what lets the server's persistent dedup table turn
+    at-least-once delivery into exactly-once execution, even when the
+    server is killed and restarted between the execution and the ack.
+
+    Not thread-safe: one request in flight per client, by protocol. *)
+
+type t
+
+exception Protocol of string
+(** The server broke framing or answered with a mismatched
+    [(client, seq)].  The connection is closed before raising. *)
+
+val connect : addr:Unix.sockaddr -> client:int -> t
+(** Blocking connect.  The sequence counter starts at [0] (the first
+    {!call} uses [1]); a process resuming a previous client identity must
+    call {!sync_seq} before issuing requests. *)
+
+val client_id : t -> int
+
+val seq : t -> int
+(** Last sequence number used. *)
+
+val set_seq : t -> int -> unit
+
+val sync_seq : t -> unit
+(** Ask the server ([Last_seq]) for the highest recorded sequence of this
+    client and resume numbering after it. *)
+
+val call : t -> Wire.op -> Wire.result
+(** Fresh sequence number, single attempt.  Connection failures
+    ([Unix.Unix_error], [End_of_file]) are raised to the caller, who must
+    assume the request may or may not have executed — exactly the
+    ambiguity {!call_retry} resolves. *)
+
+val call_seq : t -> seq:int -> Wire.op -> Wire.result
+(** Single attempt under an explicit sequence number, without touching the
+    counter — the harness's duplicate-probe: re-sending an already-acked
+    [(client, seq)] must yield the recorded answer, not a re-execution. *)
+
+val call_retry : ?deadline_s:float -> t -> Wire.op -> Wire.result
+(** Fresh sequence number, retried with the same [(client, seq)] across
+    connection failures, server restarts and shutdown refusals, with
+    backoff, until an answer arrives or [deadline_s] (default 30) elapses
+    — then the last failure is re-raised. *)
+
+val close : t -> unit

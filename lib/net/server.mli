@@ -1,0 +1,38 @@
+(** Single-threaded select/accept event loop for the nvkv wire protocol.
+
+    The loop multiplexes any number of client connections and hands every
+    decoded request to a {!handler}, which completes it by calling the
+    supplied continuation — synchronously (read-only requests answered on
+    the loop thread) or later from a worker domain (requests executed
+    through [Runtime.Service]).  Completions cross back into the loop
+    through a queue and a self-pipe wake-up, so the loop never blocks on a
+    worker and a worker never touches a socket.
+
+    The server is transport and policy agnostic: dedup, opcode dispatch
+    and persistence live in the handler ([bin/nvkv_server]).  Framing
+    violations ({!Wire.Broken}) drop the connection — the client reconnects
+    and retries under the same request identity. *)
+
+type t
+
+type handler = Wire.request -> (Wire.result -> unit) -> unit
+(** [handler req k] is called on the loop thread for every decoded
+    request; it must arrange for [k result] to be invoked exactly once.
+    [k] is thread-safe, cheap (enqueue + wake), and tolerates the
+    connection having died in the meantime (the response is dropped). *)
+
+val create : ?backlog:int -> addr:Unix.sockaddr -> handler -> t
+(** Bind and listen.  A unix-domain path is unlinked first; an inet
+    address with port [0] gets an ephemeral port — read the actual one
+    back with {!addr}. *)
+
+val addr : t -> Unix.sockaddr
+
+val serve : t -> unit
+(** Run the loop until {!request_stop}: accept, read, decode, dispatch,
+    write.  On stop: stop accepting, refuse new requests
+    ([Wire.err_shutdown]), drain in-flight requests and buffered
+    responses, close every socket, return. *)
+
+val request_stop : t -> unit
+(** Callable from any thread and from a signal handler. *)

@@ -16,6 +16,9 @@ type stripe = {
   faults_detected : int Atomic.t;
   faults_repaired : int Atomic.t;
   faults_quarantined : int Atomic.t;
+  conns_accepted : int Atomic.t;
+  requests_served : int Atomic.t;
+  dedup_hits : int Atomic.t;
 }
 
 type t = stripe array
@@ -36,6 +39,9 @@ type totals = {
   faults_detected : int;
   faults_repaired : int;
   faults_quarantined : int;
+  conns_accepted : int;
+  requests_served : int;
+  dedup_hits : int;
 }
 
 let create () : t =
@@ -56,6 +62,9 @@ let create () : t =
         faults_detected = Atomic.make 0;
         faults_repaired = Atomic.make 0;
         faults_quarantined = Atomic.make 0;
+        conns_accepted = Atomic.make 0;
+        requests_served = Atomic.make 0;
+        dedup_hits = Atomic.make 0;
       })
 
 let mine (t : t) = t.((Domain.self () :> int) land (stripes - 1))
@@ -68,6 +77,9 @@ let incr_faults_injected t = add (mine t).faults_injected 1
 let incr_faults_detected t = add (mine t).faults_detected 1
 let incr_faults_repaired t = add (mine t).faults_repaired 1
 let incr_faults_quarantined t = add (mine t).faults_quarantined 1
+let incr_conns_accepted t = add (mine t).conns_accepted 1
+let incr_requests_served t = add (mine t).requests_served 1
+let incr_dedup_hits t = add (mine t).dedup_hits 1
 
 let record_write t ~payload ~amplified =
   let s = mine t in
@@ -107,6 +119,9 @@ let totals (t : t) =
         faults_repaired = acc.faults_repaired + Atomic.get s.faults_repaired;
         faults_quarantined =
           acc.faults_quarantined + Atomic.get s.faults_quarantined;
+        conns_accepted = acc.conns_accepted + Atomic.get s.conns_accepted;
+        requests_served = acc.requests_served + Atomic.get s.requests_served;
+        dedup_hits = acc.dedup_hits + Atomic.get s.dedup_hits;
       })
     {
       ops = 0;
@@ -124,6 +139,9 @@ let totals (t : t) =
       faults_detected = 0;
       faults_repaired = 0;
       faults_quarantined = 0;
+      conns_accepted = 0;
+      requests_served = 0;
+      dedup_hits = 0;
     }
     t
 
@@ -144,7 +162,10 @@ let reset (t : t) =
       Atomic.set s.faults_injected 0;
       Atomic.set s.faults_detected 0;
       Atomic.set s.faults_repaired 0;
-      Atomic.set s.faults_quarantined 0)
+      Atomic.set s.faults_quarantined 0;
+      Atomic.set s.conns_accepted 0;
+      Atomic.set s.requests_served 0;
+      Atomic.set s.dedup_hits 0)
     t
 
 let write_amplification totals =
@@ -164,8 +185,9 @@ let pp fmt t =
     "ops=%d reads=%d writes=%d flushes=%d flushes_elided=%d drains=%d \
      lines_flushed=%d crashes_survived=%d recovery_passes=%d \
      payload_bytes=%d amplified_bytes=%d faults_injected=%d \
-     faults_detected=%d faults_repaired=%d faults_quarantined=%d"
+     faults_detected=%d faults_repaired=%d faults_quarantined=%d \
+     conns_accepted=%d requests_served=%d dedup_hits=%d"
     t.ops t.reads t.writes t.flushes t.flushes_elided t.drains
     t.lines_flushed t.crashes_survived t.recovery_passes t.payload_bytes
     t.amplified_bytes t.faults_injected t.faults_detected t.faults_repaired
-    t.faults_quarantined
+    t.faults_quarantined t.conns_accepted t.requests_served t.dedup_hits

@@ -40,6 +40,12 @@ type totals = {
   faults_quarantined : int;
       (** detected faults isolated instead of repaired (arena taken out of
           allocation service) *)
+  conns_accepted : int;  (** client connections the server accepted *)
+  requests_served : int;
+      (** wire requests answered (fresh executions and dedup hits alike) *)
+  dedup_hits : int;
+      (** retried requests answered from the persistent dedup table without
+          re-executing *)
 }
 
 val create : unit -> t
@@ -52,6 +58,9 @@ val incr_faults_injected : t -> unit
 val incr_faults_detected : t -> unit
 val incr_faults_repaired : t -> unit
 val incr_faults_quarantined : t -> unit
+val incr_conns_accepted : t -> unit
+val incr_requests_served : t -> unit
+val incr_dedup_hits : t -> unit
 
 val record_write : t -> payload:int -> amplified:int -> unit
 (** One write call: [payload] bytes requested, [amplified] bytes of cache

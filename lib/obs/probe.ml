@@ -5,9 +5,20 @@ type kind =
   | Pmem_cas
   | Exec_call
   | Exec_recover
+  | Net_request
+  | Recovery_span
 
 let kinds =
-  [ Pmem_read; Pmem_write; Pmem_flush; Pmem_cas; Exec_call; Exec_recover ]
+  [
+    Pmem_read;
+    Pmem_write;
+    Pmem_flush;
+    Pmem_cas;
+    Exec_call;
+    Exec_recover;
+    Net_request;
+    Recovery_span;
+  ]
 
 let kind_name = function
   | Pmem_read -> "pmem_read"
@@ -16,6 +27,8 @@ let kind_name = function
   | Pmem_cas -> "pmem_cas"
   | Exec_call -> "exec_call"
   | Exec_recover -> "exec_recover"
+  | Net_request -> "net_request"
+  | Recovery_span -> "recovery_span"
 
 let index = function
   | Pmem_read -> 0
@@ -24,6 +37,8 @@ let index = function
   | Pmem_cas -> 3
   | Exec_call -> 4
   | Exec_recover -> 5
+  | Net_request -> 6
+  | Recovery_span -> 7
 
 let histograms = Array.init (List.length kinds) (fun _ -> Histogram.create ())
 let histogram kind = histograms.(index kind)

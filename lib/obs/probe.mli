@@ -15,6 +15,10 @@ type kind =
   | Pmem_cas
   | Exec_call
   | Exec_recover
+  | Net_request  (** whole wire request, decode to response write *)
+  | Recovery_span
+      (** server restart span: attach + replay recovery + dedup re-attach,
+          i.e. the recovery-time SLA the bench gate budgets *)
 
 val kinds : kind list
 (** All kinds, in declaration order. *)

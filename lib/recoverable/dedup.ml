@@ -1,0 +1,75 @@
+module Pmem = Nvram.Pmem
+module Offset = Nvram.Offset
+module Integrity = Nvram.Integrity
+
+(* Slot layout (32 bytes per client):
+     +0   seq     (int, 8 bytes LE; 0 = absent)
+     +8   answer  (int64 LE)
+     +16  crc     (FNV-64 over client index, seq, answer)
+     +24  pad
+   The three live words are written as one 24-byte store.  Whether or not
+   that store stays inside one cache line, a crash that keeps only part of
+   it leaves a crc that cannot verify, and an unverifiable slot reads as
+   absent — recovery then re-completes the operation and rewrites it. *)
+
+let slot_size = 32
+
+type t = { pmem : Pmem.t; base : Offset.t; nclients : int }
+
+let region_size ~nclients = nclients * slot_size
+let nclients t = t.nclients
+
+let slot t client =
+  if client < 0 || client >= t.nclients then
+    invalid_arg
+      (Printf.sprintf "Dedup: client %d outside [0, %d)" client t.nclients);
+  Offset.add t.base (client * slot_size)
+
+let crc ~client ~seq ~answer =
+  let h = Integrity.fnv64_int64 Integrity.fnv64_init (Int64.of_int client) in
+  let h = Integrity.fnv64_int64 h (Int64.of_int seq) in
+  Integrity.fnv64_int64 h answer
+
+let create pmem ~base ~nclients =
+  let t = { pmem; base; nclients } in
+  let zeros = Bytes.make (region_size ~nclients) '\000' in
+  Pmem.write_bytes pmem ~off:base zeros;
+  Pmem.flush pmem ~off:base ~len:(region_size ~nclients);
+  t
+
+let attach pmem ~base ~nclients = { pmem; base; nclients }
+
+type hit = Hit of int64 | New | Stale
+
+let read_valid t client =
+  let off = slot t client in
+  let seq = Pmem.read_int t.pmem off in
+  if seq = 0 then None
+  else
+    let answer = Pmem.read_int64 t.pmem (Offset.add off 8) in
+    let stored = Pmem.read_int64 t.pmem (Offset.add off 16) in
+    if
+      (not (Integrity.enabled ()))
+      || Int64.equal stored (crc ~client ~seq ~answer)
+    then Some (seq, answer)
+    else None
+
+let lookup t ~client ~seq =
+  match read_valid t client with
+  | None -> New
+  | Some (recorded, answer) ->
+      if recorded = seq then Hit answer
+      else if recorded > seq then Stale
+      else New
+
+let record t ~client ~seq ~answer =
+  let off = slot t client in
+  let buf = Bytes.create 24 in
+  Bytes.set_int64_le buf 0 (Int64.of_int seq);
+  Bytes.set_int64_le buf 8 answer;
+  Bytes.set_int64_le buf 16 (crc ~client ~seq ~answer);
+  Pmem.write_bytes t.pmem ~off buf;
+  Pmem.flush t.pmem ~off ~len:24
+
+let last_seq t ~client =
+  match read_valid t client with None -> 0 | Some (seq, _) -> seq

@@ -1,0 +1,60 @@
+(** Persistent request-id deduplication table — the exactly-once record of
+    the network service.
+
+    A client of the KV/queue server tags every request with a
+    [(client, seq)] pair: [client] is a slot index it owns for its whole
+    session, [seq] a per-client counter it bumps once per {e new} request
+    and reuses verbatim when it {e retries} an unacknowledged one.  The
+    server completes an operation by persisting [(seq, answer)] into the
+    client's slot {e before} the response is sent, so after any crash the
+    retry of an acked-or-in-flight request is answered from the table
+    instead of re-executing — the NSRL promise, extended across the wire.
+
+    Layout: one 32-byte slot per client ([seq], [answer], FNV-64 checksum
+    over client index, seq and answer).  The record write is a single
+    contiguous store followed by one flush; if a crash tears or loses it,
+    the checksum makes the slot read as "absent" and the runtime's stack
+    recovery re-completes the operation and rewrites the record — the same
+    half-persisted-slot discipline as the frame answer slots.
+
+    Slots are single-writer by protocol (a client has at most one request
+    in flight), so no claiming CAS is needed; reads from other threads
+    (the server's event loop answering [LastSeq]) are safe because the
+    checksum rejects torn intermediate states. *)
+
+type t
+
+val region_size : nclients:int -> int
+
+val create :
+  Nvram.Pmem.t -> base:Nvram.Offset.t -> nclients:int -> t
+(** Zeroes and flushes the region: every slot starts absent. *)
+
+val attach : Nvram.Pmem.t -> base:Nvram.Offset.t -> nclients:int -> t
+
+val nclients : t -> int
+
+type hit =
+  | Hit of int64
+      (** This exact [(client, seq)] completed before; the recorded answer
+          must be returned without re-executing. *)
+  | New  (** Not recorded: execute the operation. *)
+  | Stale
+      (** The slot records a {e newer} sequence number — the client
+          violated the retry protocol (reused an id, or replayed an old
+          request after a later one was acked).  Refuse loudly: silently
+          re-executing could double-apply. *)
+
+val lookup : t -> client:int -> seq:int -> hit
+(** @raise Invalid_argument if [client] is outside [0, nclients). *)
+
+val record : t -> client:int -> seq:int -> answer:int64 -> unit
+(** Persist the completion record for [(client, seq)].  Idempotent for the
+    same triple; must only be called with [seq >=] the recorded sequence.
+
+    @raise Invalid_argument if [client] is outside [0, nclients). *)
+
+val last_seq : t -> client:int -> int
+(** The highest recorded (checksum-valid) sequence for [client]; [0] if
+    the slot is absent or torn.  A reconnecting client resumes numbering
+    at [last_seq + 1]. *)

@@ -1,0 +1,47 @@
+type job = { func_id : int; args : bytes; k : (int64, exn) result -> unit }
+
+type t = {
+  queue : job Work_queue.t;
+  domains : unit Domain.t array;
+  stopped : bool Atomic.t;
+}
+
+(* Each worker owns one execution context for its whole life; a context is
+   single-threaded by construction (its persistent stack is), and jobs for
+   that worker serialise through the queue, so no further locking is
+   needed.  The crash signal is *not* caught: a simulated crash must tear
+   the whole service down, exactly as [System.run] lets it tear down the
+   batch workers. *)
+let worker sys queue i =
+  let ctx = System.ctx sys i in
+  let rec loop () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some job ->
+        (match Exec.call ctx ~func_id:job.func_id ~args:job.args with
+        | answer -> job.k (Ok answer)
+        | exception Nvram.Crash.Crash_now -> raise Nvram.Crash.Crash_now
+        | exception exn -> job.k (Error exn));
+        loop ()
+  in
+  loop ()
+
+let start sys =
+  let queue = Work_queue.create () in
+  let workers = (System.config sys).workers in
+  let domains =
+    Array.init workers (fun i -> Domain.spawn (fun () -> worker sys queue i))
+  in
+  { queue; domains; stopped = Atomic.make false }
+
+let submit t ~func_id ~args ~k =
+  try Work_queue.push t.queue { func_id; args; k }
+  with Invalid_argument _ -> invalid_arg "Service.submit: service stopped"
+
+let pending t = Work_queue.length t.queue
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Work_queue.close t.queue;
+    Array.iter Domain.join t.domains
+  end

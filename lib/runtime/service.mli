@@ -1,0 +1,41 @@
+(** Continuous server-driven execution over the worker domains.
+
+    {!System.run} is batch-shaped: it drains the persistent task table and
+    joins its domains.  A network service needs the opposite life cycle —
+    workers that outlive any one request and execute {!Exec.call}s as they
+    arrive.  A service spawns one domain per configured worker; each pulls
+    jobs from a volatile queue and runs them through its own persistent
+    stack context, so every request enjoys the full NSRL call protocol
+    (frame push linearizes the invocation, the completion is persisted
+    before the answer is surrendered).
+
+    The queue is deliberately volatile, like {!Work_queue} under
+    {!System.run}: a job that was accepted but not completed when the
+    process dies simply never happened {e unless} its frame reached the
+    persistent stack — in which case the next start's {!System.recover}
+    completes it.  Exactly-once delivery to clients is layered on top by
+    the persistent dedup table (see [Recoverable.Dedup]), not here.
+
+    Completion callbacks run on the worker domain that executed the job
+    and must not raise. *)
+
+type t
+
+val start : System.t -> t
+(** [start sys] spawns [(System.config sys).workers] worker domains.  Call
+    after {!System.recover} has completed — the workers use the system's
+    execution contexts, which recovery replaces. *)
+
+val submit :
+  t -> func_id:int -> args:bytes -> k:((int64, exn) result -> unit) -> unit
+(** Enqueue one invocation.  [k] receives the answer, or the exception the
+    body raised (the worker survives and moves to the next job).  Callable
+    from any thread.
+
+    @raise Invalid_argument if the service has been stopped. *)
+
+val pending : t -> int
+(** Jobs accepted and not yet picked up by a worker. *)
+
+val stop : t -> unit
+(** Drain outstanding jobs, then join every worker domain.  Idempotent. *)

@@ -452,6 +452,12 @@ let recover ?spawn ?reclaim t =
 let image_config pmem = read_superblock pmem
 let anchor_cell i = anchor_off i
 
+let image_root pmem =
+  let _config = read_superblock pmem in
+  match Pmem.read_int pmem root_off with
+  | 0 -> None
+  | off -> Some (Offset.of_int off)
+
 let image_heap_base pmem config =
   let base, _len = heap_region pmem config in
   base

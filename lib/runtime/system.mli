@@ -182,6 +182,15 @@ val anchor_cell : int -> Nvram.Offset.t
 val image_heap_base : Nvram.Pmem.t -> config -> Nvram.Offset.t
 (** Device offset of the heap region for this configuration. *)
 
+val image_root : Nvram.Pmem.t -> Nvram.Offset.t option
+(** The persisted user root of the image on [pmem] without attaching it —
+    how a restarting server decides between {!attach} (root present: the
+    previous incarnation committed its structures) and {!create} (fresh
+    device, or a crash before the root was published).
+
+    @raise Invalid_argument if there is no superblock or its checksum does
+    not verify. *)
+
 val pp_image : Format.formatter -> Nvram.Pmem.t -> unit
 (** [pp_image fmt pmem] prints a human-readable summary of the system
     image on [pmem]: the persisted configuration, the user root, task

@@ -1,0 +1,260 @@
+(* Wire-codec property tests: round-trip every constructor, then attack
+   the framing — truncation, bit flips, forged lengths, wrong kinds,
+   verified-but-senseless payloads.  The decoder's contract is that every
+   damaged input is a [Broken _] value and every proper prefix of a valid
+   frame is [Incomplete]; nothing in this file may make it raise.  Mirrors
+   the Frame-v2 adversary style of [test_scrub.ml], lifted to the wire. *)
+
+module Wire = Net.Wire
+module Integrity = Nvram.Integrity
+
+let any_int = QCheck2.Gen.(frequency [ (4, small_signed_int); (1, int) ])
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Wire.Ping;
+        map2 (fun k v -> Wire.Put (k, v)) any_int any_int;
+        map (fun k -> Wire.Get k) any_int;
+        map (fun k -> Wire.Del k) any_int;
+        map (fun v -> Wire.Enqueue v) any_int;
+        return Wire.Dequeue;
+        return Wire.Last_seq;
+      ])
+
+let request_gen =
+  QCheck2.Gen.(
+    map3 (fun client seq op -> { Wire.client; seq; op }) any_int any_int op_gen)
+
+let result_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Wire.Value v) any_int;
+        return Wire.Nothing;
+        return Wire.Done;
+        map (fun code -> Wire.Refused code) (int_range 1 8);
+      ])
+
+let response_gen =
+  QCheck2.Gen.(
+    map3
+      (fun client seq result -> { Wire.client; seq; result })
+      any_int any_int result_gen)
+
+let request_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"request round-trips through the codec"
+    request_gen (fun req ->
+      let frame = Wire.encode_request req in
+      match Wire.decode_request frame ~len:(Bytes.length frame) with
+      | Wire.Complete (decoded, consumed) ->
+          decoded = req && consumed = Bytes.length frame
+      | Wire.Incomplete | Wire.Broken _ -> false)
+
+let response_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"response round-trips through the codec"
+    response_gen (fun resp ->
+      let frame = Wire.encode_response resp in
+      match Wire.decode_response frame ~len:(Bytes.length frame) with
+      | Wire.Complete (decoded, consumed) ->
+          decoded = resp && consumed = Bytes.length frame
+      | Wire.Incomplete | Wire.Broken _ -> false)
+
+let op_string_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"op_of_string inverts op_to_string"
+    op_gen (fun op -> Wire.op_of_string (Wire.op_to_string op) = Some op)
+
+(* A streaming reader sees frames back to back in one buffer: the decoder
+   must consume exactly the first and leave the second intact. *)
+let back_to_back =
+  QCheck2.Test.make ~count:200 ~name:"concatenated frames split cleanly"
+    QCheck2.Gen.(pair request_gen request_gen)
+    (fun (r1, r2) ->
+      let f1 = Wire.encode_request r1 and f2 = Wire.encode_request r2 in
+      let buf = Bytes.cat f1 f2 in
+      match Wire.decode_request buf ~len:(Bytes.length buf) with
+      | Wire.Complete (d1, n1) when d1 = r1 && n1 = Bytes.length f1 -> (
+          let rest = Bytes.sub buf n1 (Bytes.length buf - n1) in
+          match Wire.decode_request rest ~len:(Bytes.length rest) with
+          | Wire.Complete (d2, n2) -> d2 = r2 && n2 = Bytes.length f2
+          | _ -> false)
+      | _ -> false)
+
+let every_prefix_incomplete =
+  QCheck2.Test.make ~count:200
+    ~name:"every strict prefix of a valid frame is Incomplete" request_gen
+    (fun req ->
+      let frame = Wire.encode_request req in
+      let ok = ref true in
+      for cut = 0 to Bytes.length frame - 1 do
+        match Wire.decode_request frame ~len:cut with
+        | Wire.Incomplete -> ()
+        | Wire.Complete _ | Wire.Broken _ -> ok := false
+      done;
+      !ok)
+
+(* The CRC trailer is the last 8 bytes; flipping any of them cannot touch
+   the covered region, so the verdict is exactly Bad_crc. *)
+let crc_flip_detected =
+  QCheck2.Test.make ~count:300 ~name:"a flipped CRC byte is Broken Bad_crc"
+    QCheck2.Gen.(triple request_gen (int_range 1 7) (int_range 1 255))
+    (fun (req, tail, delta) ->
+      let frame = Wire.encode_request req in
+      let pos = Bytes.length frame - 1 - tail in
+      let pos = max pos (Bytes.length frame - 8) in
+      Bytes.set frame pos
+        (Char.chr ((Char.code (Bytes.get frame pos) + delta) land 0xff));
+      match Wire.decode_request frame ~len:(Bytes.length frame) with
+      | Wire.Broken Wire.Bad_crc -> true
+      | _ -> false)
+
+(* Any single-byte corruption anywhere in the frame: the decoder may call
+   it Broken or (when the flip grows the declared length) Incomplete, but
+   it must never reproduce the original parse and never raise.  FNV-64 is
+   a bijection per input byte, so a flip inside the covered region always
+   changes the checksum. *)
+let byte_flip_never_original =
+  QCheck2.Test.make ~count:500
+    ~name:"single-byte corruption never yields the original frame"
+    QCheck2.Gen.(triple request_gen (int_range 0 1_000_000) (int_range 1 255))
+    (fun (req, pos_seed, delta) ->
+      let frame = Wire.encode_request req in
+      let len = Bytes.length frame in
+      let pos = pos_seed mod len in
+      Bytes.set frame pos
+        (Char.chr ((Char.code (Bytes.get frame pos) + delta) land 0xff));
+      match Wire.decode_request frame ~len with
+      | Wire.Complete (decoded, _) -> decoded <> req
+      | Wire.Incomplete | Wire.Broken _ -> true)
+
+let magic_flip =
+  QCheck2.Test.make ~count:100 ~name:"wrong magic is Broken Bad_magic"
+    request_gen (fun req ->
+      let frame = Wire.encode_request req in
+      Bytes.set frame 0 'X';
+      let whole =
+        match Wire.decode_request frame ~len:(Bytes.length frame) with
+        | Wire.Broken Wire.Bad_magic -> true
+        | _ -> false
+      in
+      (* Progressive: one corrupt byte is judged without waiting for the
+         rest of the header. *)
+      let early =
+        match Wire.decode_request frame ~len:1 with
+        | Wire.Broken Wire.Bad_magic -> true
+        | _ -> false
+      in
+      whole && early)
+
+let version_flip =
+  QCheck2.Test.make ~count:100 ~name:"wrong version is Broken Bad_version"
+    request_gen (fun req ->
+      let frame = Wire.encode_request req in
+      Bytes.set frame 2 (Char.chr 9);
+      match Wire.decode_request frame ~len:(Bytes.length frame) with
+      | Wire.Broken (Wire.Bad_version 9) -> true
+      | _ -> false)
+
+let kind_mismatch =
+  QCheck2.Test.make ~count:100
+    ~name:"a response frame fed to the request decoder is Bad_kind"
+    response_gen (fun resp ->
+      let frame = Wire.encode_response resp in
+      match Wire.decode_request frame ~len:(Bytes.length frame) with
+      | Wire.Broken (Wire.Bad_kind 2) -> true
+      | _ -> false)
+
+let oversized_length =
+  QCheck2.Test.make ~count:200
+    ~name:"forged payload length out of range is Broken Oversized"
+    QCheck2.Gen.(pair request_gen (int_range 1 1_000_000))
+    (fun (req, excess) ->
+      let frame = Wire.encode_request req in
+      let too_big = Bytes.copy frame in
+      Bytes.set_int32_le too_big 4 (Int32.of_int (Wire.max_payload + excess));
+      let negative = Bytes.copy frame in
+      Bytes.set_int32_le negative 4 (-1l);
+      let broken_oversized buf =
+        match Wire.decode_request buf ~len:(Bytes.length buf) with
+        | Wire.Broken (Wire.Oversized _) -> true
+        | _ -> false
+      in
+      broken_oversized too_big && broken_oversized negative)
+
+(* Hand-built frames with a valid CRC but a payload that parses to
+   nothing: the frame layer accepts them, the request layer must refuse
+   with Malformed rather than guess. *)
+let forged_request ~plen fill =
+  let buf = Bytes.create (Wire.overhead + plen) in
+  Bytes.set buf 0 'N';
+  Bytes.set buf 1 'K';
+  Bytes.set buf 2 (Char.chr 1);
+  Bytes.set buf 3 (Char.chr 1);
+  Bytes.set_int32_le buf 4 (Int32.of_int plen);
+  fill buf 8;
+  Bytes.set_int64_le buf (8 + plen)
+    (Integrity.fnv64 buf ~pos:0 ~len:(8 + plen));
+  buf
+
+let malformed_is_typed () =
+  let is_malformed buf =
+    match Wire.decode_request buf ~len:(Bytes.length buf) with
+    | Wire.Broken (Wire.Malformed _) -> true
+    | _ -> false
+  in
+  (* Too short for even the fixed request head. *)
+  Alcotest.(check bool)
+    "short payload" true
+    (is_malformed (forged_request ~plen:8 (fun _ _ -> ())));
+  (* Ragged operand bytes. *)
+  Alcotest.(check bool)
+    "ragged operands" true
+    (is_malformed (forged_request ~plen:21 (fun b off ->
+         Bytes.set b (off + 16) (Char.chr 0))));
+  (* Unknown opcode. *)
+  Alcotest.(check bool)
+    "unknown opcode" true
+    (is_malformed (forged_request ~plen:17 (fun b off ->
+         Bytes.set b (off + 16) (Char.chr 9))));
+  (* Known opcode with the wrong operand count (Put wants two). *)
+  Alcotest.(check bool)
+    "operand count mismatch" true
+    (is_malformed (forged_request ~plen:17 (fun b off ->
+         Bytes.set b (off + 16) (Char.chr 1))))
+
+let garbage_never_raises =
+  QCheck2.Test.make ~count:500 ~name:"random garbage never raises"
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun junk ->
+      let buf = Bytes.of_string junk in
+      let len = Bytes.length buf in
+      let _ = Wire.decode_request buf ~len in
+      let _ = Wire.decode_response buf ~len in
+      true)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      request_roundtrip;
+      response_roundtrip;
+      op_string_roundtrip;
+      back_to_back;
+      every_prefix_incomplete;
+      crc_flip_detected;
+      byte_flip_never_original;
+      magic_flip;
+      version_flip;
+      kind_mismatch;
+      oversized_length;
+      garbage_never_raises;
+    ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ("wire-codec", properties);
+      ( "wire-malformed",
+        [ Alcotest.test_case "typed Malformed errors" `Quick malformed_is_typed ]
+      );
+    ]
